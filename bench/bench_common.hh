@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared helpers for the figure-regeneration benches. Every bench is
+ * a standalone binary that prints the series for one table or figure
+ * of the paper (see DESIGN.md's experiment index) and accepts
+ * key=value overrides, notably `quick=1` for a fast smoke run.
+ */
+
+#ifndef MDW_BENCH_BENCH_COMMON_HH
+#define MDW_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/presets.hh"
+
+namespace mdw::bench {
+
+/** Phase lengths used by the figure benches. */
+inline ExperimentParams
+benchExperiment(bool quick)
+{
+    ExperimentParams params;
+    params.warmup = quick ? 3000 : 10000;
+    params.measure = quick ? 8000 : 30000;
+    params.drainLimit = quick ? 60000 : 200000;
+    params.watchdogQuiet = 200000;
+    return params;
+}
+
+/** Standard load grid for latency-vs-load figures. */
+inline std::vector<double>
+loadGrid(bool quick)
+{
+    if (quick)
+        return {0.02, 0.08, 0.16};
+    return {0.01, 0.02, 0.04, 0.08, 0.12, 0.16, 0.24, 0.32, 0.40};
+}
+
+/** Print the standard figure banner. */
+inline void
+banner(const char *experiment, const char *title, const char *workload)
+{
+    std::printf("# %s: %s\n", experiment, title);
+    std::printf("# workload: %s\n", workload);
+}
+
+/** Parse argv overrides; returns the quick flag. */
+inline bool
+parseCli(int argc, char **argv, Config &cli)
+{
+    cli.parseArgs(argc, argv);
+    const bool quick = cli.getBool("quick", false);
+    return quick;
+}
+
+/** "n/a" or a fixed-point number (for latencies of absent classes). */
+inline std::string
+cell(double value, double count)
+{
+    if (count <= 0.0)
+        return "      n/a";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%9.1f", value);
+    return buf;
+}
+
+/** Mark saturated measurements so readers don't trust the latency. */
+inline const char *
+satMark(const ExperimentResult &result)
+{
+    return result.saturated ? " *sat*" : "";
+}
+
+} // namespace mdw::bench
+
+#endif // MDW_BENCH_BENCH_COMMON_HH

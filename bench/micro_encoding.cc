@@ -1,0 +1,78 @@
+/**
+ * @file
+ * A5 — Microbenchmarks (google-benchmark): cost of the hot
+ * per-packet operations — bit-string encode/decode, reachability
+ * decode at a switch, and multiport phase planning.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "message/encoding.hh"
+#include "sim/rng.hh"
+#include "topology/fat_tree.hh"
+
+namespace {
+
+using namespace mdw;
+
+DestSet
+randomSet(std::size_t n, std::size_t degree, Rng &rng)
+{
+    DestSet dests(n);
+    while (dests.count() < degree)
+        dests.set(static_cast<NodeId>(rng.below(n)));
+    return dests;
+}
+
+void
+BM_BitStringEncode(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(1);
+    const DestSet dests = randomSet(n, n / 4, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(encodeBitString(dests));
+}
+BENCHMARK(BM_BitStringEncode)->Arg(64)->Arg(256)->Arg(1024);
+
+void
+BM_BitStringDecode(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(2);
+    const auto bytes = encodeBitString(randomSet(n, n / 4, rng));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(decodeBitString(bytes, n));
+}
+BENCHMARK(BM_BitStringDecode)->Arg(64)->Arg(256)->Arg(1024);
+
+void
+BM_SwitchDecode(benchmark::State &state)
+{
+    FatTree topo(4, 3);
+    Rng rng(3);
+    const DestSet dests =
+        randomSet(topo.numHosts(),
+                  static_cast<std::size_t>(state.range(0)), rng);
+    const SwitchRouting &sr = topo.routing().at(0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sr.decode(dests, RoutingVariant::ReplicateAfterLca));
+    }
+}
+BENCHMARK(BM_SwitchDecode)->Arg(2)->Arg(8)->Arg(32)->Arg(63);
+
+void
+BM_MultiportPlan(benchmark::State &state)
+{
+    Rng rng(4);
+    const DestSet dests = randomSet(
+        64, static_cast<std::size_t>(state.range(0)), rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(planMultiportPhases(4, 3, dests));
+}
+BENCHMARK(BM_MultiportPlan)->Arg(2)->Arg(8)->Arg(32)->Arg(63);
+
+} // namespace
+
+BENCHMARK_MAIN();

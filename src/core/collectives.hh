@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Collective communication operations built on the public NIC API —
+ * the broadcast / barrier / reduction workloads the paper's
+ * introduction motivates as the payoff of fast multicast.
+ *
+ * Operations are asynchronous: each call starts the operation and
+ * fires a completion callback with the finishing cycle. Multicasts
+ * inside the collectives go through whatever multicast scheme the
+ * network's NICs are configured with (hardware worms or U-Min
+ * software trees), so the same experiment compares implementations.
+ */
+
+#ifndef MDW_CORE_COLLECTIVES_HH
+#define MDW_CORE_COLLECTIVES_HH
+
+#include <functional>
+#include <unordered_map>
+
+#include "core/network.hh"
+
+namespace mdw {
+
+/** Asynchronous collective-operation engine for one Network. */
+class CollectiveEngine
+{
+  public:
+    /** Completion callback: receives the cycle the operation ended. */
+    using Done = std::function<void(Cycle)>;
+
+    /**
+     * Hooks every NIC's delivery callback; only one engine may be
+     * attached to a network at a time.
+     */
+    explicit CollectiveEngine(Network &net);
+
+    /**
+     * Broadcast @p payload flits from @p root to @p members (root
+     * excluded). Completes when the last member received the data.
+     */
+    void broadcast(NodeId root, const DestSet &members, int payload,
+                   Done done);
+
+    /**
+     * Barrier among @p root plus @p members: members signal arrival
+     * with short unicasts to the root; once all arrived, the root
+     * multicasts the release. Completes when the last member
+     * received the release. (Callers model local computation by
+     * choosing when to invoke it.)
+     */
+    void barrier(NodeId root, const DestSet &members, Done done);
+
+    /**
+     * Reduction to @p root: every member sends @p payload flits to
+     * the root (the combining itself is free at the host). Completes
+     * when the root received all contributions.
+     */
+    void reduce(NodeId root, const DestSet &members, int payload,
+                Done done);
+
+    /**
+     * Reduce to @p root then broadcast the @p payload-flit result
+     * back to the members.
+     */
+    void allreduce(NodeId root, const DestSet &members, int payload,
+                   Done done);
+
+    /** Operations started and not yet completed. */
+    std::size_t pendingOps() const { return ops_.size(); }
+
+    /** Flits used for barrier arrival/release control messages. */
+    static constexpr int kControlPayload = 4;
+
+  private:
+    enum class Kind { Broadcast, BarrierGather, Reduce };
+
+    struct Op
+    {
+        Kind kind = Kind::Broadcast;
+        NodeId root = kInvalidNode;
+        DestSet members{0};
+        DestSet pending{0};
+        int payload = 0;
+        Done done;
+    };
+
+    using OpId = std::uint64_t;
+
+    void onDelivery(NodeId at, const PacketDesc &pkt, Cycle now);
+    OpId newOp(Op op);
+    void finish(OpId id, Cycle now);
+
+    Network &net_;
+    std::unordered_map<OpId, Op> ops_;
+    /** Maps a message id to the op waiting on its deliveries. */
+    std::unordered_map<MsgId, OpId> msgToOp_;
+    /** Per-op arrival bookkeeping for gather phases. */
+    OpId nextId_ = 1;
+};
+
+} // namespace mdw
+
+#endif // MDW_CORE_COLLECTIVES_HH

@@ -1,0 +1,142 @@
+#include "core/experiment.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mdw {
+
+Experiment::Experiment(NetworkConfig network, TrafficParams traffic,
+                       ExperimentParams params)
+    : network_(std::move(network)), traffic_(traffic), params_(params)
+{
+}
+
+double
+Experiment::deliveryMultiplier() const
+{
+    switch (traffic_.pattern) {
+      case TrafficPattern::UniformUnicast:
+      case TrafficPattern::HotSpot:
+        return 1.0;
+      case TrafficPattern::MultipleMulticast:
+        return static_cast<double>(traffic_.mcastDegree);
+      case TrafficPattern::Bimodal:
+        return (1.0 - traffic_.mcastFraction) +
+               traffic_.mcastFraction *
+                   static_cast<double>(traffic_.mcastDegree);
+    }
+    return 1.0;
+}
+
+ExperimentResult
+Experiment::run()
+{
+    Network net(network_);
+
+    TrafficParams traffic = traffic_;
+    traffic.stopCycle = params_.warmup + params_.measure;
+    SyntheticTraffic source(net.numHosts(), traffic);
+    net.attachTraffic(&source);
+
+    net.tracker().setWindow(params_.warmup,
+                            params_.warmup + params_.measure);
+
+    ExperimentResult result;
+    result.offeredLoad = traffic_.load;
+    result.expectedDelivered = traffic_.load * deliveryMultiplier();
+
+    if (params_.watchdogQuiet > 0)
+        net.armWatchdog(params_.watchdogQuiet);
+
+    net.sim().run(params_.warmup);
+    const std::vector<std::uint64_t> tx_before = net.portTxSnapshot();
+    net.sim().run(params_.measure);
+    const std::vector<std::uint64_t> tx_after = net.portTxSnapshot();
+
+    // Drain: generation has stopped; let in-flight traffic land.
+    result.drained = net.sim().runUntil(
+        [&net] { return net.idle(); }, params_.drainLimit);
+
+    result.deadlocked = net.sim().deadlockDetected();
+    result.cyclesRun = net.sim().now();
+    result.endBacklogPackets = net.totalTxBacklog();
+
+    const McastTracker &tracker = net.tracker();
+    result.unicastAvg = tracker.unicastLatency().mean();
+    result.unicastP95 = tracker.unicastHist().percentile(0.95);
+    result.unicastCount =
+        static_cast<double>(tracker.unicastLatency().count());
+    result.mcastLastAvg = tracker.mcastLastLatency().mean();
+    result.mcastLastP95 = tracker.mcastLastHist().percentile(0.95);
+    result.mcastAvgAvg = tracker.mcastAvgLatency().mean();
+    result.mcastCount =
+        static_cast<double>(tracker.mcastLastLatency().count());
+
+    const double node_cycles = static_cast<double>(net.numHosts()) *
+                               static_cast<double>(params_.measure);
+    result.deliveredLoad =
+        static_cast<double>(tracker.windowDeliveredFlits()) /
+        node_cycles;
+    result.saturated =
+        result.deadlocked || !result.drained ||
+        result.deliveredLoad <
+            params_.saturationRatio * result.expectedDelivered;
+
+    if (!tx_before.empty() && params_.measure > 0) {
+        double sum = 0.0, peak = 0.0;
+        for (std::size_t i = 0; i < tx_before.size(); ++i) {
+            const double util =
+                static_cast<double>(tx_after[i] - tx_before[i]) /
+                static_cast<double>(params_.measure);
+            sum += util;
+            peak = std::max(peak, util);
+        }
+        result.meanLinkUtil = sum / static_cast<double>(tx_before.size());
+        result.maxLinkUtil = peak;
+    }
+
+    const NetworkTotals totals = net.totals();
+    result.replications = totals.replications;
+    result.reservationStallCycles = totals.reservationStallCycles;
+    result.avgCqChunks = net.avgCqChunks();
+    return result;
+}
+
+std::vector<ExperimentResult>
+sweepLoads(const NetworkConfig &network, const TrafficParams &traffic,
+           const ExperimentParams &params,
+           const std::vector<double> &loads)
+{
+    std::vector<ExperimentResult> results;
+    results.reserve(loads.size());
+    for (double load : loads) {
+        TrafficParams t = traffic;
+        t.load = load;
+        results.push_back(Experiment(network, t, params).run());
+    }
+    return results;
+}
+
+std::string
+resultHeader()
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%-22s %8s %8s %9s %9s %9s %6s",
+                  "config", "offered", "deliv", "uni-lat", "mc-avg",
+                  "mc-last", "sat");
+    return buf;
+}
+
+std::string
+formatResultRow(const std::string &label, const ExperimentResult &r)
+{
+    char buf[200];
+    std::snprintf(buf, sizeof(buf),
+                  "%-22s %8.4f %8.4f %9.1f %9.1f %9.1f %6s",
+                  label.c_str(), r.offeredLoad, r.deliveredLoad,
+                  r.unicastAvg, r.mcastAvgAvg, r.mcastLastAvg,
+                  r.saturated ? "yes" : "no");
+    return buf;
+}
+
+} // namespace mdw

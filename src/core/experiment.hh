@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Experiment runner: warmup / measurement / drain phases, saturation
+ * detection, and load sweeps — the harness behind every figure.
+ */
+
+#ifndef MDW_CORE_EXPERIMENT_HH
+#define MDW_CORE_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/network.hh"
+#include "workload/traffic.hh"
+
+namespace mdw {
+
+/** Phase lengths and safety limits of one simulation run. */
+struct ExperimentParams
+{
+    Cycle warmup = 20000;
+    Cycle measure = 50000;
+    /** Extra cycles allowed for measured messages to drain. */
+    Cycle drainLimit = 300000;
+    /** Deadlock watchdog threshold (0 disables). */
+    Cycle watchdogQuiet = 100000;
+    /**
+     * Delivered/expected ratio below which a run is "saturated".
+     * Finite windows lose ~10% to pipeline-fill boundary effects, so
+     * the default is deliberately below that.
+     */
+    double saturationRatio = 0.85;
+};
+
+/** Everything a run measures. */
+struct ExperimentResult
+{
+    double offeredLoad = 0.0; ///< payload flits/node/cycle, at source
+    double deliveredLoad = 0.0; ///< payload flits/node/cycle delivered
+    double expectedDelivered = 0.0; ///< offered x fan-out multiplier
+
+    double unicastAvg = 0.0;
+    double unicastP95 = 0.0;
+    double unicastCount = 0.0;
+    double mcastLastAvg = 0.0;
+    double mcastLastP95 = 0.0;
+    double mcastAvgAvg = 0.0;
+    double mcastCount = 0.0;
+
+    bool saturated = false;
+    bool drained = true;
+    bool deadlocked = false;
+    Cycle cyclesRun = 0;
+
+    /** Mean utilization of switch output links in the window. */
+    double meanLinkUtil = 0.0;
+    /** Utilization of the busiest switch output link. */
+    double maxLinkUtil = 0.0;
+
+    std::uint64_t replications = 0;
+    std::uint64_t reservationStallCycles = 0;
+    double avgCqChunks = 0.0;
+    std::size_t endBacklogPackets = 0;
+};
+
+/** One simulation run: build, warm up, measure, drain, report. */
+class Experiment
+{
+  public:
+    Experiment(NetworkConfig network, TrafficParams traffic,
+               ExperimentParams params);
+
+    /** Execute the run and return its measurements. */
+    ExperimentResult run();
+
+    /** Fan-out multiplier of the configured traffic pattern. */
+    double deliveryMultiplier() const;
+
+  private:
+    NetworkConfig network_;
+    TrafficParams traffic_;
+    ExperimentParams params_;
+};
+
+/**
+ * Run the same configuration across several offered loads.
+ * Results appear in the order of @p loads.
+ */
+std::vector<ExperimentResult> sweepLoads(const NetworkConfig &network,
+                                         const TrafficParams &traffic,
+                                         const ExperimentParams &params,
+                                         const std::vector<double> &loads);
+
+/** Fixed-width header line matching formatResultRow(). */
+std::string resultHeader();
+
+/** One row of measurements for table output. */
+std::string formatResultRow(const std::string &label,
+                            const ExperimentResult &result);
+
+} // namespace mdw
+
+#endif // MDW_CORE_EXPERIMENT_HH

@@ -1,0 +1,337 @@
+#include "core/network.hh"
+
+#include <algorithm>
+
+namespace mdw {
+
+const char *
+toString(TopologyKind kind)
+{
+    switch (kind) {
+      case TopologyKind::FatTree:
+        return "fat-tree";
+      case TopologyKind::Irregular:
+        return "irregular";
+      case TopologyKind::UniMin:
+        return "uni-min";
+    }
+    return "?";
+}
+
+const char *
+toString(SwitchArch arch)
+{
+    switch (arch) {
+      case SwitchArch::CentralBuffer:
+        return "central-buffer";
+      case SwitchArch::InputBuffer:
+        return "input-buffer";
+    }
+    return "?";
+}
+
+Network::Network(const NetworkConfig &config)
+    : cfg_(config)
+{
+    build();
+    wire();
+}
+
+void
+Network::build()
+{
+    // --- Topology ---------------------------------------------------
+    if (cfg_.topo == TopologyKind::FatTree) {
+        topo_ = std::make_unique<FatTree>(cfg_.fatTreeK, cfg_.fatTreeN);
+    } else if (cfg_.topo == TopologyKind::UniMin) {
+        topo_ = std::make_unique<UniMin>(cfg_.fatTreeK, cfg_.fatTreeN);
+    } else {
+        topo_ = std::make_unique<IrregularTopology>(
+            cfg_.irregular, Rng(cfg_.seed).fork(0xdeadULL));
+    }
+    const std::size_t hosts = topo_->numHosts();
+
+    // --- Header / packet sizing -------------------------------------
+    if (cfg_.nic.encoding == McastEncoding::Multiport) {
+        if (cfg_.topo == TopologyKind::Irregular)
+            fatal("multiport encoding requires a staged (fat-tree or "
+                  "uni-MIN) topology");
+        cfg_.nic.multiportK = cfg_.fatTreeK;
+        cfg_.nic.multiportLevels = cfg_.fatTreeN;
+        mcastHeaderFlits_ =
+            multiportHeaderFlits(cfg_.fatTreeN, cfg_.nic.enc);
+    } else {
+        mcastHeaderFlits_ = bitStringHeaderFlits(hosts, cfg_.nic.enc);
+    }
+    int max_header =
+        std::max(cfg_.nic.enc.unicastHeaderFlits, mcastHeaderFlits_);
+    if (cfg_.nic.swListOverhead) {
+        int bits_per_id = 1;
+        while ((1ULL << bits_per_id) < hosts)
+            ++bits_per_id;
+        const int list_bits =
+            static_cast<int>(hosts - 2) * bits_per_id;
+        const int sw_header =
+            cfg_.nic.enc.unicastHeaderFlits +
+            (list_bits + cfg_.nic.enc.flitBits - 1) /
+                cfg_.nic.enc.flitBits;
+        max_header = std::max(max_header, sw_header);
+    }
+    maxPacketFlits_ = cfg_.maxPayloadFlits + max_header;
+    cfg_.nic.maxPayloadFlits = cfg_.maxPayloadFlits;
+
+    // The central-buffer input FIFO must hold a complete routing
+    // header for decode; the input-buffer architecture must hold a
+    // complete packet for deadlock freedom. Raise silently configured
+    // values that are too small rather than failing.
+    const int fifo_need = max_header + 2;
+    if (cfg_.cb.inputFifoFlits < fifo_need) {
+        inform("raising cb.inputFifoFlits %d -> %d to fit headers",
+               cfg_.cb.inputFifoFlits, fifo_need);
+        cfg_.cb.inputFifoFlits = fifo_need;
+    }
+    if (cfg_.ib.bufferFlits < maxPacketFlits_) {
+        inform("raising ib.bufferFlits %d -> %d to fit whole packets",
+               cfg_.ib.bufferFlits, maxPacketFlits_);
+        cfg_.ib.bufferFlits = maxPacketFlits_;
+    }
+    if (cfg_.arch == SwitchArch::CentralBuffer &&
+        cfg_.sw.replication == ReplicationMode::Synchronous) {
+        fatal("synchronous replication requires the input-buffer "
+              "architecture: the central queue's store-once readers "
+              "are inherently asynchronous");
+    }
+    if (cfg_.arch == SwitchArch::CentralBuffer) {
+        // The shared pool (capacity minus one escape chunk per port)
+        // must hold the largest worm plus, on networks with an up
+        // phase, the up-phase reservation headroom, or
+        // multidestination worms could never be accepted. The
+        // unidirectional MIN is forward-only (acyclic by stage), so
+        // it needs no headroom.
+        const bool multi_stage =
+            (cfg_.topo == TopologyKind::FatTree && cfg_.fatTreeN > 1) ||
+            cfg_.topo == TopologyKind::Irregular;
+        cfg_.cb.maxPacketFlits = multi_stage ? maxPacketFlits_ : 0;
+        const int radix = cfg_.topo == TopologyKind::Irregular
+                              ? cfg_.irregular.radix
+                              : 2 * cfg_.fatTreeK;
+        const int chunks_needed =
+            (maxPacketFlits_ + cfg_.cb.chunkFlits - 1) /
+            cfg_.cb.chunkFlits;
+        const int required =
+            radix + (multi_stage ? 2 * chunks_needed : chunks_needed);
+        if (required > cfg_.cb.cqChunks) {
+            fatal("central queue (%d chunks) too small: largest "
+                  "packet needs %d chunks%s plus %d escape chunks",
+                  cfg_.cb.cqChunks, chunks_needed,
+                  multi_stage ? " (x2 for the up-phase headroom)" : "",
+                  radix);
+        }
+    }
+
+    // --- Components --------------------------------------------------
+    cfg_.sw.seed = cfg_.seed;
+    for (std::size_t s = 0; s < topo_->numSwitches(); ++s) {
+        const SwitchId id = static_cast<SwitchId>(s);
+        const SwitchRouting *routing = &topo_->routing().at(id);
+        const std::string name = "sw" + std::to_string(s);
+        if (cfg_.arch == SwitchArch::CentralBuffer) {
+            switches_.push_back(std::make_unique<CentralBufferSwitch>(
+                name, id, routing, cfg_.sw, cfg_.cb));
+        } else {
+            switches_.push_back(std::make_unique<InputBufferSwitch>(
+                name, id, routing, cfg_.sw, cfg_.ib));
+        }
+        sim_.add(switches_.back().get());
+    }
+    for (std::size_t h = 0; h < hosts; ++h) {
+        nics_.push_back(std::make_unique<Nic>(
+            "nic" + std::to_string(h), static_cast<NodeId>(h), hosts,
+            cfg_.nic, &factory_, &tracker_));
+        sim_.add(nics_.back().get());
+    }
+}
+
+void
+Network::wire()
+{
+    const PortGraph &graph = topo_->graph();
+
+    auto make_flit_channel = [this](const std::string &name) {
+        flitChannels_.push_back(
+            std::make_unique<Channel<Flit>>(name, cfg_.linkDelay));
+        return flitChannels_.back().get();
+    };
+    auto make_credit_channel = [this](const std::string &name) {
+        creditChannels_.push_back(
+            std::make_unique<CreditChannel>(name, cfg_.linkDelay));
+        return creditChannels_.back().get();
+    };
+
+    for (std::size_t s = 0; s < graph.numSwitches(); ++s) {
+        const SwitchId a = static_cast<SwitchId>(s);
+        for (PortId pa = 0; pa < graph.radix(a); ++pa) {
+            const PortPeer &peer = graph.peer(a, pa);
+            if (peer.isSwitch()) {
+                const SwitchId b = peer.sw;
+                const PortId pb = peer.port;
+                // Wire each switch-switch link once, from the lower
+                // (switch, port) endpoint.
+                if (std::make_pair(a, pa) > std::make_pair(b, pb))
+                    continue;
+                const std::string tag = "sw" + std::to_string(a) + ".p" +
+                                        std::to_string(pa) + "-sw" +
+                                        std::to_string(b) + ".p" +
+                                        std::to_string(pb);
+                auto *ab = make_flit_channel(tag + ".ab");
+                auto *ba = make_flit_channel(tag + ".ba");
+                auto *cr_ab = make_credit_channel(tag + ".cab");
+                auto *cr_ba = make_credit_channel(tag + ".cba");
+                // a -> b data, with b returning credits on cr_ab.
+                switches_[a]->connectOut(pa, ab, cr_ab,
+                                         switches_[b]->receivePolicy(pb));
+                switches_[b]->connectIn(pb, ab, cr_ab);
+                // b -> a data, with a returning credits on cr_ba.
+                switches_[b]->connectOut(pb, ba, cr_ba,
+                                         switches_[a]->receivePolicy(pa));
+                switches_[a]->connectIn(pa, ba, cr_ba);
+            } else if (peer.isHost()) {
+                const NodeId h = peer.host;
+                Nic *nic = nics_[static_cast<std::size_t>(h)].get();
+                const std::string tag = "nic" + std::to_string(h) +
+                                        "-sw" + std::to_string(a) +
+                                        ".p" + std::to_string(pa);
+                if (peer.hostRole != PortPeer::HostRole::Eject) {
+                    auto *inj = make_flit_channel(tag + ".inj");
+                    auto *cr_inj = make_credit_channel(tag + ".cinj");
+                    nic->connectTx(inj, cr_inj,
+                                   switches_[a]->receivePolicy(pa));
+                    switches_[a]->connectIn(pa, inj, cr_inj);
+                }
+                if (peer.hostRole != PortPeer::HostRole::Inject) {
+                    auto *ej = make_flit_channel(tag + ".ej");
+                    auto *cr_ej = make_credit_channel(tag + ".cej");
+                    switches_[a]->connectOut(pa, ej, cr_ej,
+                                             nic->receivePolicy());
+                    nic->connectRx(ej, cr_ej);
+                }
+            }
+        }
+    }
+}
+
+Nic &
+Network::nic(NodeId id)
+{
+    MDW_ASSERT(id >= 0 && static_cast<std::size_t>(id) < nics_.size(),
+               "node id %d out of range", id);
+    return *nics_[static_cast<std::size_t>(id)];
+}
+
+SwitchBase &
+Network::switchAt(SwitchId id)
+{
+    MDW_ASSERT(id >= 0 &&
+                   static_cast<std::size_t>(id) < switches_.size(),
+               "switch id %d out of range", id);
+    return *switches_[static_cast<std::size_t>(id)];
+}
+
+void
+Network::attachTraffic(TrafficSource *source)
+{
+    for (auto &nic : nics_)
+        nic->setTrafficSource(source);
+}
+
+bool
+Network::idle() const
+{
+    if (tracker_.inFlight() > 0)
+        return false;
+    for (const auto &nic : nics_) {
+        if (nic->txBacklog() > 0)
+            return false;
+    }
+    return true;
+}
+
+std::size_t
+Network::totalTxBacklog() const
+{
+    std::size_t total = 0;
+    for (const auto &nic : nics_)
+        total += nic->txBacklog();
+    return total;
+}
+
+void
+Network::armWatchdog(Cycle quietLimit)
+{
+    sim_.setWatchdog(quietLimit, [this] { return !idle(); });
+}
+
+NetworkTotals
+Network::totals() const
+{
+    NetworkTotals totals;
+    for (const auto &sw : switches_) {
+        const SwitchStats &stats = sw->stats();
+        totals.flitsIn += stats.flitsIn.value();
+        totals.flitsOut += stats.flitsOut.value();
+        totals.packetsRouted += stats.packetsRouted.value();
+        totals.replications += stats.replications.value();
+        totals.reservationStallCycles +=
+            stats.reservationStallCycles.value();
+    }
+    return totals;
+}
+
+void
+Network::dumpState(FILE *out) const
+{
+    std::fprintf(out, "network state at cycle %llu: %zu messages in "
+                 "flight, %zu packets queued at NICs\n",
+                 static_cast<unsigned long long>(sim_.now()),
+                 tracker_.inFlight(), totalTxBacklog());
+    for (const auto &sw : switches_) {
+        if (const auto *cb =
+                dynamic_cast<const CentralBufferSwitch *>(sw.get())) {
+            cb->dumpState(out);
+        } else if (const auto *ib =
+                       dynamic_cast<const InputBufferSwitch *>(
+                           sw.get())) {
+            ib->dumpState(out);
+        }
+    }
+}
+
+std::vector<std::uint64_t>
+Network::portTxSnapshot() const
+{
+    std::vector<std::uint64_t> counts;
+    for (const auto &sw : switches_) {
+        for (PortId p = 0; p < sw->routing().radix(); ++p) {
+            if (sw->outConnected(p))
+                counts.push_back(sw->portTxFlits(p));
+        }
+    }
+    return counts;
+}
+
+double
+Network::avgCqChunks() const
+{
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (const auto &sw : switches_) {
+        if (const auto *cb =
+                dynamic_cast<const CentralBufferSwitch *>(sw.get())) {
+            sum += cb->avgCqChunks(sim_.now());
+            ++count;
+        }
+    }
+    return count ? sum / static_cast<double>(count) : 0.0;
+}
+
+} // namespace mdw

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Network: the top-level object users instantiate. Builds a topology,
+ * the chosen switch architecture, NICs, and all links; owns the
+ * simulator; exposes the application-facing API (post messages, run,
+ * inspect statistics).
+ */
+
+#ifndef MDW_CORE_NETWORK_HH
+#define MDW_CORE_NETWORK_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "host/nic.hh"
+#include "sim/system.hh"
+#include "switch/central_buffer_switch.hh"
+#include "switch/input_buffer_switch.hh"
+#include "topology/fat_tree.hh"
+#include "topology/irregular.hh"
+#include "topology/uni_min.hh"
+
+namespace mdw {
+
+/** Which topology family to instantiate. */
+enum class TopologyKind { FatTree, Irregular, UniMin };
+
+/** Which switch architecture to instantiate. */
+enum class SwitchArch { CentralBuffer, InputBuffer };
+
+const char *toString(TopologyKind kind);
+const char *toString(SwitchArch arch);
+
+/** Complete description of a system to simulate. */
+struct NetworkConfig
+{
+    TopologyKind topo = TopologyKind::FatTree;
+    /** Fat-tree arity and stages (hosts = k^n). */
+    int fatTreeK = 4;
+    int fatTreeN = 3;
+    IrregularParams irregular;
+
+    SwitchArch arch = SwitchArch::CentralBuffer;
+    CbParams cb;
+    IbParams ib;
+    SwitchParams sw;
+    NicParams nic;
+
+    /** Largest message payload the system must carry (flits). */
+    int maxPayloadFlits = 256;
+    /** Link latency in cycles. */
+    Cycle linkDelay = 1;
+    std::uint64_t seed = 1;
+};
+
+/** Aggregate of all switches' counters. */
+struct NetworkTotals
+{
+    std::uint64_t flitsIn = 0;
+    std::uint64_t flitsOut = 0;
+    std::uint64_t packetsRouted = 0;
+    std::uint64_t replications = 0;
+    std::uint64_t reservationStallCycles = 0;
+};
+
+/** A fully wired simulated system. */
+class Network
+{
+  public:
+    explicit Network(const NetworkConfig &config);
+
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+
+    Simulator &sim() { return sim_; }
+    McastTracker &tracker() { return tracker_; }
+    PacketFactory &packetFactory() { return factory_; }
+    const Topology &topology() const { return *topo_; }
+    const NetworkConfig &config() const { return cfg_; }
+
+    std::size_t numHosts() const { return topo_->numHosts(); }
+    std::size_t numSwitches() const { return topo_->numSwitches(); }
+
+    Nic &nic(NodeId id);
+    SwitchBase &switchAt(SwitchId id);
+
+    /** Attach one workload source to every NIC (not owned). */
+    void attachTraffic(TrafficSource *source);
+
+    /** Largest packet (header + payload) the system can produce. */
+    int maxPacketFlits() const { return maxPacketFlits_; }
+
+    /** Header size of a hardware multicast worm in this system. */
+    int mcastHeaderFlits() const { return mcastHeaderFlits_; }
+
+    /** True when nothing is queued or in flight anywhere. */
+    bool idle() const;
+
+    /** Sum of NIC injection backlogs, in packets. */
+    std::size_t totalTxBacklog() const;
+
+    /** Arm the simulator's deadlock watchdog with sane hooks. */
+    void armWatchdog(Cycle quietLimit);
+
+    /** Sum all switches' counters. */
+    NetworkTotals totals() const;
+
+    /** Mean central-queue chunk occupancy over all CB switches. */
+    double avgCqChunks() const;
+
+    /** Dump every switch's internal state (deadlock diagnosis). */
+    void dumpState(FILE *out) const;
+
+    /**
+     * Snapshot the cumulative flit count of every connected switch
+     * output port, in a stable order (for utilization deltas).
+     */
+    std::vector<std::uint64_t> portTxSnapshot() const;
+
+  private:
+    void build();
+    void wire();
+
+    NetworkConfig cfg_;
+    std::unique_ptr<Topology> topo_;
+    Simulator sim_;
+    PacketFactory factory_;
+    McastTracker tracker_;
+    int maxPacketFlits_ = 0;
+    int mcastHeaderFlits_ = 0;
+
+    std::vector<std::unique_ptr<SwitchBase>> switches_;
+    std::vector<std::unique_ptr<Nic>> nics_;
+    std::vector<std::unique_ptr<Channel<Flit>>> flitChannels_;
+    std::vector<std::unique_ptr<CreditChannel>> creditChannels_;
+};
+
+} // namespace mdw
+
+#endif // MDW_CORE_NETWORK_HH

@@ -1,0 +1,234 @@
+#include "core/presets.hh"
+
+namespace mdw {
+
+const char *
+toString(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::CbHw:
+        return "cb-hw";
+      case Scheme::IbHw:
+        return "ib-hw";
+      case Scheme::SwUmin:
+        return "sw-umin";
+    }
+    return "?";
+}
+
+NetworkConfig
+defaultNetwork()
+{
+    NetworkConfig config;
+    config.topo = TopologyKind::FatTree;
+    config.fatTreeK = 4;
+    config.fatTreeN = 3; // 64 hosts
+    config.arch = SwitchArch::CentralBuffer;
+    config.cb = CbParams{};
+    config.ib = IbParams{};
+    config.sw.variant = RoutingVariant::ReplicateAfterLca;
+    config.sw.upPolicy = UpPortPolicy::Adaptive;
+    config.nic = NicParams{};
+    config.maxPayloadFlits = 256;
+    config.linkDelay = 1;
+    config.seed = 1;
+    return config;
+}
+
+NetworkConfig
+networkFor(Scheme scheme)
+{
+    NetworkConfig config = defaultNetwork();
+    switch (scheme) {
+      case Scheme::CbHw:
+        config.arch = SwitchArch::CentralBuffer;
+        config.nic.scheme = McastScheme::Hardware;
+        break;
+      case Scheme::IbHw:
+        config.arch = SwitchArch::InputBuffer;
+        config.nic.scheme = McastScheme::Hardware;
+        break;
+      case Scheme::SwUmin:
+        config.arch = SwitchArch::CentralBuffer;
+        config.nic.scheme = McastScheme::Software;
+        break;
+    }
+    return config;
+}
+
+TrafficParams
+defaultTraffic()
+{
+    TrafficParams traffic;
+    traffic.pattern = TrafficPattern::MultipleMulticast;
+    traffic.load = 0.05;
+    traffic.payloadFlits = 64;
+    traffic.mcastDegree = 8;
+    traffic.mcastFraction = 0.1;
+    traffic.seed = 42;
+    return traffic;
+}
+
+ExperimentParams
+defaultExperiment()
+{
+    return ExperimentParams{};
+}
+
+void
+applyOverrides(const Config &config, NetworkConfig &network,
+               TrafficParams &traffic, ExperimentParams &params)
+{
+    // Topology.
+    const std::string topo =
+        config.getString("topo", toString(network.topo));
+    if (topo == "fat-tree") {
+        network.topo = TopologyKind::FatTree;
+    } else if (topo == "irregular") {
+        network.topo = TopologyKind::Irregular;
+    } else if (topo == "uni-min") {
+        network.topo = TopologyKind::UniMin;
+    } else {
+        fatal("unknown topo '%s'", topo.c_str());
+    }
+    network.fatTreeK =
+        static_cast<int>(config.getInt("k", network.fatTreeK));
+    network.fatTreeN =
+        static_cast<int>(config.getInt("n", network.fatTreeN));
+    network.irregular.switches = static_cast<int>(
+        config.getInt("irr.switches", network.irregular.switches));
+    network.irregular.radix = static_cast<int>(
+        config.getInt("irr.radix", network.irregular.radix));
+    network.irregular.hosts = static_cast<int>(
+        config.getInt("irr.hosts", network.irregular.hosts));
+    network.irregular.extraLinks = static_cast<int>(
+        config.getInt("irr.extraLinks", network.irregular.extraLinks));
+
+    // Switch architecture.
+    const std::string arch =
+        config.getString("arch", toString(network.arch));
+    if (arch == "central-buffer" || arch == "cb") {
+        network.arch = SwitchArch::CentralBuffer;
+    } else if (arch == "input-buffer" || arch == "ib") {
+        network.arch = SwitchArch::InputBuffer;
+    } else {
+        fatal("unknown arch '%s'", arch.c_str());
+    }
+    network.cb.cqChunks = static_cast<int>(
+        config.getInt("cb.chunks", network.cb.cqChunks));
+    network.cb.chunkFlits = static_cast<int>(
+        config.getInt("cb.chunkFlits", network.cb.chunkFlits));
+    network.cb.inputFifoFlits = static_cast<int>(
+        config.getInt("cb.inputFifo", network.cb.inputFifoFlits));
+    network.cb.outputFifoFlits = static_cast<int>(
+        config.getInt("cb.outputFifo", network.cb.outputFifoFlits));
+    network.ib.bufferFlits = static_cast<int>(
+        config.getInt("ib.buffer", network.ib.bufferFlits));
+
+    const std::string variant = config.getString(
+        "routing", toString(network.sw.variant));
+    if (variant == "replicate-after-lca") {
+        network.sw.variant = RoutingVariant::ReplicateAfterLca;
+    } else if (variant == "replicate-on-up-path") {
+        network.sw.variant = RoutingVariant::ReplicateOnUpPath;
+    } else {
+        fatal("unknown routing variant '%s'", variant.c_str());
+    }
+    const std::string replication = config.getString(
+        "replication", toString(network.sw.replication));
+    if (replication == "asynchronous" || replication == "async") {
+        network.sw.replication = ReplicationMode::Asynchronous;
+    } else if (replication == "synchronous" || replication == "sync") {
+        network.sw.replication = ReplicationMode::Synchronous;
+    } else {
+        fatal("unknown replication mode '%s'", replication.c_str());
+    }
+    const std::string up =
+        config.getString("upPolicy", toString(network.sw.upPolicy));
+    if (up == "adaptive") {
+        network.sw.upPolicy = UpPortPolicy::Adaptive;
+    } else if (up == "deterministic") {
+        network.sw.upPolicy = UpPortPolicy::Deterministic;
+    } else {
+        fatal("unknown up-port policy '%s'", up.c_str());
+    }
+
+    // NIC / schemes.
+    const std::string scheme =
+        config.getString("scheme", toString(network.nic.scheme));
+    if (scheme == "hardware" || scheme == "hw") {
+        network.nic.scheme = McastScheme::Hardware;
+    } else if (scheme == "software" || scheme == "sw") {
+        network.nic.scheme = McastScheme::Software;
+    } else {
+        fatal("unknown multicast scheme '%s'", scheme.c_str());
+    }
+    const std::string encoding =
+        config.getString("encoding", toString(network.nic.encoding));
+    if (encoding == "bit-string") {
+        network.nic.encoding = McastEncoding::BitString;
+    } else if (encoding == "multiport") {
+        network.nic.encoding = McastEncoding::Multiport;
+    } else {
+        fatal("unknown encoding '%s'", encoding.c_str());
+    }
+    network.nic.sendOverhead =
+        config.getU64("nic.sendOverhead", network.nic.sendOverhead);
+    network.nic.recvOverhead =
+        config.getU64("nic.recvOverhead", network.nic.recvOverhead);
+    network.nic.rxWindowFlits = static_cast<int>(
+        config.getInt("nic.rxWindow", network.nic.rxWindowFlits));
+    network.nic.swListOverhead =
+        config.getBool("nic.swListOverhead", network.nic.swListOverhead);
+
+    network.maxPayloadFlits = static_cast<int>(
+        config.getInt("maxPayload", network.maxPayloadFlits));
+    network.linkDelay = config.getU64("linkDelay", network.linkDelay);
+    network.seed = config.getU64("seed", network.seed);
+
+    // Traffic.
+    const std::string pattern =
+        config.getString("pattern", toString(traffic.pattern));
+    if (pattern == "uniform-unicast") {
+        traffic.pattern = TrafficPattern::UniformUnicast;
+    } else if (pattern == "multiple-multicast") {
+        traffic.pattern = TrafficPattern::MultipleMulticast;
+    } else if (pattern == "bimodal") {
+        traffic.pattern = TrafficPattern::Bimodal;
+    } else if (pattern == "hot-spot") {
+        traffic.pattern = TrafficPattern::HotSpot;
+    } else {
+        fatal("unknown traffic pattern '%s'", pattern.c_str());
+    }
+    traffic.load = config.getDouble("load", traffic.load);
+    traffic.payloadFlits = static_cast<int>(
+        config.getInt("payload", traffic.payloadFlits));
+    traffic.mcastDegree = static_cast<int>(
+        config.getInt("degree", traffic.mcastDegree));
+    traffic.mcastFraction =
+        config.getDouble("mcastFraction", traffic.mcastFraction);
+    traffic.hotFraction =
+        config.getDouble("hotFraction", traffic.hotFraction);
+    traffic.hotNode = static_cast<NodeId>(
+        config.getInt("hotNode", traffic.hotNode));
+    traffic.seed = config.getU64("traffic.seed", traffic.seed);
+
+    // Experiment phases.
+    params.warmup = config.getU64("warmup", params.warmup);
+    params.measure = config.getU64("measure", params.measure);
+    params.drainLimit = config.getU64("drainLimit", params.drainLimit);
+    params.watchdogQuiet =
+        config.getU64("watchdog", params.watchdogQuiet);
+    params.saturationRatio =
+        config.getDouble("satRatio", params.saturationRatio);
+
+    const auto unread = config.unreadKeys();
+    if (!unread.empty()) {
+        std::string joined;
+        for (const auto &key : unread)
+            joined += key + " ";
+        fatal("unknown config keys: %s", joined.c_str());
+    }
+}
+
+} // namespace mdw

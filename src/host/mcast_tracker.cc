@@ -1,0 +1,89 @@
+#include "host/mcast_tracker.hh"
+
+#include "sim/logging.hh"
+
+namespace mdw {
+
+void
+McastTracker::expectMessage(MsgId msg, NodeId src,
+                            std::size_t destCount, Cycle created,
+                            bool isMulticast)
+{
+    MDW_ASSERT(destCount >= 1, "message %llu with no destinations",
+               static_cast<unsigned long long>(msg));
+    Record rec;
+    rec.src = src;
+    rec.expected = destCount;
+    rec.created = created;
+    rec.isMulticast = isMulticast;
+    rec.measured = created >= windowStart_ && created < windowEnd_;
+    const auto [it, inserted] = live_.emplace(msg, rec);
+    MDW_ASSERT(inserted, "message %llu registered twice",
+               static_cast<unsigned long long>(msg));
+    (void)it;
+    if (rec.measured)
+        ++measuredLive_;
+}
+
+void
+McastTracker::onDelivered(MsgId msg, NodeId dest, Cycle now,
+                          int payloadFlits)
+{
+    auto it = live_.find(msg);
+    MDW_ASSERT(it != live_.end(),
+               "delivery at node %d for unknown message %llu", dest,
+               static_cast<unsigned long long>(msg));
+    Record &rec = it->second;
+    MDW_ASSERT(rec.arrived < rec.expected,
+               "message %llu over-delivered at node %d",
+               static_cast<unsigned long long>(msg), dest);
+    ++rec.arrived;
+    ++deliveries_;
+    rec.lastArrival = now;
+    rec.latencySum += static_cast<double>(now - rec.created);
+    if (now >= windowStart_ && now < windowEnd_)
+        windowFlits_ += static_cast<std::uint64_t>(payloadFlits);
+
+    if (rec.arrived == rec.expected) {
+        if (rec.measured) {
+            const double last =
+                static_cast<double>(rec.lastArrival - rec.created);
+            const double avg =
+                rec.latencySum / static_cast<double>(rec.expected);
+            if (rec.isMulticast) {
+                mcastLast_.add(last);
+                mcastAvg_.add(avg);
+                mcastLastHist_.add(last);
+            } else {
+                unicast_.add(last);
+                unicastHist_.add(last);
+            }
+            --measuredLive_;
+        }
+        ++completed_;
+        live_.erase(it);
+    }
+}
+
+void
+McastTracker::setWindow(Cycle start, Cycle end)
+{
+    MDW_ASSERT(start <= end, "inverted measurement window");
+    windowStart_ = start;
+    windowEnd_ = end;
+}
+
+void
+McastTracker::resetStats()
+{
+    unicast_.reset();
+    mcastLast_.reset();
+    mcastAvg_.reset();
+    unicastHist_.reset();
+    mcastLastHist_.reset();
+    windowFlits_ = 0;
+    deliveries_ = 0;
+    completed_ = 0;
+}
+
+} // namespace mdw

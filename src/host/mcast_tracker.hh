@@ -1,0 +1,106 @@
+/**
+ * @file
+ * End-to-end message accounting.
+ *
+ * Tracks every logical message (unicast or multicast) from creation
+ * to its deliveries and computes the paper's two multicast latency
+ * metrics [Nupairoj/Ni]: (a) latency of the LAST received copy and
+ * (b) the average over per-destination copies. Messages created
+ * inside the measurement window feed the samplers; everything else is
+ * still tracked (for drain/watchdog logic) but not sampled.
+ */
+
+#ifndef MDW_HOST_MCAST_TRACKER_HH
+#define MDW_HOST_MCAST_TRACKER_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace mdw {
+
+/** Tracks deliveries of all in-flight logical messages. */
+class McastTracker
+{
+  public:
+    /** Register a new logical message. */
+    void expectMessage(MsgId msg, NodeId src, std::size_t destCount,
+                       Cycle created, bool isMulticast);
+
+    /** Record the delivery of one copy at node @p dest. */
+    void onDelivered(MsgId msg, NodeId dest, Cycle now,
+                     int payloadFlits);
+
+    /**
+     * Set the measurement window: messages *created* in
+     * [start, end) are sampled; payload flits *delivered* in
+     * [start, end) count toward throughput.
+     */
+    void setWindow(Cycle start, Cycle end);
+
+    /** Messages registered and not yet fully delivered. */
+    std::size_t inFlight() const { return live_.size(); }
+
+    /** In-flight messages that were created inside the window. */
+    std::size_t measuredInFlight() const { return measuredLive_; }
+
+    /** Completed unicast message latencies (created -> delivered). */
+    const Sampler &unicastLatency() const { return unicast_; }
+    /** Completed multicast latency, last-copy metric. */
+    const Sampler &mcastLastLatency() const { return mcastLast_; }
+    /** Completed multicast latency, per-copy average metric. */
+    const Sampler &mcastAvgLatency() const { return mcastAvg_; }
+
+    /** Latency distribution of measured unicasts (32-cycle bins). */
+    const Histogram &unicastHist() const { return unicastHist_; }
+    /** Last-copy latency distribution of measured multicasts. */
+    const Histogram &mcastLastHist() const { return mcastLastHist_; }
+
+    /** Payload flits delivered during the window. */
+    std::uint64_t windowDeliveredFlits() const { return windowFlits_; }
+
+    /** Total copies delivered (all time). */
+    std::uint64_t totalDeliveries() const { return deliveries_; }
+    /** Total messages completed (all time). */
+    std::uint64_t totalCompleted() const { return completed_; }
+
+    /** True if message @p msg has completed (tests). */
+    bool isComplete(MsgId msg) const { return !live_.count(msg); }
+
+    /** Forget samplers and counters, keep live messages. */
+    void resetStats();
+
+  private:
+    struct Record
+    {
+        NodeId src = kInvalidNode;
+        std::size_t expected = 0;
+        std::size_t arrived = 0;
+        Cycle created = 0;
+        Cycle lastArrival = 0;
+        double latencySum = 0.0;
+        bool isMulticast = false;
+        bool measured = false;
+    };
+
+    std::unordered_map<MsgId, Record> live_;
+    std::size_t measuredLive_ = 0;
+
+    Cycle windowStart_ = 0;
+    Cycle windowEnd_ = kNoCycle;
+
+    Sampler unicast_;
+    Sampler mcastLast_;
+    Sampler mcastAvg_;
+    Histogram unicastHist_{32.0, 4096};
+    Histogram mcastLastHist_{32.0, 4096};
+    std::uint64_t windowFlits_ = 0;
+    std::uint64_t deliveries_ = 0;
+    std::uint64_t completed_ = 0;
+};
+
+} // namespace mdw
+
+#endif // MDW_HOST_MCAST_TRACKER_HH

@@ -1,0 +1,357 @@
+#include "host/nic.hh"
+
+#include <cmath>
+
+#include "host/sw_mcast.hh"
+#include "sim/system.hh"
+
+namespace mdw {
+
+const char *
+toString(McastScheme scheme)
+{
+    switch (scheme) {
+      case McastScheme::Hardware:
+        return "hardware";
+      case McastScheme::Software:
+        return "software";
+    }
+    return "?";
+}
+
+Nic::Nic(std::string name, NodeId id, std::size_t numHosts,
+         const NicParams &params, PacketFactory *factory,
+         McastTracker *tracker)
+    : Component(std::move(name)), id_(id), numHosts_(numHosts),
+      params_(params), factory_(factory), tracker_(tracker)
+{
+    MDW_ASSERT(factory != nullptr && tracker != nullptr,
+               "NIC %d needs a factory and a tracker", id);
+}
+
+void
+Nic::connectTx(Channel<Flit> *out, CreditChannel *creditIn,
+               const ReceivePolicy &downstream)
+{
+    MDW_ASSERT(txOut_ == nullptr, "NIC %d tx connected twice", id_);
+    txOut_ = out;
+    txCreditIn_ = creditIn;
+    txCredits_ = downstream.window;
+    txMcastWholePacket_ = downstream.mcastWholePacket;
+}
+
+void
+Nic::connectRx(Channel<Flit> *in, CreditChannel *creditOut)
+{
+    MDW_ASSERT(rxIn_ == nullptr, "NIC %d rx connected twice", id_);
+    rxIn_ = in;
+    rxCreditOut_ = creditOut;
+}
+
+MsgId
+Nic::postUnicast(NodeId dest, int payloadFlits, Cycle now)
+{
+    MDW_ASSERT(dest != id_, "NIC %d unicast to itself", id_);
+    MDW_ASSERT(payloadFlits > 0, "empty payload");
+    const MsgId msg = factory_->newMsgId();
+    tracker_->expectMessage(msg, id_, 1, now, false);
+    stats_.messagesPosted.inc();
+
+    PacketDesc proto;
+    proto.msg = msg;
+    proto.src = id_;
+    proto.dests = DestSet(numHosts_);
+    proto.dests.set(dest);
+    proto.kind = PacketKind::Unicast;
+    proto.headerFlits = params_.enc.unicastHeaderFlits;
+    proto.payloadFlits = payloadFlits;
+    proto.created = now;
+    enqueueSegmented(std::move(proto));
+    return msg;
+}
+
+MsgId
+Nic::postMulticast(const DestSet &dests, int payloadFlits, Cycle now)
+{
+    MDW_ASSERT(!dests.empty(), "multicast with no destinations");
+    MDW_ASSERT(!dests.test(id_), "NIC %d multicast includes itself",
+               id_);
+    const MsgId msg = factory_->newMsgId();
+    tracker_->expectMessage(msg, id_, dests.count(), now, true);
+    stats_.messagesPosted.inc();
+
+    if (params_.scheme == McastScheme::Hardware) {
+        if (params_.encoding == McastEncoding::BitString) {
+            PacketDesc proto;
+            proto.msg = msg;
+            proto.src = id_;
+            proto.dests = dests;
+            proto.kind = PacketKind::HwMulticast;
+            proto.headerFlits =
+                bitStringHeaderFlits(numHosts_, params_.enc);
+            proto.payloadFlits = payloadFlits;
+            proto.created = now;
+            enqueueSegmented(std::move(proto));
+            return msg;
+        } else {
+            const auto groups =
+                planMultiportPhases(static_cast<std::size_t>(
+                                        params_.multiportK),
+                                    params_.multiportLevels, dests);
+            for (const DestSet &group : groups) {
+                PacketDesc proto;
+                proto.msg = msg;
+                proto.src = id_;
+                proto.dests = group;
+                proto.kind = PacketKind::HwMulticast;
+                proto.headerFlits = multiportHeaderFlits(
+                    params_.multiportLevels, params_.enc);
+                proto.payloadFlits = payloadFlits;
+                proto.created = now;
+                enqueueSegmented(std::move(proto));
+            }
+        }
+        return msg;
+    }
+
+    // Software scheme: U-Min binomial unicast tree.
+    const auto sends = planBinomialSends(id_, dests.toVector());
+    for (const SwSend &send : sends) {
+        PacketDesc proto;
+        proto.msg = msg;
+        proto.src = id_;
+        proto.dests = DestSet(numHosts_);
+        proto.dests.set(send.target);
+        proto.kind = PacketKind::SwMulticastCarrier;
+        proto.headerFlits =
+            swCarrierHeaderFlits(send.delegated.size());
+        proto.payloadFlits = payloadFlits;
+        proto.created = now;
+        proto.swDelegated = send.delegated;
+        proto.swPhase = 0;
+        enqueueSegmented(std::move(proto));
+    }
+    return msg;
+}
+
+void
+Nic::postBarrierArrive(int group, Cycle now)
+{
+    MDW_ASSERT(group >= 0, "invalid barrier group %d", group);
+    PacketDesc proto;
+    proto.src = id_;
+    proto.dests = DestSet(numHosts_); // not destination-routed
+    proto.kind = PacketKind::BarrierArrive;
+    proto.headerFlits = 2;
+    proto.payloadFlits = 0;
+    proto.barrierGroup = group;
+    proto.created = now;
+    enqueueJob(std::move(proto));
+}
+
+int
+Nic::swCarrierHeaderFlits(std::size_t delegated) const
+{
+    int header = params_.enc.unicastHeaderFlits;
+    if (params_.swListOverhead && delegated > 0) {
+        int bits_per_id = 1;
+        while ((1ULL << bits_per_id) < numHosts_)
+            ++bits_per_id;
+        const int bits = static_cast<int>(delegated) * bits_per_id;
+        header += (bits + params_.enc.flitBits - 1) / params_.enc.flitBits;
+    }
+    return header;
+}
+
+void
+Nic::enqueueJob(PacketDesc proto)
+{
+    SendJob job;
+    job.proto = std::move(proto);
+    txQueue_.push_back(std::move(job));
+}
+
+void
+Nic::enqueueSegmented(PacketDesc proto)
+{
+    MDW_ASSERT(params_.maxPayloadFlits > 0, "maxPayloadFlits not set");
+    const int max_payload = params_.maxPayloadFlits;
+    if (proto.payloadFlits <= max_payload) {
+        enqueueJob(std::move(proto));
+        return;
+    }
+    const int total = proto.payloadFlits;
+    const int packets = (total + max_payload - 1) / max_payload;
+    proto.msgPackets = packets;
+    for (int i = 0; i < packets; ++i) {
+        PacketDesc seg = proto;
+        seg.msgSeq = i;
+        seg.payloadFlits = std::min(max_payload,
+                                    total - i * max_payload);
+        // Delegation info only needs to ride once; keep it on every
+        // segment so the receiver can forward from whichever
+        // descriptor it holds when reassembly completes.
+        enqueueJob(std::move(seg));
+    }
+}
+
+void
+Nic::step(Cycle now)
+{
+    if (txCreditIn_)
+        txCredits_ += txCreditIn_->receive(now);
+    pollSource(now);
+    stepTx(now);
+    stepRx(now);
+}
+
+void
+Nic::pollSource(Cycle now)
+{
+    if (!source_)
+        return;
+    std::vector<MessageSpec> specs;
+    source_->poll(id_, now, specs);
+    for (const MessageSpec &spec : specs) {
+        if (spec.multicast)
+            postMulticast(spec.dests, spec.payloadFlits, now);
+        else
+            postUnicast(spec.dest, spec.payloadFlits, now);
+    }
+}
+
+void
+Nic::stepTx(Cycle now)
+{
+    if (txQueue_.empty() || !txOut_)
+        return;
+    SendJob &job = txQueue_.front();
+    if (!job.prepared) {
+        job.prepared = true;
+        job.readyAt = now + params_.sendOverhead;
+    }
+    if (now < job.readyAt)
+        return;
+    if (!job.pkt) {
+        job.proto.injected = now;
+        job.pkt = factory_->make(job.proto);
+        stats_.packetsInjected.inc();
+    }
+    if (txCredits_ < 1)
+        return;
+    if (job.sent == 0 && txMcastWholePacket_ &&
+        job.pkt->kind == PacketKind::HwMulticast &&
+        txCredits_ < job.pkt->totalFlits()) {
+        return; // whole-packet reservation toward an IB switch
+    }
+    txOut_->send(Flit{job.pkt, job.sent}, now);
+    ++job.sent;
+    --txCredits_;
+    stats_.flitsInjected.inc();
+    if (sim_)
+        sim_->noteProgress();
+    if (job.sent == job.pkt->totalFlits())
+        txQueue_.pop_front();
+}
+
+void
+Nic::stepRx(Cycle now)
+{
+    if (!rxIn_ || !rxIn_->peek(now))
+        return;
+    const Flit flit = rxIn_->receive(now);
+    if (rxCreditOut_)
+        rxCreditOut_->send(1, now); // the NIC always sinks traffic
+    stats_.flitsEjected.inc();
+    if (sim_)
+        sim_->noteProgress();
+
+    if (flit.isHead()) {
+        MDW_ASSERT(rxCurrent_ == nullptr,
+                   "NIC %d: head flit while packet %llu in reassembly",
+                   id_,
+                   rxCurrent_
+                       ? static_cast<unsigned long long>(rxCurrent_->id)
+                       : 0ULL);
+        rxCurrent_ = flit.pkt;
+        rxArrived_ = 1;
+    } else {
+        MDW_ASSERT(rxCurrent_ && rxCurrent_->id == flit.pkt->id,
+                   "NIC %d: flit of unexpected packet", id_);
+        ++rxArrived_;
+    }
+    if (flit.isTail()) {
+        MDW_ASSERT(rxArrived_ == flit.pkt->totalFlits(),
+                   "NIC %d: tail after %d of %d flits", id_, rxArrived_,
+                   flit.pkt->totalFlits());
+        deliver(rxCurrent_, now);
+        rxCurrent_ = nullptr;
+        rxArrived_ = 0;
+    }
+}
+
+void
+Nic::deliver(const PacketPtr &pkt, Cycle now)
+{
+    MDW_ASSERT(pkt->dests.count() == 1 && pkt->dests.test(id_),
+               "NIC %d received a packet for someone else "
+               "(dest count %zu)",
+               id_, pkt->dests.count());
+    stats_.packetsDelivered.inc();
+
+    int message_payload = pkt->payloadFlits;
+    if (pkt->msgPackets > 1) {
+        // Reassemble: the message is delivered at this node once all
+        // of its segments have landed.
+        RxMessage &rx = rxMessages_[pkt->msg];
+        ++rx.packets;
+        rx.payload += pkt->payloadFlits;
+        if (rx.packets < pkt->msgPackets)
+            return;
+        message_payload = rx.payload;
+        rxMessages_.erase(pkt->msg);
+    }
+    tracker_->onDelivered(pkt->msg, id_, now, message_payload);
+    if (onDelivery_)
+        onDelivery_(*pkt, message_payload, now);
+
+    if (pkt->kind == PacketKind::SwMulticastCarrier &&
+        !pkt->swDelegated.empty()) {
+        // Forward to the delegated subtree after the software
+        // receive overhead.
+        PacketPtr captured = pkt;
+        const int payload = message_payload;
+        MDW_ASSERT(sim_ != nullptr,
+                   "NIC %d must be registered to forward carriers",
+                   id_);
+        sim_->events().schedule(now + params_.recvOverhead,
+                                [this, captured, payload] {
+                                    forwardSwCarrier(captured, payload);
+                                });
+    }
+}
+
+void
+Nic::forwardSwCarrier(PacketPtr pkt, int payloadFlits)
+{
+    stats_.swForwards.inc();
+    const auto sends = planBinomialSends(id_, pkt->swDelegated);
+    for (const SwSend &send : sends) {
+        PacketDesc proto;
+        proto.msg = pkt->msg;
+        proto.src = id_;
+        proto.dests = DestSet(numHosts_);
+        proto.dests.set(send.target);
+        proto.kind = PacketKind::SwMulticastCarrier;
+        proto.headerFlits = swCarrierHeaderFlits(send.delegated.size());
+        proto.payloadFlits = payloadFlits;
+        proto.msgPackets = 1;
+        proto.msgSeq = 0;
+        proto.created = pkt->created;
+        proto.swDelegated = send.delegated;
+        proto.swPhase = pkt->swPhase + 1;
+        enqueueSegmented(std::move(proto));
+    }
+}
+
+} // namespace mdw

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Network interface (NIC) of a processing node.
+ *
+ * Responsibilities:
+ *  - injection: serializes posted messages onto the injection link,
+ *    paying a software send overhead per packet (start-up cost);
+ *  - hardware multicast: emits a single multidestination worm
+ *    (bit-string encoding) or a minimal set of worms (multiport
+ *    encoding product groups);
+ *  - software multicast: emits the U-Min binomial-tree unicast
+ *    carriers and, on receiving a carrier with delegated
+ *    destinations, forwards after a receive overhead;
+ *  - ejection: consumes arriving flits, reassembles packets, and
+ *    reports deliveries to the McastTracker.
+ */
+
+#ifndef MDW_HOST_NIC_HH
+#define MDW_HOST_NIC_HH
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "host/mcast_tracker.hh"
+#include "message/encoding.hh"
+#include "message/flit.hh"
+#include "sim/channel.hh"
+#include "sim/component.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "switch/switch_base.hh"
+
+namespace mdw {
+
+/** How a node implements multicast sends. */
+enum class McastScheme
+{
+    /** Single-phase multidestination worms. */
+    Hardware,
+    /** U-Min binomial unicast tree. */
+    Software,
+};
+
+const char *toString(McastScheme scheme);
+
+/** A message the workload asks a NIC to send. */
+struct MessageSpec
+{
+    bool multicast = false;
+    NodeId dest = kInvalidNode; // unicast
+    DestSet dests{0};           // multicast
+    int payloadFlits = 64;
+};
+
+/** Pull interface the workload layer implements. */
+class TrafficSource
+{
+  public:
+    virtual ~TrafficSource() = default;
+
+    /** Append messages node @p node creates at cycle @p now. */
+    virtual void poll(NodeId node, Cycle now,
+                      std::vector<MessageSpec> &out) = 0;
+};
+
+/** NIC configuration. */
+struct NicParams
+{
+    /** Cycles of software start-up per packet send. */
+    Cycle sendOverhead = 100;
+    /** Cycles of software processing before forwarding a received
+     *  software-multicast carrier. */
+    Cycle recvOverhead = 100;
+    /** Ejection-side buffering advertised to the switch (flits). */
+    int rxWindowFlits = 16;
+    /**
+     * Largest payload one packet may carry; longer messages are
+     * segmented into several packets and reassembled at the
+     * receiver (delivery is reported when the last one lands).
+     */
+    int maxPayloadFlits = 256;
+    McastScheme scheme = McastScheme::Hardware;
+    McastEncoding encoding = McastEncoding::BitString;
+    EncodingParams enc;
+    /**
+     * Multiport encoding: tree arity and number of digit levels of
+     * the topology (ignored for bit-string).
+     */
+    int multiportK = 4;
+    int multiportLevels = 3;
+    /**
+     * If true, software-multicast carriers pay extra header flits for
+     * the piggy-backed delegated-destination list.
+     */
+    bool swListOverhead = false;
+};
+
+/** Per-NIC activity counters. */
+struct NicStats
+{
+    Counter messagesPosted;
+    Counter packetsInjected;
+    Counter flitsInjected;
+    Counter flitsEjected;
+    Counter packetsDelivered;
+    Counter swForwards;
+};
+
+/** One processing node's network interface. */
+class Nic : public Component
+{
+  public:
+    /**
+     * @param numHosts System size (destination universe).
+     * @param factory Shared packet-id allocator.
+     * @param tracker Shared delivery tracker.
+     */
+    Nic(std::string name, NodeId id, std::size_t numHosts,
+        const NicParams &params, PacketFactory *factory,
+        McastTracker *tracker);
+
+    /** Wire the injection link toward the switch. */
+    void connectTx(Channel<Flit> *out, CreditChannel *creditIn,
+                   const ReceivePolicy &downstream);
+
+    /** Wire the ejection link from the switch. */
+    void connectRx(Channel<Flit> *in, CreditChannel *creditOut);
+
+    /** Ejection policy advertised to the upstream switch. */
+    ReceivePolicy
+    receivePolicy() const
+    {
+        return ReceivePolicy{params_.rxWindowFlits, false};
+    }
+
+    /** Attach a workload source polled every cycle (not owned). */
+    void setTrafficSource(TrafficSource *source) { source_ = source; }
+
+    /**
+     * Callback invoked on every *message-level* delivery at this
+     * node (after reassembly), with the descriptor of the completing
+     * packet, the message's total payload, and the cycle. Used by
+     * the collective-operations engine.
+     */
+    using DeliveryCallback =
+        std::function<void(const PacketDesc &, int, Cycle)>;
+
+    void
+    setDeliveryCallback(DeliveryCallback callback)
+    {
+        onDelivery_ = std::move(callback);
+    }
+
+    /**
+     * Post a unicast message (application API).
+     * @return The message id (for delivery-callback matching).
+     */
+    MsgId postUnicast(NodeId dest, int payloadFlits, Cycle now);
+
+    /**
+     * Post a multicast message; expands per the configured scheme
+     * and encoding. @p dests must not contain this node.
+     * @return The message id (for delivery-callback matching).
+     */
+    MsgId postMulticast(const DestSet &dests, int payloadFlits,
+                        Cycle now);
+
+    /**
+     * Emit a 2-flit hardware-barrier arrival token for @p group
+     * (consumed by the switch combining units, never delivered).
+     */
+    void postBarrierArrive(int group, Cycle now);
+
+    void step(Cycle now) override;
+
+    NodeId nodeId() const { return id_; }
+    const NicStats &stats() const { return stats_; }
+
+    /** Packets waiting to be injected (saturation indicator). */
+    std::size_t txBacklog() const { return txQueue_.size(); }
+
+  private:
+    struct SendJob
+    {
+        PacketDesc proto;
+        PacketPtr pkt;      // created when transfer starts
+        int sent = 0;
+        bool prepared = false;
+        Cycle readyAt = 0;
+    };
+
+    void pollSource(Cycle now);
+    void stepTx(Cycle now);
+    void stepRx(Cycle now);
+    void enqueueJob(PacketDesc proto);
+    /** Split @p proto into maxPayloadFlits-sized packets and queue. */
+    void enqueueSegmented(PacketDesc proto);
+    void deliver(const PacketPtr &pkt, Cycle now);
+    void forwardSwCarrier(PacketPtr pkt, int payloadFlits);
+    int swCarrierHeaderFlits(std::size_t delegated) const;
+
+    NodeId id_;
+    std::size_t numHosts_;
+    NicParams params_;
+    PacketFactory *factory_;
+    McastTracker *tracker_;
+    TrafficSource *source_ = nullptr;
+
+    // Injection side.
+    Channel<Flit> *txOut_ = nullptr;
+    CreditChannel *txCreditIn_ = nullptr;
+    int txCredits_ = 0;
+    bool txMcastWholePacket_ = false;
+    std::deque<SendJob> txQueue_;
+
+    // Ejection side.
+    Channel<Flit> *rxIn_ = nullptr;
+    CreditChannel *rxCreditOut_ = nullptr;
+    PacketPtr rxCurrent_;
+    int rxArrived_ = 0;
+
+    DeliveryCallback onDelivery_;
+
+    /** Reassembly of multi-packet messages. */
+    struct RxMessage
+    {
+        int packets = 0;
+        int payload = 0;
+    };
+    std::unordered_map<MsgId, RxMessage> rxMessages_;
+
+    NicStats stats_;
+};
+
+} // namespace mdw
+
+#endif // MDW_HOST_NIC_HH

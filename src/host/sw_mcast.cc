@@ -1,0 +1,46 @@
+#include "host/sw_mcast.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace mdw {
+
+std::vector<SwSend>
+planBinomialSends(NodeId self, const std::vector<NodeId> &toCover)
+{
+    std::vector<SwSend> sends;
+    // Coverage set is [self] + rest; repeatedly split in half and
+    // delegate the second half to its first member.
+    std::vector<NodeId> rest = toCover;
+    while (!rest.empty()) {
+        MDW_ASSERT(std::find(rest.begin(), rest.end(), self) ==
+                       rest.end(),
+                   "node %d asked to cover itself", self);
+        const std::size_t n = rest.size() + 1; // including self
+        const std::size_t keep = (n + 1) / 2;  // first half w/ self
+        // rest[0 .. keep-2] stays ours; rest[keep-1 ..] is delegated.
+        SwSend send;
+        send.target = rest[keep - 1];
+        send.delegated.assign(rest.begin() +
+                                  static_cast<std::ptrdiff_t>(keep),
+                              rest.end());
+        rest.resize(keep - 1);
+        sends.push_back(std::move(send));
+    }
+    return sends;
+}
+
+int
+binomialPhases(std::size_t d)
+{
+    int phases = 0;
+    std::size_t covered = 1;
+    while (covered < d + 1) {
+        covered *= 2;
+        ++phases;
+    }
+    return phases;
+}
+
+} // namespace mdw

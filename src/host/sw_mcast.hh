@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Software multicast planning — the U-Min-style binomial tree
+ * baseline [Xu/Gui/Ni, SC'94].
+ *
+ * A multicast to d destinations is implemented with unicast messages
+ * in ceil(log2(d + 1)) phases: the responsible node repeatedly splits
+ * its (rank-ordered) coverage set in half and delegates the far half
+ * to that half's first member, piggy-backing the delegated list on
+ * the message. Rank-ordered recursive halving keeps each phase's
+ * transfers in disjoint subtrees of a k-ary n-tree, which is the
+ * contention-free property U-Min establishes for MINs.
+ */
+
+#ifndef MDW_HOST_SW_MCAST_HH
+#define MDW_HOST_SW_MCAST_HH
+
+#include <vector>
+
+#include "message/dest_set.hh"
+#include "sim/types.hh"
+
+namespace mdw {
+
+/** One unicast hop of a software multicast tree. */
+struct SwSend
+{
+    NodeId target = kInvalidNode;
+    /** Destinations the target must cover in later phases. */
+    std::vector<NodeId> delegated;
+};
+
+/**
+ * Plan the unicast sends node @p self must issue to cover
+ * @p toCover (which must not contain @p self), in issue order.
+ * Every node in @p toCover appears exactly once across the returned
+ * targets and delegated lists.
+ */
+std::vector<SwSend> planBinomialSends(NodeId self,
+                                      const std::vector<NodeId> &toCover);
+
+/** Number of phases of the binomial tree covering 1 + d nodes. */
+int binomialPhases(std::size_t d);
+
+} // namespace mdw
+
+#endif // MDW_HOST_SW_MCAST_HH

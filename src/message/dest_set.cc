@@ -1,0 +1,157 @@
+#include "message/dest_set.hh"
+
+#include "sim/logging.hh"
+
+namespace mdw {
+
+DestSet::DestSet(std::size_t size)
+    : size_(size), words_((size + 63) / 64, 0)
+{
+}
+
+DestSet
+DestSet::of(std::size_t size, std::initializer_list<NodeId> ids)
+{
+    DestSet s(size);
+    for (NodeId id : ids)
+        s.set(id);
+    return s;
+}
+
+void
+DestSet::checkId(NodeId id) const
+{
+    MDW_ASSERT(id >= 0 && static_cast<std::size_t>(id) < size_,
+               "node id %d out of universe [0,%zu)", id, size_);
+}
+
+void
+DestSet::checkCompatible(const DestSet &other) const
+{
+    MDW_ASSERT(other.size_ == size_,
+               "DestSet universe mismatch: %zu vs %zu", size_,
+               other.size_);
+}
+
+void
+DestSet::set(NodeId id)
+{
+    checkId(id);
+    words_[id / 64] |= 1ULL << (id % 64);
+}
+
+void
+DestSet::clear(NodeId id)
+{
+    checkId(id);
+    words_[id / 64] &= ~(1ULL << (id % 64));
+}
+
+bool
+DestSet::test(NodeId id) const
+{
+    checkId(id);
+    return (words_[id / 64] >> (id % 64)) & 1ULL;
+}
+
+void
+DestSet::reset()
+{
+    for (auto &w : words_)
+        w = 0;
+}
+
+std::size_t
+DestSet::count() const
+{
+    std::size_t total = 0;
+    for (auto w : words_)
+        total += static_cast<std::size_t>(__builtin_popcountll(w));
+    return total;
+}
+
+bool
+DestSet::empty() const
+{
+    for (auto w : words_) {
+        if (w)
+            return false;
+    }
+    return true;
+}
+
+bool
+DestSet::subsetOf(const DestSet &other) const
+{
+    checkCompatible(other);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        if (words_[i] & ~other.words_[i])
+            return false;
+    }
+    return true;
+}
+
+bool
+DestSet::intersects(const DestSet &other) const
+{
+    checkCompatible(other);
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        if (words_[i] & other.words_[i])
+            return true;
+    }
+    return false;
+}
+
+NodeId
+DestSet::first() const
+{
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+        if (words_[w])
+            return static_cast<NodeId>(w * 64 + __builtin_ctzll(words_[w]));
+    }
+    return kInvalidNode;
+}
+
+std::vector<NodeId>
+DestSet::toVector() const
+{
+    std::vector<NodeId> out;
+    out.reserve(count());
+    forEach([&out](NodeId id) { out.push_back(id); });
+    return out;
+}
+
+DestSet &
+DestSet::operator&=(const DestSet &other)
+{
+    checkCompatible(other);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        words_[i] &= other.words_[i];
+    return *this;
+}
+
+DestSet &
+DestSet::operator|=(const DestSet &other)
+{
+    checkCompatible(other);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        words_[i] |= other.words_[i];
+    return *this;
+}
+
+DestSet &
+DestSet::operator-=(const DestSet &other)
+{
+    checkCompatible(other);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        words_[i] &= ~other.words_[i];
+    return *this;
+}
+
+bool
+DestSet::operator==(const DestSet &other) const
+{
+    return size_ == other.size_ && words_ == other.words_;
+}
+
+} // namespace mdw

@@ -1,0 +1,163 @@
+#include "message/encoding.hh"
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+
+namespace mdw {
+
+const char *
+toString(McastEncoding encoding)
+{
+    switch (encoding) {
+      case McastEncoding::BitString:
+        return "bit-string";
+      case McastEncoding::Multiport:
+        return "multiport";
+    }
+    return "?";
+}
+
+int
+bitStringHeaderFlits(std::size_t nodes, const EncodingParams &params)
+{
+    MDW_ASSERT(params.flitBits > 0, "flitBits must be positive");
+    const std::size_t bits = static_cast<std::size_t>(params.flitBits);
+    return 1 + static_cast<int>((nodes + bits - 1) / bits);
+}
+
+int
+multiportHeaderFlits(int downLevels, const EncodingParams &params)
+{
+    MDW_ASSERT(downLevels >= 0, "negative stage count");
+    (void)params; // port masks fit one flit at radix <= flitBits
+    return 1 + downLevels;
+}
+
+std::vector<std::uint8_t>
+encodeBitString(const DestSet &dests)
+{
+    const std::size_t bytes = (dests.size() + 7) / 8;
+    std::vector<std::uint8_t> out(bytes, 0);
+    dests.forEach([&out](NodeId id) {
+        out[static_cast<std::size_t>(id) / 8] |=
+            static_cast<std::uint8_t>(1u << (id % 8));
+    });
+    return out;
+}
+
+DestSet
+decodeBitString(const std::vector<std::uint8_t> &bytes, std::size_t nodes)
+{
+    MDW_ASSERT(bytes.size() >= (nodes + 7) / 8,
+               "bit-string too short: %zu bytes for %zu nodes",
+               bytes.size(), nodes);
+    DestSet out(nodes);
+    for (std::size_t i = 0; i < nodes; ++i) {
+        if (bytes[i / 8] & (1u << (i % 8)))
+            out.set(static_cast<NodeId>(i));
+    }
+    return out;
+}
+
+namespace {
+
+/** Base-k digits of a leaf id, most significant level first. */
+std::vector<std::size_t>
+leafDigits(std::size_t k, int levels, NodeId leaf)
+{
+    std::vector<std::size_t> digits(static_cast<std::size_t>(levels));
+    std::size_t v = static_cast<std::size_t>(leaf);
+    for (int level = levels - 1; level >= 0; --level) {
+        digits[static_cast<std::size_t>(level)] = v % k;
+        v /= k;
+    }
+    MDW_ASSERT(v == 0, "leaf %d out of range for k=%zu levels=%d", leaf,
+               k, levels);
+    return digits;
+}
+
+/** Expand the product of per-level digit masks into a leaf set. */
+void
+expandProduct(std::size_t k, const std::vector<std::uint64_t> &masks,
+              std::size_t level, std::size_t prefix, DestSet &out)
+{
+    if (level == masks.size()) {
+        out.set(static_cast<NodeId>(prefix));
+        return;
+    }
+    std::uint64_t mask = masks[level];
+    while (mask) {
+        const int digit = __builtin_ctzll(mask);
+        mask &= mask - 1;
+        expandProduct(k, masks, level + 1,
+                      prefix * k + static_cast<std::size_t>(digit), out);
+    }
+}
+
+struct ProductGroup
+{
+    std::vector<std::uint64_t> masks;
+    DestSet covered;
+};
+
+} // namespace
+
+std::vector<DestSet>
+planMultiportPhases(std::size_t k, int levels, const DestSet &dests)
+{
+    MDW_ASSERT(k >= 2 && k <= 64, "radix k=%zu unsupported", k);
+    MDW_ASSERT(levels >= 1, "levels must be >= 1");
+
+    std::vector<ProductGroup> groups;
+    DestSet unassigned = dests;
+
+    for (NodeId d : dests.toVector()) {
+        if (!unassigned.test(d))
+            continue;
+        const auto digits = leafDigits(k, levels, d);
+
+        bool placed = false;
+        for (auto &group : groups) {
+            std::vector<std::uint64_t> candidate = group.masks;
+            for (int level = 0; level < levels; ++level) {
+                candidate[static_cast<std::size_t>(level)] |=
+                    1ULL << digits[static_cast<std::size_t>(level)];
+            }
+            DestSet product(dests.size());
+            expandProduct(k, candidate, 0, 0, product);
+            // The grown product must not reach any node that is
+            // neither already covered by this group nor still an
+            // unassigned destination (no spurious deliveries, no
+            // duplicate deliveries across groups).
+            DestSet extra = product - group.covered;
+            if (!extra.subsetOf(unassigned))
+                continue;
+            group.masks = std::move(candidate);
+            unassigned -= extra;
+            group.covered = std::move(product);
+            placed = true;
+            break;
+        }
+        if (!placed) {
+            ProductGroup group;
+            group.masks.assign(static_cast<std::size_t>(levels), 0);
+            for (int level = 0; level < levels; ++level) {
+                group.masks[static_cast<std::size_t>(level)] =
+                    1ULL << digits[static_cast<std::size_t>(level)];
+            }
+            group.covered = DestSet(dests.size());
+            group.covered.set(d);
+            unassigned.clear(d);
+            groups.push_back(std::move(group));
+        }
+    }
+
+    std::vector<DestSet> out;
+    out.reserve(groups.size());
+    for (auto &group : groups)
+        out.push_back(std::move(group.covered));
+    return out;
+}
+
+} // namespace mdw

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Multidestination header encodings.
+ *
+ * Two schemes from the paper:
+ *
+ * - Bit-string encoding: the header carries one bit per node in the
+ *   system. Any destination set is coverable in a single phase; the
+ *   header costs ceil(N / flit bits) flits plus one type/length flit,
+ *   so it grows with system size.
+ *
+ * - Multiport encoding [Sivaram/Panda/Stunkel, SPDP'96]: the header
+ *   carries one output-port mask per stage. Decoding is trivial, and
+ *   the header length is independent of system size, but a single
+ *   worm can only cover "product" destination sets (the same child
+ *   subtree indices selected at every level), so an arbitrary
+ *   multicast may need several worms (phases).
+ */
+
+#ifndef MDW_MESSAGE_ENCODING_HH
+#define MDW_MESSAGE_ENCODING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "message/dest_set.hh"
+
+namespace mdw {
+
+/** Which multidestination header encoding a system uses. */
+enum class McastEncoding
+{
+    BitString,
+    Multiport,
+};
+
+const char *toString(McastEncoding encoding);
+
+/** Link/flit geometry used to size headers. */
+struct EncodingParams
+{
+    /** Payload bits per flit (SP-Switch: 8-bit flits). */
+    int flitBits = 8;
+    /** Header flits of an ordinary unicast packet. */
+    int unicastHeaderFlits = 2;
+};
+
+/** Header flits of a bit-string-encoded multidestination worm. */
+int bitStringHeaderFlits(std::size_t nodes, const EncodingParams &params);
+
+/**
+ * Header flits of a multiport-encoded worm traversing @p downLevels
+ * replication stages (one port-mask flit per stage + 1 control flit).
+ */
+int multiportHeaderFlits(int downLevels, const EncodingParams &params);
+
+/** Serialize a destination set to header bytes (LSB = node 0). */
+std::vector<std::uint8_t> encodeBitString(const DestSet &dests);
+
+/** Inverse of encodeBitString(). */
+DestSet decodeBitString(const std::vector<std::uint8_t> &bytes,
+                        std::size_t nodes);
+
+/**
+ * Partition @p dests into the destination sets of single multiport
+ * worms for a k-ary tree with @p levels leaf-digit levels (leaf ids in
+ * [0, k^levels)). Each returned set is an exact "product set", the
+ * sets are pairwise disjoint, and their union equals @p dests.
+ *
+ * Uses a greedy first-fit heuristic; minimizing the number of phases
+ * is not required for correctness.
+ */
+std::vector<DestSet> planMultiportPhases(std::size_t k, int levels,
+                                         const DestSet &dests);
+
+} // namespace mdw
+
+#endif // MDW_MESSAGE_ENCODING_HH

@@ -1,0 +1,19 @@
+#include "message/flit.hh"
+
+#include <cstdio>
+
+namespace mdw {
+
+std::string
+Flit::toString() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "flit %d/%d of pkt %llu%s%s", seq,
+                  pkt ? pkt->totalFlits() : 0,
+                  pkt ? static_cast<unsigned long long>(pkt->id) : 0ULL,
+                  isHead() ? " [head]" : "",
+                  (pkt && isTail()) ? " [tail]" : "");
+    return buf;
+}
+
+} // namespace mdw

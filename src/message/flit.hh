@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Flits — the unit of link transfer and buffer occupancy.
+ */
+
+#ifndef MDW_MESSAGE_FLIT_HH
+#define MDW_MESSAGE_FLIT_HH
+
+#include <string>
+
+#include "message/packet.hh"
+
+namespace mdw {
+
+/**
+ * One flit of a worm. Identity is (packet, sequence index); head,
+ * header and tail status are derived from the index so a flit is two
+ * machine words plus a shared descriptor reference.
+ */
+struct Flit
+{
+    PacketPtr pkt;
+    int seq = 0;
+
+    Flit() = default;
+    Flit(PacketPtr p, int s) : pkt(std::move(p)), seq(s) {}
+
+    bool isHead() const { return seq == 0; }
+    bool isTail() const { return seq == pkt->totalFlits() - 1; }
+    /** True for flits belonging to the routing header. */
+    bool isHeader() const { return seq < pkt->headerFlits; }
+
+    std::string toString() const;
+};
+
+} // namespace mdw
+
+#endif // MDW_MESSAGE_FLIT_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Packet descriptors.
+ *
+ * Flits carry a shared pointer to an immutable PacketDesc; replicating
+ * a worm at a switch creates a branch descriptor with the destination
+ * set pruned to the subset reachable through that branch's output port
+ * (modeling the header-rewrite logic of the hardware). All branches
+ * share the original packet/message identifiers and timestamps, so
+ * end-to-end statistics see one logical packet.
+ */
+
+#ifndef MDW_MESSAGE_PACKET_HH
+#define MDW_MESSAGE_PACKET_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "message/dest_set.hh"
+#include "sim/types.hh"
+
+namespace mdw {
+
+/** What a packet is, for routing and accounting purposes. */
+enum class PacketKind
+{
+    /** Ordinary single-destination packet. */
+    Unicast,
+    /** Hardware multidestination worm (bit-string or multiport). */
+    HwMulticast,
+    /**
+     * Unicast packet that is one hop of a software multicast tree;
+     * routed exactly like Unicast but tracked as multicast traffic.
+     */
+    SwMulticastCarrier,
+    /**
+     * Hardware-barrier arrival token (2 flits). Not destination
+     * routed: consumed and combined by the switch barrier units on
+     * the way to the root switch, which emits the release multicast.
+     */
+    BarrierArrive,
+};
+
+const char *toString(PacketKind kind);
+
+/** Immutable description of one packet (worm). */
+struct PacketDesc
+{
+    PacketId id = 0;
+    MsgId msg = 0;
+    NodeId src = kInvalidNode;
+
+    /** Destinations this worm (branch) still has to reach. */
+    DestSet dests;
+
+    PacketKind kind = PacketKind::Unicast;
+
+    /** Routing-header flits at the front of the worm. */
+    int headerFlits = 0;
+    /** Data flits following the header. */
+    int payloadFlits = 0;
+
+    /** Number of packets the parent message was segmented into. */
+    int msgPackets = 1;
+    /** This packet's index within its message, [0, msgPackets). */
+    int msgSeq = 0;
+
+    /** Cycle the originating message was created by the workload. */
+    Cycle created = 0;
+    /** Cycle the head flit entered the network at the source NIC. */
+    Cycle injected = 0;
+
+    /** For BarrierArrive: the barrier group being signaled. */
+    int barrierGroup = -1;
+
+    /**
+     * For SwMulticastCarrier: destinations delegated to the receiver,
+     * which it must forward to in later software phases.
+     */
+    std::vector<NodeId> swDelegated;
+    /** Software-tree depth of this carrier (0 = sent by the root). */
+    int swPhase = 0;
+
+    int totalFlits() const { return headerFlits + payloadFlits; }
+
+    std::string toString() const;
+};
+
+using PacketPtr = std::shared_ptr<const PacketDesc>;
+
+/**
+ * Create the branch descriptor used after replicating a worm towards
+ * one output port: identical to @p parent but destinations pruned to
+ * @p branchDests.
+ */
+PacketPtr pruneBranch(const PacketPtr &parent, DestSet branchDests);
+
+/** Allocator of unique packet and message identifiers. */
+class PacketFactory
+{
+  public:
+    /** Build a packet; id/msg fields are filled in. */
+    PacketPtr
+    make(PacketDesc proto)
+    {
+        proto.id = nextPacket_++;
+        if (proto.msg == 0)
+            proto.msg = nextMsg_++;
+        return std::make_shared<const PacketDesc>(std::move(proto));
+    }
+
+    /** Reserve a message id (for multi-packet/multi-phase messages). */
+    MsgId newMsgId() { return nextMsg_++; }
+
+    PacketId packetsCreated() const { return nextPacket_ - 1; }
+
+  private:
+    PacketId nextPacket_ = 1;
+    MsgId nextMsg_ = 1;
+};
+
+} // namespace mdw
+
+#endif // MDW_MESSAGE_PACKET_HH

@@ -1,0 +1,38 @@
+#include "sim/channel.hh"
+
+namespace mdw {
+
+CreditChannel::CreditChannel(std::string name, Cycle delay)
+    : name_(std::move(name)), delay_(delay)
+{
+    MDW_ASSERT(delay_ >= 1, "credit channel %s: delay must be >= 1",
+               name_.c_str());
+}
+
+void
+CreditChannel::send(int count, Cycle now)
+{
+    MDW_ASSERT(count > 0, "credit channel %s: non-positive grant %d",
+               name_.c_str(), count);
+    const Cycle ready = now + delay_;
+    if (!queue_.empty() && queue_.back().ready == ready) {
+        queue_.back().count += count;
+    } else {
+        queue_.push_back(Entry{ready, count});
+    }
+    inFlight_ += count;
+}
+
+int
+CreditChannel::receive(Cycle now)
+{
+    int total = 0;
+    while (!queue_.empty() && queue_.front().ready <= now) {
+        total += queue_.front().count;
+        queue_.pop_front();
+    }
+    inFlight_ -= total;
+    return total;
+}
+
+} // namespace mdw

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Delay-stamped point-to-point channels.
+ *
+ * All communication between simulated components flows through
+ * channels with a minimum delay of one cycle. An item sent at cycle t
+ * becomes visible to the receiver at cycle t + delay, which makes the
+ * per-cycle component step order irrelevant to simulation results.
+ *
+ * A data Channel models a physical link: at most one item (flit) may
+ * be sent per cycle. A CreditChannel carries flow-control credits in
+ * the reverse direction and may batch several credits per cycle.
+ */
+
+#ifndef MDW_SIM_CHANNEL_HH
+#define MDW_SIM_CHANNEL_HH
+
+#include <deque>
+#include <string>
+#include <utility>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace mdw {
+
+/** One-item-per-cycle unidirectional link with fixed delay. */
+template <typename T>
+class Channel
+{
+  public:
+    /**
+     * @param name Diagnostic name.
+     * @param delay Cycles between send and earliest receive (>= 1).
+     */
+    explicit Channel(std::string name, Cycle delay = 1)
+        : name_(std::move(name)), delay_(delay)
+    {
+        MDW_ASSERT(delay_ >= 1, "channel %s: delay must be >= 1",
+                   name_.c_str());
+    }
+
+    /** Send one item; at most one send per cycle is legal. */
+    void
+    send(T item, Cycle now)
+    {
+        MDW_ASSERT(lastSend_ != now || !sentYet_,
+                   "channel %s: two sends in cycle %llu", name_.c_str(),
+                   static_cast<unsigned long long>(now));
+        lastSend_ = now;
+        sentYet_ = true;
+        queue_.push_back(Entry{now + delay_, std::move(item)});
+    }
+
+    /** True if send() was already called this cycle. */
+    bool
+    busy(Cycle now) const
+    {
+        return sentYet_ && lastSend_ == now;
+    }
+
+    /** Pointer to the oldest item that has arrived, or nullptr. */
+    const T *
+    peek(Cycle now) const
+    {
+        if (queue_.empty() || queue_.front().ready > now)
+            return nullptr;
+        return &queue_.front().item;
+    }
+
+    /** Remove and return the oldest arrived item (must exist). */
+    T
+    receive(Cycle now)
+    {
+        MDW_ASSERT(peek(now) != nullptr,
+                   "channel %s: receive with nothing arrived",
+                   name_.c_str());
+        T item = std::move(queue_.front().item);
+        queue_.pop_front();
+        return item;
+    }
+
+    /** Number of items in flight (sent, not yet received). */
+    std::size_t inFlight() const { return queue_.size(); }
+
+    /** Diagnostic name. */
+    const std::string &name() const { return name_; }
+
+    /** Channel delay in cycles. */
+    Cycle delay() const { return delay_; }
+
+  private:
+    struct Entry
+    {
+        Cycle ready;
+        T item;
+    };
+
+    std::string name_;
+    Cycle delay_;
+    std::deque<Entry> queue_;
+    Cycle lastSend_ = 0;
+    bool sentYet_ = false;
+};
+
+/**
+ * Reverse-direction credit carrier. Multiple credits may be granted in
+ * the same cycle (e.g. when a whole chunk of flits is drained at
+ * once); same-cycle grants are merged into one entry.
+ */
+class CreditChannel
+{
+  public:
+    explicit CreditChannel(std::string name, Cycle delay = 1);
+
+    /** Grant @p count credits, visible to the receiver after delay. */
+    void send(int count, Cycle now);
+
+    /** Collect all credits that have arrived by @p now. */
+    int receive(Cycle now);
+
+    /** Credits in flight (granted, not yet collected). */
+    int inFlight() const { return inFlight_; }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Entry
+    {
+        Cycle ready;
+        int count;
+    };
+
+    std::string name_;
+    Cycle delay_;
+    std::deque<Entry> queue_;
+    int inFlight_ = 0;
+};
+
+} // namespace mdw
+
+#endif // MDW_SIM_CHANNEL_HH

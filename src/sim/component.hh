@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Base class for clocked simulation components.
+ */
+
+#ifndef MDW_SIM_COMPONENT_HH
+#define MDW_SIM_COMPONENT_HH
+
+#include <string>
+#include <utility>
+
+#include "sim/types.hh"
+
+namespace mdw {
+
+class Simulator;
+
+/**
+ * A clocked component. The Simulator calls step() exactly once per
+ * cycle on every registered component; all inter-component state
+ * exchange must flow through delay-stamped channels so the call order
+ * cannot affect results.
+ */
+class Component
+{
+  public:
+    explicit Component(std::string name) : name_(std::move(name)) {}
+    virtual ~Component() = default;
+
+    Component(const Component &) = delete;
+    Component &operator=(const Component &) = delete;
+
+    /** Advance this component by one cycle. */
+    virtual void step(Cycle now) = 0;
+
+    /** Diagnostic name. */
+    const std::string &name() const { return name_; }
+
+    /** Called by the Simulator when the component is registered. */
+    void attach(Simulator *sim) { sim_ = sim; }
+
+  protected:
+    /** Owning simulator (valid after registration). */
+    Simulator *sim_ = nullptr;
+
+  private:
+    std::string name_;
+};
+
+} // namespace mdw
+
+#endif // MDW_SIM_COMPONENT_HH

@@ -1,0 +1,33 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace mdw {
+
+void
+EventQueue::schedule(Cycle when, Action action)
+{
+    MDW_ASSERT(action != nullptr, "scheduling a null event action");
+    heap_.push(Event{when, nextSeq_++, std::move(action)});
+}
+
+void
+EventQueue::runDue(Cycle now)
+{
+    while (!heap_.empty() && heap_.top().when <= now) {
+        // The action may schedule further events, so pop first.
+        Action action = std::move(const_cast<Event &>(heap_.top()).action);
+        heap_.pop();
+        action();
+    }
+}
+
+Cycle
+EventQueue::nextEventCycle() const
+{
+    return heap_.empty() ? kNoCycle : heap_.top().when;
+}
+
+} // namespace mdw

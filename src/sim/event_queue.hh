@@ -1,0 +1,68 @@
+/**
+ * @file
+ * A deterministic discrete-event queue.
+ *
+ * The cycle-driven kernel covers the data path; the event queue covers
+ * sparse timed actions (NIC software-overhead expiry, watchdog checks,
+ * experiment phase transitions). Events scheduled for the same cycle
+ * fire in scheduling order, which keeps runs reproducible.
+ */
+
+#ifndef MDW_SIM_EVENT_QUEUE_HH
+#define MDW_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mdw {
+
+/** Min-heap of timed callbacks with FIFO tie-breaking. */
+class EventQueue
+{
+  public:
+    using Action = std::function<void()>;
+
+    /** Schedule @p action to fire at cycle @p when. */
+    void schedule(Cycle when, Action action);
+
+    /** Fire all events due at or before @p now, in order. */
+    void runDue(Cycle now);
+
+    /** Cycle of the earliest pending event, or kNoCycle. */
+    Cycle nextEventCycle() const;
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    bool empty() const { return heap_.empty(); }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;
+        Action action;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace mdw
+
+#endif // MDW_SIM_EVENT_QUEUE_HH

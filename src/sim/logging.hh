@@ -1,0 +1,78 @@
+/**
+ * @file
+ * gem5-flavored status and error reporting for the simulator.
+ *
+ * fatal(): the simulation cannot continue because of a user error
+ * (bad configuration, impossible parameter combination). Exits with
+ * status 1.
+ *
+ * panic(): an internal invariant was violated — a simulator bug.
+ * Aborts so a debugger or core dump can capture the state.
+ *
+ * warn()/inform(): non-fatal status messages.
+ */
+
+#ifndef MDW_SIM_LOGGING_HH
+#define MDW_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace mdw {
+
+/** Verbosity levels for inform()/debug(). */
+enum class LogLevel { Silent = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Set the global log verbosity (default: Warn). */
+void setLogLevel(LogLevel level);
+
+/** Current global log verbosity. */
+LogLevel logLevel();
+
+/**
+ * Report an unrecoverable user-caused error and exit(1).
+ * @param fmt printf-style format string.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a violated internal invariant and abort().
+ * @param fmt printf-style format string.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious-but-survivable condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status (shown at LogLevel::Info+). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Verbose tracing (shown at LogLevel::Debug). */
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Implementation hook for MDW_ASSERT: report the failed condition,
+ * location, and a printf-formatted explanation, then abort().
+ */
+[[noreturn]] void panicAssert(const char *cond, const char *file,
+                              int line, const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/**
+ * Assert a simulator invariant; on failure, panic with the message.
+ * Active in all build types (cheap enough for a flit-level model).
+ * A printf-style message (with arguments) is required.
+ */
+#define MDW_ASSERT(cond, ...)                                           \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::mdw::panicAssert(#cond, __FILE__, __LINE__,               \
+                               __VA_ARGS__);                            \
+        }                                                               \
+    } while (0)
+
+} // namespace mdw
+
+#endif // MDW_SIM_LOGGING_HH

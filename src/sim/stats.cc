@@ -1,0 +1,177 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace mdw {
+
+void
+Sampler::add(double x)
+{
+    ++n_;
+    if (n_ == 1) {
+        mean_ = x;
+        m2_ = 0.0;
+        min_ = x;
+        max_ = x;
+        return;
+    }
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+Sampler::merge(const Sampler &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+Sampler::reset()
+{
+    *this = Sampler();
+}
+
+double
+Sampler::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_);
+}
+
+double
+Sampler::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Sampler::min() const
+{
+    return n_ ? min_ : 0.0;
+}
+
+double
+Sampler::max() const
+{
+    return n_ ? max_ : 0.0;
+}
+
+Histogram::Histogram(double binWidth, std::size_t binCount)
+    : binWidth_(binWidth), bins_(binCount, 0)
+{
+    MDW_ASSERT(binWidth > 0.0, "histogram bin width must be positive");
+    MDW_ASSERT(binCount > 0, "histogram needs at least one bin");
+}
+
+void
+Histogram::add(double x)
+{
+    sampler_.add(x);
+    ++total_;
+    if (x < 0.0) {
+        // Negative values are clamped into the first bin.
+        ++bins_[0];
+        return;
+    }
+    const auto idx = static_cast<std::size_t>(x / binWidth_);
+    if (idx >= bins_.size())
+        ++overflow_;
+    else
+        ++bins_[idx];
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    MDW_ASSERT(other.binWidth_ == binWidth_ &&
+                   other.bins_.size() == bins_.size(),
+               "merging incompatible histograms");
+    for (std::size_t i = 0; i < bins_.size(); ++i)
+        bins_[i] += other.bins_[i];
+    overflow_ += other.overflow_;
+    total_ += other.total_;
+    sampler_.merge(other.sampler_);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(bins_.begin(), bins_.end(), 0);
+    overflow_ = 0;
+    total_ = 0;
+    sampler_.reset();
+}
+
+double
+Histogram::percentile(double q) const
+{
+    MDW_ASSERT(q >= 0.0 && q <= 1.0, "percentile q=%f out of [0,1]", q);
+    if (total_ == 0)
+        return 0.0;
+    const double target = q * static_cast<double>(total_);
+    double seen = 0.0;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        const double in_bin = static_cast<double>(bins_[i]);
+        if (seen + in_bin >= target && in_bin > 0.0) {
+            const double frac = (target - seen) / in_bin;
+            const double value =
+                (static_cast<double>(i) + frac) * binWidth_;
+            // Interpolation can overshoot the largest sample.
+            return std::min(value, sampler_.max());
+        }
+        seen += in_bin;
+    }
+    return sampler_.max();
+}
+
+void
+TimeAverage::update(double value, Cycle now)
+{
+    MDW_ASSERT(now >= last_, "TimeAverage updated backwards in time");
+    weighted_ += value_ * static_cast<double>(now - last_);
+    value_ = value;
+    peak_ = std::max(peak_, value);
+    last_ = now;
+}
+
+double
+TimeAverage::average(Cycle now) const
+{
+    const double span = static_cast<double>(now - start_);
+    if (span <= 0.0)
+        return value_;
+    const double tail = value_ * static_cast<double>(now - last_);
+    return (weighted_ + tail) / span;
+}
+
+void
+TimeAverage::reset(Cycle now)
+{
+    weighted_ = 0.0;
+    start_ = now;
+    last_ = now;
+    peak_ = value_;
+}
+
+} // namespace mdw

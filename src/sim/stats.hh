@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Statistics primitives for simulation measurement.
+ */
+
+#ifndef MDW_SIM_STATS_HH
+#define MDW_SIM_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mdw {
+
+/**
+ * Streaming scalar sample statistics (count, mean, variance via
+ * Welford's algorithm, min, max).
+ */
+class Sampler
+{
+  public:
+    /** Record one sample. */
+    void add(double x);
+
+    /** Merge another sampler's samples into this one. */
+    void merge(const Sampler &other);
+
+    /** Discard all samples. */
+    void reset();
+
+    std::uint64_t count() const { return n_; }
+    double sum() const { return mean_ * static_cast<double>(n_); }
+    /** Mean of the samples (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** Population variance (0 when fewer than 2 samples). */
+    double variance() const;
+    /** Population standard deviation. */
+    double stddev() const;
+    double min() const;
+    double max() const;
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-width linear histogram with an overflow bin and percentile
+ * queries. Bin i covers [i * binWidth, (i + 1) * binWidth).
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param binWidth Width of each bin (> 0).
+     * @param binCount Number of regular bins (values beyond go to the
+     *                 overflow bin).
+     */
+    Histogram(double binWidth, std::size_t binCount);
+
+    void add(double x);
+    void merge(const Histogram &other);
+    void reset();
+
+    std::uint64_t count() const { return total_; }
+    std::uint64_t overflow() const { return overflow_; }
+    double mean() const { return sampler_.mean(); }
+    double stddev() const { return sampler_.stddev(); }
+    double min() const { return sampler_.min(); }
+    double max() const { return sampler_.max(); }
+
+    /**
+     * Approximate q-quantile (0 <= q <= 1) assuming uniform density
+     * within bins; returns max() if the quantile falls in overflow.
+     */
+    double percentile(double q) const;
+
+    const std::vector<std::uint64_t> &bins() const { return bins_; }
+    double binWidth() const { return binWidth_; }
+
+  private:
+    double binWidth_;
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+    Sampler sampler_;
+};
+
+/**
+ * Time-weighted average of a piecewise-constant quantity such as
+ * buffer occupancy. Call update() whenever the value changes.
+ */
+class TimeAverage
+{
+  public:
+    /** Record that the value becomes @p value at cycle @p now. */
+    void update(double value, Cycle now);
+
+    /** Time-weighted mean over [start, now]. */
+    double average(Cycle now) const;
+
+    /** Restart accumulation at @p now keeping the current value. */
+    void reset(Cycle now);
+
+    double current() const { return value_; }
+    double peak() const { return peak_; }
+
+  private:
+    double value_ = 0.0;
+    double peak_ = 0.0;
+    double weighted_ = 0.0;
+    Cycle start_ = 0;
+    Cycle last_ = 0;
+};
+
+/** Simple named monotonic counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t by = 1) { value_ += by; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+} // namespace mdw
+
+#endif // MDW_SIM_STATS_HH

@@ -1,0 +1,76 @@
+#include "sim/system.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace mdw {
+
+void
+Simulator::add(Component *component)
+{
+    MDW_ASSERT(component != nullptr, "registering null component");
+    component->attach(this);
+    components_.push_back(component);
+}
+
+void
+Simulator::stepOne()
+{
+    events_.runDue(now_);
+    for (Component *c : components_)
+        c->step(now_);
+    checkWatchdog();
+    ++now_;
+}
+
+void
+Simulator::run(Cycle cycles)
+{
+    for (Cycle i = 0; i < cycles && !deadlocked_; ++i)
+        stepOne();
+}
+
+bool
+Simulator::runUntil(const std::function<bool()> &done, Cycle maxCycles)
+{
+    const Cycle limit = now_ + maxCycles;
+    while (now_ < limit && !deadlocked_) {
+        if (done())
+            return true;
+        stepOne();
+    }
+    return done();
+}
+
+void
+Simulator::setWatchdog(Cycle quietLimit, std::function<bool()> hasWork,
+                       std::function<void()> onTrip)
+{
+    watchdogQuiet_ = quietLimit;
+    watchdogHasWork_ = std::move(hasWork);
+    watchdogOnTrip_ = std::move(onTrip);
+    lastProgress_ = now_;
+}
+
+void
+Simulator::checkWatchdog()
+{
+    if (watchdogQuiet_ == 0 || deadlocked_)
+        return;
+    if (now_ - lastProgress_ < watchdogQuiet_)
+        return;
+    if (!watchdogHasWork_ || !watchdogHasWork_())
+        return;
+    deadlocked_ = true;
+    if (watchdogOnTrip_) {
+        watchdogOnTrip_();
+    } else {
+        panic("watchdog: no progress for %llu cycles at cycle %llu "
+              "with work pending",
+              static_cast<unsigned long long>(watchdogQuiet_),
+              static_cast<unsigned long long>(now_));
+    }
+}
+
+} // namespace mdw

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The cycle-driven simulation engine.
+ */
+
+#ifndef MDW_SIM_SYSTEM_HH
+#define MDW_SIM_SYSTEM_HH
+
+#include <functional>
+#include <vector>
+
+#include "sim/component.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace mdw {
+
+/**
+ * Drives registered components one cycle at a time and fires due
+ * events. Also hosts the global progress watchdog used to detect
+ * deadlock (or livelock) during stress tests: components call
+ * noteProgress() whenever they move a flit, and the watchdog trips if
+ * there is pending work but no progress for a configurable number of
+ * cycles.
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Register a component (not owned). */
+    void add(Component *component);
+
+    /** Current cycle (the one currently being, or next to be, run). */
+    Cycle now() const { return now_; }
+
+    /** Timed-callback queue, fired at the start of each cycle. */
+    EventQueue &events() { return events_; }
+
+    /** Execute exactly one cycle. */
+    void stepOne();
+
+    /** Execute @p cycles cycles. */
+    void run(Cycle cycles);
+
+    /**
+     * Run until @p done returns true (checked once per cycle) or
+     * @p maxCycles elapse. Returns true if @p done became true.
+     */
+    bool runUntil(const std::function<bool()> &done, Cycle maxCycles);
+
+    /** Components report flit movement here. */
+    void noteProgress() { lastProgress_ = now_; }
+
+    /** Cycle of the most recent reported progress. */
+    Cycle lastProgress() const { return lastProgress_; }
+
+    /**
+     * Arm the deadlock watchdog.
+     * @param quietLimit Trip after this many progress-free cycles.
+     * @param hasWork Returns true while packets are in flight.
+     * @param onTrip Called when the watchdog fires; if empty, panic().
+     */
+    void setWatchdog(Cycle quietLimit, std::function<bool()> hasWork,
+                     std::function<void()> onTrip = nullptr);
+
+    /** True if the watchdog has fired. */
+    bool deadlockDetected() const { return deadlocked_; }
+
+    std::size_t componentCount() const { return components_.size(); }
+
+  private:
+    void checkWatchdog();
+
+    std::vector<Component *> components_;
+    EventQueue events_;
+    Cycle now_ = 0;
+    Cycle lastProgress_ = 0;
+
+    Cycle watchdogQuiet_ = 0;
+    std::function<bool()> watchdogHasWork_;
+    std::function<void()> watchdogOnTrip_;
+    bool deadlocked_ = false;
+};
+
+} // namespace mdw
+
+#endif // MDW_SIM_SYSTEM_HH

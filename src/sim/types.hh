@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the mdworm simulator.
+ */
+
+#ifndef MDW_SIM_TYPES_HH
+#define MDW_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace mdw {
+
+/** Simulation time, measured in switch clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Identifier of a processing node (host) attached to the network. */
+using NodeId = std::int32_t;
+
+/** Identifier of a switch in the network. */
+using SwitchId = std::int32_t;
+
+/** Port index within a switch or NIC. */
+using PortId = std::int16_t;
+
+/** Globally unique packet identifier. */
+using PacketId = std::uint64_t;
+
+/** Globally unique message identifier (a message may span packets). */
+using MsgId = std::uint64_t;
+
+/** Sentinel for "no cycle" / "not yet". */
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for invalid node. */
+inline constexpr NodeId kInvalidNode = -1;
+
+/** Sentinel for invalid switch. */
+inline constexpr SwitchId kInvalidSwitch = -1;
+
+/** Sentinel for invalid port. */
+inline constexpr PortId kInvalidPort = -1;
+
+} // namespace mdw
+
+#endif // MDW_SIM_TYPES_HH

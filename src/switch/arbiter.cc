@@ -1,0 +1,57 @@
+#include "switch/arbiter.hh"
+
+#include "sim/logging.hh"
+
+namespace mdw {
+
+RoundRobinArbiter::RoundRobinArbiter(int requesters)
+    : size_(requesters)
+{
+    MDW_ASSERT(requesters >= 0, "negative requester count");
+}
+
+void
+RoundRobinArbiter::resize(int requesters)
+{
+    MDW_ASSERT(requesters >= 0, "negative requester count");
+    size_ = requesters;
+    last_ = -1;
+}
+
+int
+RoundRobinArbiter::grant(const std::vector<bool> &request)
+{
+    MDW_ASSERT(static_cast<int>(request.size()) == size_,
+               "request vector size %zu != arbiter size %d",
+               request.size(), size_);
+    for (int i = 1; i <= size_; ++i) {
+        const int idx = (last_ + i) % size_;
+        if (request[static_cast<std::size_t>(idx)]) {
+            last_ = idx;
+            return idx;
+        }
+    }
+    return -1;
+}
+
+int
+RoundRobinArbiter::grantFrom(const std::vector<int> &requesters)
+{
+    if (requesters.empty() || size_ == 0)
+        return -1;
+    int best = -1;
+    int best_rank = size_ + 1;
+    for (int r : requesters) {
+        MDW_ASSERT(r >= 0 && r < size_, "requester %d out of range", r);
+        const int rank = (r - last_ - 1 + size_) % size_;
+        if (rank < best_rank) {
+            best_rank = rank;
+            best = r;
+        }
+    }
+    if (best >= 0)
+        last_ = best;
+    return best;
+}
+
+} // namespace mdw

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Round-robin arbitration primitives used by switch output ports and
+ * the central-queue read/write ports.
+ */
+
+#ifndef MDW_SWITCH_ARBITER_HH
+#define MDW_SWITCH_ARBITER_HH
+
+#include <vector>
+
+namespace mdw {
+
+/**
+ * Classic rotating-priority arbiter over a fixed number of
+ * requesters. After a grant, the granted requester becomes the
+ * lowest-priority one, which gives per-requester fairness under
+ * persistent contention.
+ */
+class RoundRobinArbiter
+{
+  public:
+    explicit RoundRobinArbiter(int requesters = 0);
+
+    /** Reset to @p requesters inputs, priority starting at 0. */
+    void resize(int requesters);
+
+    /**
+     * Grant one of the requesting inputs (request[i] true), starting
+     * the search after the last grant. Returns the granted index and
+     * rotates priority, or -1 if nobody requests.
+     */
+    int grant(const std::vector<bool> &request);
+
+    /**
+     * Same, with requests given as a list of requester indices
+     * (order-insensitive).
+     */
+    int grantFrom(const std::vector<int> &requesters);
+
+    int size() const { return size_; }
+
+  private:
+    int size_ = 0;
+    int last_ = -1;
+};
+
+} // namespace mdw
+
+#endif // MDW_SWITCH_ARBITER_HH

@@ -1,0 +1,63 @@
+#include "switch/barrier_unit.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace mdw {
+
+void
+BarrierUnit::configure(int group, BarrierSwitchEntry entry)
+{
+    MDW_ASSERT(group >= 0, "negative barrier group id");
+    MDW_ASSERT(!entry.expectedPorts.empty(),
+               "barrier entry with no arrival ports");
+    MDW_ASSERT(entry.isRoot || entry.upPort != kInvalidPort,
+               "non-root barrier entry needs a tree parent port");
+    GroupState state;
+    state.entry = std::move(entry);
+    groups_[group] = std::move(state);
+}
+
+bool
+BarrierUnit::participates(int group) const
+{
+    return groups_.count(group) > 0;
+}
+
+BarrierUnit::Emit
+BarrierUnit::onArrive(int group, PortId port)
+{
+    auto it = groups_.find(group);
+    MDW_ASSERT(it != groups_.end(),
+               "arrival for unconfigured barrier group %d", group);
+    GroupState &state = it->second;
+    MDW_ASSERT(std::find(state.entry.expectedPorts.begin(),
+                         state.entry.expectedPorts.end(),
+                         port) != state.entry.expectedPorts.end(),
+               "barrier group %d: unexpected arrival on port %d",
+               group, port);
+    MDW_ASSERT(!state.arrived.count(port),
+               "barrier group %d: duplicate arrival on port %d",
+               group, port);
+    state.arrived.insert(port);
+
+    Emit emit;
+    if (state.arrived.size() < state.entry.expectedPorts.size())
+        return emit; // still waiting (group = -1)
+
+    state.arrived.clear(); // ready for the next round
+    emit.group = group;
+    emit.release = state.entry.isRoot;
+    emit.upPort = state.entry.upPort;
+    return emit;
+}
+
+std::size_t
+BarrierUnit::pendingArrivals(int group) const
+{
+    auto it = groups_.find(group);
+    return it == groups_.end() ? 0 : it->second.arrived.size();
+}
+
+} // namespace mdw

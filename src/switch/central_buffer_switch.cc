@@ -1,0 +1,546 @@
+#include "switch/central_buffer_switch.hh"
+
+#include <algorithm>
+
+#include "sim/system.hh"
+
+namespace mdw {
+
+CentralBufferSwitch::CentralBufferSwitch(std::string name, SwitchId id,
+                                         const SwitchRouting *routing,
+                                         const SwitchParams &params,
+                                         const CbParams &cbParams)
+    : SwitchBase(std::move(name), id, routing, params),
+      cbParams_(cbParams),
+      cq_(CqParams{cbParams.cqChunks, cbParams.chunkFlits,
+                   routing->radix(),
+                   cbParams.maxPacketFlits > 0
+                       ? (cbParams.maxPacketFlits +
+                          cbParams.chunkFlits - 1) /
+                             cbParams.chunkFlits
+                       : 0})
+{
+    MDW_ASSERT(cbParams_.inputFifoFlits > 0, "input FIFO must be > 0");
+    MDW_ASSERT(cbParams_.outputFifoFlits >= cbParams_.chunkFlits,
+               "output FIFO must hold at least one chunk");
+    const auto radix = static_cast<std::size_t>(routing->radix());
+    inputs_.resize(radix);
+    outputs_.resize(radix);
+    for (auto &input : inputs_)
+        input.freeSlots = cbParams_.inputFifoFlits;
+    writeArb_.resize(static_cast<int>(radix));
+    readArb_.resize(static_cast<int>(radix));
+}
+
+int
+CentralBufferSwitch::inputOccupancy(PortId port) const
+{
+    const auto &input = inputs_.at(static_cast<std::size_t>(port));
+    return cbParams_.inputFifoFlits - input.freeSlots;
+}
+
+int
+CentralBufferSwitch::outputBacklog(PortId port) const
+{
+    const auto &output = outputs_.at(static_cast<std::size_t>(port));
+    int backlog = static_cast<int>(output.queue.size());
+    if (!output.idle())
+        ++backlog;
+    return backlog;
+}
+
+void
+CentralBufferSwitch::setBarrierHooks(MakePacket makePacket,
+                                     ReleaseFactory releaseFactory)
+{
+    makePacket_ = std::move(makePacket);
+    releaseFactory_ = std::move(releaseFactory);
+}
+
+void
+CentralBufferSwitch::configureBarrier(int group,
+                                      BarrierSwitchEntry entry)
+{
+    MDW_ASSERT(makePacket_ != nullptr,
+               "setBarrierHooks must precede configureBarrier");
+    barrier_.configure(group, std::move(entry));
+}
+
+void
+CentralBufferSwitch::step(Cycle now)
+{
+    collectCredits(now);
+    intake(now);
+    decide(now);
+    processBarrierEmissions(now);
+    bypassTransmit(now);
+    cqWrite(now);
+    activateStreams();
+    cqRead(now);
+    streamTransmit(now);
+    cqOcc_.update(static_cast<double>(cq_.usedChunks()), now);
+}
+
+void
+CentralBufferSwitch::dumpState(FILE *out) const
+{
+    std::fprintf(out, "%s: cq used=%d/%d entries=%zu\n",
+                 name().c_str(), cq_.usedChunks(), cq_.capacityChunks(),
+                 cq_.entryCount());
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+        const InputState &in = inputs_[i];
+        if (in.packets.empty())
+            continue;
+        const PacketRecord &rec = in.packets.front();
+        std::fprintf(out,
+                     "  in%zu mode=%d pkts=%zu head=%s arrived=%d "
+                     "consumed=%d entry=%d free=%d\n",
+                     i, static_cast<int>(in.mode), in.packets.size(),
+                     rec.pkt->toString().c_str(), rec.arrived,
+                     in.consumed, in.entry, in.freeSlots);
+    }
+    for (std::size_t o = 0; o < outputs_.size(); ++o) {
+        const OutputState &out_state = outputs_[o];
+        if (out_state.idle() && out_state.queue.empty())
+            continue;
+        std::fprintf(out,
+                     "  out%zu mode=%d queue=%zu fifo=%d read=%d "
+                     "sent=%d credits=%d cur=%s\n",
+                     o, static_cast<int>(out_state.mode),
+                     out_state.queue.size(), out_state.fifoFlits,
+                     out_state.readSeq, out_state.sentSeq,
+                     outs_[o].credits,
+                     out_state.current.branchPkt
+                         ? out_state.current.branchPkt->toString().c_str()
+                         : "-");
+    }
+}
+
+void
+CentralBufferSwitch::intake(Cycle now)
+{
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+        InputState &input = inputs_[i];
+        if (!ins_[i].connected() || !ins_[i].in->peek(now))
+            continue;
+        MDW_ASSERT(input.freeSlots > 0,
+                   "switch %d input %zu: flit arrived with full FIFO",
+                   id_, i);
+        Flit flit = ins_[i].in->receive(now);
+        --input.freeSlots;
+        stats_.flitsIn.inc();
+        if (flit.isHead()) {
+            input.packets.push_back(PacketRecord{flit.pkt, 1});
+        } else {
+            MDW_ASSERT(!input.packets.empty() &&
+                           input.packets.back().pkt->id == flit.pkt->id,
+                       "switch %d input %zu: interleaved packets",
+                       id_, i);
+            ++input.packets.back().arrived;
+        }
+        if (sim_)
+            sim_->noteProgress();
+    }
+}
+
+void
+CentralBufferSwitch::decide(Cycle now)
+{
+    (void)now;
+    reservationWaiters_ = 0;
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+        InputState &input = inputs_[i];
+        if (input.mode != InMode::Deciding || input.packets.empty())
+            continue;
+        const PacketRecord &rec = input.packets.front();
+        MDW_ASSERT(rec.pkt->headerFlits <= cbParams_.inputFifoFlits,
+                   "header (%d flits) exceeds input FIFO (%d flits); "
+                   "enlarge cb.inputFifoFlits",
+                   rec.pkt->headerFlits, cbParams_.inputFifoFlits);
+        if (rec.arrived < rec.pkt->headerFlits)
+            continue;
+
+        if (rec.pkt->kind == PacketKind::BarrierArrive) {
+            // Combined by the barrier unit, never routed. Absorb the
+            // token once it has fully arrived.
+            if (rec.arrived == rec.pkt->totalFlits())
+                consumeBarrierToken(i, now);
+            continue;
+        }
+
+        const RouteDecision route =
+            routing_->decode(rec.pkt->dests, params_.variant);
+        if (rec.pkt->kind == PacketKind::HwMulticast) {
+            decideMulticast(i, route);
+        } else {
+            decideUnicast(i, route);
+        }
+    }
+}
+
+void
+CentralBufferSwitch::consumeBarrierToken(std::size_t i, Cycle now)
+{
+    InputState &input = inputs_[i];
+    const PacketRecord rec = input.packets.front();
+    input.packets.pop_front();
+    input.freeSlots += rec.pkt->totalFlits();
+    if (ins_[i].creditOut)
+        ins_[i].creditOut->send(rec.pkt->totalFlits(), now);
+    barrierTokens_.inc();
+    if (sim_)
+        sim_->noteProgress();
+
+    const BarrierUnit::Emit emit = barrier_.onArrive(
+        rec.pkt->barrierGroup, static_cast<PortId>(i));
+    if (emit.group >= 0)
+        barrierEmissions_.push_back(emit);
+}
+
+void
+CentralBufferSwitch::processBarrierEmissions(Cycle now)
+{
+    (void)now;
+    while (!barrierEmissions_.empty()) {
+        const BarrierUnit::Emit &emit = barrierEmissions_.front();
+        if (emit.release) {
+            // Originate the release multidestination worm. The root
+            // stage down-reaches every member, so this is an ordinary
+            // down-phase reservation.
+            PacketDesc desc = releaseFactory_(emit.group);
+            if (!cq_.canReserve(desc.totalFlits())) {
+                stats_.reservationStallCycles.inc();
+                return; // retry next cycle, in order
+            }
+            const RouteDecision route =
+                routing_->decode(desc.dests, params_.variant);
+            MDW_ASSERT(!route.needsUp(),
+                       "barrier release not fully down-reachable "
+                       "from the combining root");
+            const PacketPtr pkt = makePacket_(std::move(desc));
+            const auto entry = cq_.addReserved(
+                pkt, static_cast<int>(route.downBranches.size()));
+            cq_.write(entry, pkt->totalFlits());
+            stats_.packetsRouted.inc();
+            if (route.downBranches.size() > 1)
+                stats_.replications.inc(route.downBranches.size() - 1);
+            int reader = 0;
+            for (const auto &[port, sub] : route.downBranches) {
+                outputs_[static_cast<std::size_t>(port)]
+                    .queue.push_back(QueueItem{entry, reader++,
+                                               pruneBranch(pkt, sub)});
+            }
+        } else {
+            // Forward one combined token toward the tree parent; it
+            // occupies one chunk, claimed before the entry exists so
+            // a full queue just defers the emission.
+            if (cq_.freeChunks() < 1) {
+                stats_.reservationStallCycles.inc();
+                return; // retry next cycle, in order
+            }
+            PacketDesc desc;
+            desc.src = kInvalidNode;
+            desc.dests = DestSet(routing_->allDownReach().size());
+            desc.kind = PacketKind::BarrierArrive;
+            desc.headerFlits = 2;
+            desc.payloadFlits = 0;
+            desc.barrierGroup = emit.group;
+            const PacketPtr pkt = makePacket_(std::move(desc));
+            const auto entry = cq_.addUnreserved(pkt, 1);
+            cq_.write(entry, pkt->totalFlits());
+            outputs_[static_cast<std::size_t>(emit.upPort)]
+                .queue.push_back(QueueItem{entry, 0, pkt});
+        }
+        barrierEmissions_.pop_front();
+        if (sim_)
+            sim_->noteProgress();
+    }
+}
+
+void
+CentralBufferSwitch::decideUnicast(std::size_t i,
+                                   const RouteDecision &route)
+{
+    InputState &input = inputs_[i];
+    const PacketPtr &pkt = input.packets.front().pkt;
+
+    PortId target = kInvalidPort;
+    PacketPtr branch_pkt;
+    if (route.needsUp()) {
+        // Prefer an up port we could bypass through right now.
+        target = chooseUpPort(route, *pkt, [this](PortId p) {
+            return outputs_[static_cast<std::size_t>(p)].idle() &&
+                   outputs_[static_cast<std::size_t>(p)].queue.empty();
+        });
+        branch_pkt = pkt;
+    } else {
+        MDW_ASSERT(route.downBranches.size() == 1,
+                   "unicast decoded to %zu down branches",
+                   route.downBranches.size());
+        target = route.downBranches.front().first;
+        branch_pkt = pruneBranch(pkt, route.downBranches.front().second);
+    }
+
+    OutputState &output = outputs_[static_cast<std::size_t>(target)];
+    stats_.packetsRouted.inc();
+    input.consumed = 0;
+    if (output.idle() && output.queue.empty()) {
+        // Claim the bypass crossbar path.
+        output.mode = OutputState::Mode::Bypass;
+        output.bypassInput = static_cast<int>(i);
+        output.sentSeq = 0;
+        input.mode = InMode::Bypass;
+        input.bypassPort = target;
+        input.bypassPkt = std::move(branch_pkt);
+    } else {
+        input.entry = cq_.addUnreserved(pkt, 1);
+        input.mode = InMode::CentralQueue;
+        output.queue.push_back(QueueItem{input.entry, 0,
+                                         std::move(branch_pkt)});
+    }
+}
+
+void
+CentralBufferSwitch::decideMulticast(std::size_t i,
+                                     const RouteDecision &route)
+{
+    InputState &input = inputs_[i];
+    const PacketPtr &pkt = input.packets.front().pkt;
+
+    // Whole-packet chunk reservation is the acceptance condition: the
+    // head waits at the FIFO head (stalling this input) until the
+    // central queue can guarantee storage for the entire worm.
+    if (!cq_.canReserve(pkt->totalFlits(), route.needsUp())) {
+        stats_.reservationStallCycles.inc();
+        ++reservationWaiters_;
+        return;
+    }
+
+    // Materialize branch list: down branches plus at most one up port
+    // (adaptive choice prefers the least-backlogged candidate).
+    std::vector<std::pair<PortId, PacketPtr>> branches;
+    branches.reserve(route.downBranches.size() + 1);
+    for (const auto &[port, sub] : route.downBranches)
+        branches.emplace_back(port, pruneBranch(pkt, sub));
+    if (route.needsUp()) {
+        PortId best = chooseUpPort(route, *pkt, [this](PortId p) {
+            return outputBacklog(p) == 0;
+        });
+        if (params_.upPolicy == UpPortPolicy::Adaptive) {
+            // Refine: among candidates pick minimum backlog.
+            int best_cost = outputBacklog(best);
+            for (PortId cand : route.upCandidates) {
+                const int cost = outputBacklog(cand);
+                if (cost < best_cost) {
+                    best_cost = cost;
+                    best = cand;
+                }
+            }
+        }
+        branches.emplace_back(best, pruneBranch(pkt, route.upDests));
+    }
+    MDW_ASSERT(!branches.empty(), "multicast decoded to no branches");
+
+    input.entry =
+        cq_.addReserved(pkt, static_cast<int>(branches.size()));
+    input.mode = InMode::CentralQueue;
+    input.consumed = 0;
+    stats_.packetsRouted.inc();
+    if (branches.size() > 1)
+        stats_.replications.inc(branches.size() - 1);
+    for (std::size_t b = 0; b < branches.size(); ++b) {
+        outputs_[static_cast<std::size_t>(branches[b].first)]
+            .queue.push_back(QueueItem{input.entry, static_cast<int>(b),
+                                       std::move(branches[b].second)});
+    }
+}
+
+void
+CentralBufferSwitch::bypassTransmit(Cycle now)
+{
+    for (std::size_t o = 0; o < outputs_.size(); ++o) {
+        OutputState &output = outputs_[o];
+        if (output.mode != OutputState::Mode::Bypass)
+            continue;
+        InputState &input =
+            inputs_[static_cast<std::size_t>(output.bypassInput)];
+        const PacketRecord &rec = input.packets.front();
+        OutPort &port = outs_[o];
+
+        if (input.consumed >= rec.arrived)
+            continue;
+        if (port.credits < 1 || port.out->busy(now))
+            continue;
+        if (output.sentSeq == 0 &&
+            !canStartPacket(port, *input.bypassPkt))
+            continue;
+        port.out->send(Flit{input.bypassPkt, output.sentSeq}, now);
+        ++output.sentSeq;
+        --port.credits;
+        ++input.consumed;
+        ++input.freeSlots;
+        if (ins_[output.bypassInput].creditOut)
+            ins_[output.bypassInput].creditOut->send(1, now);
+        notePortSend(o);
+        if (sim_)
+            sim_->noteProgress();
+
+        if (output.sentSeq == input.bypassPkt->totalFlits()) {
+            output.mode = OutputState::Mode::Idle;
+            output.bypassInput = -1;
+            output.sentSeq = 0;
+            finishHeadPacket(input);
+        }
+    }
+}
+
+void
+CentralBufferSwitch::cqWrite(Cycle now)
+{
+    // One chunk write per cycle: round-robin over inputs that have a
+    // full chunk staged (or the complete tail) to keep chunks packed.
+    std::vector<int> eligible;
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+        InputState &input = inputs_[i];
+        if (input.mode != InMode::CentralQueue)
+            continue;
+        const PacketRecord &rec = input.packets.front();
+        const int staged = rec.arrived - input.consumed;
+        if (staged <= 0)
+            continue;
+        const bool tail_in = rec.arrived == rec.pkt->totalFlits();
+        if (staged < cbParams_.chunkFlits && !tail_in)
+            continue;
+        if (cq_.writable(input.entry) <= 0)
+            continue; // central queue full (unicast path only)
+        // Note: no write throttling while reservations wait — holding
+        // back a unicast that is already at the head of an output
+        // queue would block the very readers whose recycled chunks
+        // the waiting worm needs; the up-phase headroom partition is
+        // what guarantees forward progress.
+        eligible.push_back(static_cast<int>(i));
+    }
+    const int winner = writeArb_.grantFrom(eligible);
+    if (winner < 0)
+        return;
+
+    InputState &input = inputs_[static_cast<std::size_t>(winner)];
+    const PacketRecord &rec = input.packets.front();
+    const int staged = rec.arrived - input.consumed;
+    const int n = std::min({staged, cbParams_.chunkFlits,
+                            cq_.writable(input.entry)});
+    MDW_ASSERT(n > 0, "eligible input with nothing to write");
+    cq_.write(input.entry, n);
+    input.consumed += n;
+    input.freeSlots += n;
+    if (ins_[winner].creditOut)
+        ins_[winner].creditOut->send(n, now);
+    if (sim_)
+        sim_->noteProgress();
+
+    if (input.consumed == rec.pkt->totalFlits())
+        finishHeadPacket(input);
+}
+
+void
+CentralBufferSwitch::finishHeadPacket(InputState &input)
+{
+    // The head packet has fully left the input FIFO; the input is
+    // free to decode the next packet even while the central queue
+    // still drains the previous one.
+    input.packets.pop_front();
+    input.mode = InMode::Deciding;
+    input.consumed = 0;
+    input.bypassPort = kInvalidPort;
+    input.bypassPkt = nullptr;
+    input.entry = CentralQueue::kNoEntry;
+}
+
+void
+CentralBufferSwitch::activateStreams()
+{
+    for (auto &output : outputs_) {
+        if (output.idle() && !output.queue.empty()) {
+            output.current = std::move(output.queue.front());
+            output.queue.pop_front();
+            output.mode = OutputState::Mode::Stream;
+            output.fifoFlits = 0;
+            output.readSeq = 0;
+            output.sentSeq = 0;
+            // The current stream may trickle through the escape
+            // chunk when the shared pool is exhausted.
+            if (cq_.alive(output.current.entry))
+                cq_.grantEscape(output.current.entry);
+        }
+    }
+}
+
+void
+CentralBufferSwitch::cqRead(Cycle now)
+{
+    (void)now;
+    // One chunk read per cycle: round-robin over streaming outputs
+    // whose staging FIFO can take a chunk.
+    std::vector<int> eligible;
+    for (std::size_t o = 0; o < outputs_.size(); ++o) {
+        OutputState &output = outputs_[o];
+        if (output.mode != OutputState::Mode::Stream)
+            continue;
+        if (output.readSeq >= output.current.branchPkt->totalFlits())
+            continue; // fully fetched; entry may already be recycled
+        const int space = cbParams_.outputFifoFlits - output.fifoFlits;
+        if (space < cbParams_.chunkFlits)
+            continue;
+        if (cq_.readable(output.current.entry, output.current.reader) <=
+            0)
+            continue;
+        eligible.push_back(static_cast<int>(o));
+    }
+    const int winner = readArb_.grantFrom(eligible);
+    if (winner < 0)
+        return;
+    OutputState &output = outputs_[static_cast<std::size_t>(winner)];
+    const int n = cq_.read(output.current.entry, output.current.reader,
+                           cbParams_.chunkFlits);
+    MDW_ASSERT(n > 0, "eligible output read nothing");
+    output.fifoFlits += n;
+    output.readSeq += n;
+    if (sim_)
+        sim_->noteProgress();
+}
+
+void
+CentralBufferSwitch::streamTransmit(Cycle now)
+{
+    for (std::size_t o = 0; o < outputs_.size(); ++o) {
+        OutputState &output = outputs_[o];
+        if (output.mode != OutputState::Mode::Stream)
+            continue;
+        if (output.fifoFlits <= 0)
+            continue;
+        OutPort &port = outs_[o];
+        if (port.credits < 1 || port.out->busy(now))
+            continue;
+        const PacketPtr &pkt = output.current.branchPkt;
+        if (output.sentSeq == 0 && !canStartPacket(port, *pkt)) {
+            stats_.reservationStallCycles.inc();
+            continue;
+        }
+        port.out->send(Flit{pkt, output.sentSeq}, now);
+        ++output.sentSeq;
+        --output.fifoFlits;
+        --port.credits;
+        notePortSend(o);
+        if (sim_)
+            sim_->noteProgress();
+        if (output.sentSeq == pkt->totalFlits()) {
+            output.mode = OutputState::Mode::Idle;
+            output.fifoFlits = 0;
+            output.readSeq = 0;
+            output.sentSeq = 0;
+            output.current = QueueItem{};
+        }
+    }
+}
+
+} // namespace mdw

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Central-buffer-based switch architecture (paper Section 4),
+ * modeled on the IBM SP2 / SP Switch.
+ *
+ * Each input port has a small FIFO. A unicast packet whose output
+ * port is idle cuts through a bypass crossbar; otherwise its flits
+ * are written into the shared central queue (in chunks) and linked
+ * onto the target output port's service queue. A multidestination
+ * worm always flows through the central queue: it is accepted only
+ * when enough chunks for the *whole packet* can be reserved, stored
+ * once, and read out independently by one reader per requested
+ * output port (asynchronous replication; chunks are recycled when
+ * the slowest reader passes them).
+ *
+ * Bandwidth model (SP-Switch register-pipeline flavor): per cycle at
+ * most one chunk moves from an input FIFO into the central queue and
+ * at most one chunk moves from the central queue into an output
+ * FIFO; each output port transmits one flit per cycle downstream.
+ */
+
+#ifndef MDW_SWITCH_CENTRAL_BUFFER_SWITCH_HH
+#define MDW_SWITCH_CENTRAL_BUFFER_SWITCH_HH
+
+#include <cstdio>
+#include <deque>
+
+#include <functional>
+
+#include "switch/arbiter.hh"
+#include "switch/barrier_unit.hh"
+#include "switch/central_queue.hh"
+#include "switch/switch_base.hh"
+
+namespace mdw {
+
+/** Parameters of the central-buffer architecture. */
+struct CbParams
+{
+    /** Central queue storage in chunks. */
+    int cqChunks = 128;
+    /** Flits per chunk. */
+    int chunkFlits = 8;
+    /**
+     * Input FIFO depth in flits. Must hold the largest routing
+     * header (decode needs the full header); the network builder
+     * raises it if necessary.
+     */
+    int inputFifoFlits = 16;
+    /** Per-output staging FIFO depth in flits. */
+    int outputFifoFlits = 16;
+    /**
+     * Largest packet (header + payload) the system can produce, in
+     * flits; sizes the up-phase reservation headroom (see
+     * CqParams::upPhaseHeadroom). Set by the network builder; 0
+     * disables the partition (single-stage systems have no up
+     * phase).
+     */
+    int maxPacketFlits = 0;
+};
+
+/** SP2-style central-buffer switch with multidestination support. */
+class CentralBufferSwitch : public SwitchBase
+{
+  public:
+    CentralBufferSwitch(std::string name, SwitchId id,
+                        const SwitchRouting *routing,
+                        const SwitchParams &params,
+                        const CbParams &cbParams);
+
+    void step(Cycle now) override;
+
+    ReceivePolicy
+    receivePolicy(PortId) const override
+    {
+        return ReceivePolicy{cbParams_.inputFifoFlits, false};
+    }
+
+    /** Chunks currently occupied in the central queue (tests). */
+    int cqUsedChunks() const { return cq_.usedChunks(); }
+    /** Resident packets in the central queue (tests). */
+    std::size_t cqEntries() const { return cq_.entryCount(); }
+    /** Flits buffered at input @p port (tests). */
+    int inputOccupancy(PortId port) const;
+    /** Time-averaged central-queue occupancy, chunks. */
+    double avgCqChunks(Cycle now) const { return cqOcc_.average(now); }
+
+    /** Print the full internal state (deadlock diagnosis). */
+    void dumpState(FILE *out) const;
+
+    // --- Hardware barrier support (companion IPPS'97 scheme) -------
+
+    /** Builds an id-stamped packet from a descriptor (manager hook). */
+    using MakePacket = std::function<PacketPtr(PacketDesc)>;
+    /** Builds the release descriptor for a completed group (root). */
+    using ReleaseFactory = std::function<PacketDesc(int group)>;
+
+    /** Install the barrier hooks (called by HwBarrierManager). */
+    void setBarrierHooks(MakePacket makePacket,
+                         ReleaseFactory releaseFactory);
+
+    /** Install this switch's combining role for @p group. */
+    void configureBarrier(int group, BarrierSwitchEntry entry);
+
+    /** Barrier tokens absorbed so far (tests). */
+    std::uint64_t barrierTokensCombined() const
+    {
+        return barrierTokens_.value();
+    }
+
+  private:
+    /** How the head packet of an input is being served. */
+    enum class InMode { Deciding, Bypass, CentralQueue };
+
+    struct PacketRecord
+    {
+        PacketPtr pkt;
+        int arrived = 0;
+    };
+
+    struct InputState
+    {
+        std::deque<PacketRecord> packets;
+        int freeSlots = 0;
+        InMode mode = InMode::Deciding;
+        /** Head-packet flits taken out of the FIFO so far. */
+        int consumed = 0;
+        /** Bypass: target output and pruned descriptor. */
+        PortId bypassPort = kInvalidPort;
+        PacketPtr bypassPkt;
+        /** Central-queue mode: entry being written. */
+        CentralQueue::EntryId entry = CentralQueue::kNoEntry;
+    };
+
+    /** One output port's claim on a central-queue entry. */
+    struct QueueItem
+    {
+        CentralQueue::EntryId entry = CentralQueue::kNoEntry;
+        int reader = 0;
+        PacketPtr branchPkt;
+    };
+
+    struct OutputState
+    {
+        enum class Mode { Idle, Bypass, Stream } mode = Mode::Idle;
+        int bypassInput = -1;
+        QueueItem current;
+        /** Flits fetched from the CQ but not yet sent downstream. */
+        int fifoFlits = 0;
+        /** Flits of the current stream fetched from the CQ. */
+        int readSeq = 0;
+        /** Flits of the current stream sent downstream. */
+        int sentSeq = 0;
+        std::deque<QueueItem> queue;
+
+        bool idle() const { return mode == Mode::Idle; }
+    };
+
+    void intake(Cycle now);
+    void decide(Cycle now);
+    /** Consume an arrival token at input @p i and maybe emit. */
+    void consumeBarrierToken(std::size_t i, Cycle now);
+    /** Try to inject pending barrier emissions into the queue. */
+    void processBarrierEmissions(Cycle now);
+    void decideUnicast(std::size_t input, const RouteDecision &route);
+    void decideMulticast(std::size_t input, const RouteDecision &route);
+    void bypassTransmit(Cycle now);
+    void cqWrite(Cycle now);
+    void activateStreams();
+    void cqRead(Cycle now);
+    void streamTransmit(Cycle now);
+    void finishHeadPacket(InputState &input);
+
+    /** Queue-length cost used by adaptive up-port choice. */
+    int outputBacklog(PortId port) const;
+
+    /** Inputs currently stalled on a failed chunk reservation. */
+    int reservationWaiters_ = 0;
+
+    CbParams cbParams_;
+    CentralQueue cq_;
+    BarrierUnit barrier_;
+    MakePacket makePacket_;
+    ReleaseFactory releaseFactory_;
+    std::deque<BarrierUnit::Emit> barrierEmissions_;
+    Counter barrierTokens_;
+    std::vector<InputState> inputs_;
+    std::vector<OutputState> outputs_;
+    RoundRobinArbiter writeArb_;
+    RoundRobinArbiter readArb_;
+    TimeAverage cqOcc_;
+};
+
+} // namespace mdw
+
+#endif // MDW_SWITCH_CENTRAL_BUFFER_SWITCH_HH

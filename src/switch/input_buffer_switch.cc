@@ -1,0 +1,432 @@
+#include "switch/input_buffer_switch.hh"
+
+#include <algorithm>
+
+#include "sim/system.hh"
+
+namespace mdw {
+
+InputBufferSwitch::InputBufferSwitch(std::string name, SwitchId id,
+                                     const SwitchRouting *routing,
+                                     const SwitchParams &params,
+                                     const IbParams &ibParams)
+    : SwitchBase(std::move(name), id, routing, params),
+      ibParams_(ibParams)
+{
+    MDW_ASSERT(ibParams_.bufferFlits > 0, "input buffer must be > 0");
+    const auto radix = static_cast<std::size_t>(routing->radix());
+    inputs_.resize(radix);
+    outputs_.resize(radix);
+    outputArb_.resize(radix);
+    for (auto &input : inputs_)
+        input.freeSlots = ibParams_.bufferFlits;
+    for (auto &arb : outputArb_)
+        arb.resize(static_cast<int>(radix));
+    syncArb_.resize(static_cast<int>(radix));
+}
+
+bool
+InputBufferSwitch::fullyGranted(const InputState &input)
+{
+    if (!input.decoded || input.upPending || input.branches.empty())
+        return false;
+    for (const Branch &branch : input.branches) {
+        if (!branch.granted)
+            return false;
+    }
+    return true;
+}
+
+int
+InputBufferSwitch::bufferOccupancy(PortId port) const
+{
+    const auto &input = inputs_.at(static_cast<std::size_t>(port));
+    return ibParams_.bufferFlits - input.freeSlots;
+}
+
+bool
+InputBufferSwitch::outputBusy(PortId port) const
+{
+    return outputs_.at(static_cast<std::size_t>(port)).busy();
+}
+
+void
+InputBufferSwitch::dumpState(FILE *out) const
+{
+    std::fprintf(out, "%s: input-buffer switch\n", name().c_str());
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+        const InputState &in = inputs_[i];
+        if (in.packets.empty())
+            continue;
+        const PacketRecord &rec = in.packets.front();
+        std::fprintf(out,
+                     "  in%zu pkts=%zu head=%s arrived=%d released=%d "
+                     "decoded=%d upPending=%d free=%d\n",
+                     i, in.packets.size(), rec.pkt->toString().c_str(),
+                     rec.arrived, in.released, in.decoded,
+                     in.upPending, in.freeSlots);
+        for (const Branch &branch : in.branches) {
+            std::fprintf(out, "    branch port=%d sent=%d granted=%d\n",
+                         branch.port, branch.sent, branch.granted);
+        }
+    }
+    for (std::size_t o = 0; o < outputs_.size(); ++o) {
+        if (!outputs_[o].busy())
+            continue;
+        std::fprintf(out, "  out%zu bound to in%d branch %d credits=%d\n",
+                     o, outputs_[o].boundInput,
+                     outputs_[o].boundBranch, outs_[o].credits);
+    }
+}
+
+void
+InputBufferSwitch::step(Cycle now)
+{
+    collectCredits(now);
+    intake(now);
+    decodeHeads();
+    if (params_.replication == ReplicationMode::Synchronous) {
+        arbitrateSync();
+        transmitSync(now);
+    } else {
+        arbitrate();
+        transmit(now);
+    }
+    release(now);
+}
+
+void
+InputBufferSwitch::intake(Cycle now)
+{
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+        InputState &input = inputs_[i];
+        if (!ins_[i].connected() || !ins_[i].in->peek(now))
+            continue;
+        MDW_ASSERT(input.freeSlots > 0,
+                   "switch %d input %zu: flit arrived with full buffer "
+                   "(credit protocol violated)",
+                   id_, i);
+        Flit flit = ins_[i].in->receive(now);
+        --input.freeSlots;
+        stats_.flitsIn.inc();
+        if (flit.isHead()) {
+            MDW_ASSERT(flit.pkt->totalFlits() <= ibParams_.bufferFlits,
+                       "packet %llu (%d flits) exceeds input buffer "
+                       "(%d flits)",
+                       static_cast<unsigned long long>(flit.pkt->id),
+                       flit.pkt->totalFlits(), ibParams_.bufferFlits);
+            input.packets.push_back(PacketRecord{flit.pkt, 1});
+        } else {
+            MDW_ASSERT(!input.packets.empty() &&
+                           input.packets.back().pkt->id == flit.pkt->id,
+                       "switch %d input %zu: interleaved packets on "
+                       "one link",
+                       id_, i);
+            ++input.packets.back().arrived;
+        }
+        if (sim_)
+            sim_->noteProgress();
+    }
+}
+
+void
+InputBufferSwitch::decodeHeads()
+{
+    for (auto &input : inputs_) {
+        if (input.decoded || input.packets.empty())
+            continue;
+        const PacketRecord &rec = input.packets.front();
+        if (rec.arrived < rec.pkt->headerFlits)
+            continue;
+
+        const RouteDecision route =
+            routing_->decode(rec.pkt->dests, params_.variant);
+        input.branches.clear();
+        input.branches.reserve(route.downBranches.size() + 1);
+        for (const auto &[port, sub] : route.downBranches)
+            input.branches.push_back(
+                Branch{port, pruneBranch(rec.pkt, sub), 0, false});
+        input.upPending = false;
+        if (route.needsUp()) {
+            if (params_.upPolicy == UpPortPolicy::Deterministic) {
+                const PortId up = chooseUpPort(route, *rec.pkt, nullptr);
+                input.branches.push_back(
+                    Branch{up, pruneBranch(rec.pkt, route.upDests), 0,
+                           false});
+            } else {
+                input.upPending = true;
+                input.upCandidates = route.upCandidates;
+                input.upDests = route.upDests;
+            }
+        }
+        input.decoded = true;
+        input.released = 0;
+        stats_.packetsRouted.inc();
+        const std::size_t copies =
+            route.downBranches.size() + (route.needsUp() ? 1 : 0);
+        if (copies > 1)
+            stats_.replications.inc(copies - 1);
+    }
+}
+
+void
+InputBufferSwitch::arbitrate()
+{
+    for (std::size_t o = 0; o < outputs_.size(); ++o) {
+        if (outputs_[o].busy() || !outs_[o].connected())
+            continue;
+        // Gather inputs requesting this output: a concrete ungranted
+        // branch, or an unresolved adaptive up-port request.
+        std::vector<bool> request(inputs_.size(), false);
+        std::vector<int> branchOf(inputs_.size(), -1);
+        for (std::size_t i = 0; i < inputs_.size(); ++i) {
+            InputState &input = inputs_[i];
+            if (!input.decoded)
+                continue;
+            for (std::size_t b = 0; b < input.branches.size(); ++b) {
+                const Branch &branch = input.branches[b];
+                if (!branch.granted && !branch.done() &&
+                    branch.port == static_cast<PortId>(o)) {
+                    request[i] = true;
+                    branchOf[i] = static_cast<int>(b);
+                }
+            }
+            if (!request[i] && input.upPending &&
+                std::find(input.upCandidates.begin(),
+                          input.upCandidates.end(),
+                          static_cast<PortId>(o)) !=
+                    input.upCandidates.end()) {
+                request[i] = true;
+                branchOf[i] = -2; // up request marker
+            }
+        }
+
+        const int winner = outputArb_[o].grant(request);
+        if (winner < 0)
+            continue;
+        InputState &input = inputs_[static_cast<std::size_t>(winner)];
+        int branch_idx = branchOf[static_cast<std::size_t>(winner)];
+        if (branch_idx == -2) {
+            // Adaptive up request: materialize the up branch here.
+            const PacketPtr &pkt = input.packets.front().pkt;
+            input.branches.push_back(
+                Branch{static_cast<PortId>(o),
+                       pruneBranch(pkt, input.upDests), 0, true});
+            input.upPending = false;
+            branch_idx = static_cast<int>(input.branches.size()) - 1;
+        } else {
+            input.branches[static_cast<std::size_t>(branch_idx)]
+                .granted = true;
+        }
+        outputs_[o].boundInput = winner;
+        outputs_[o].boundBranch = branch_idx;
+    }
+}
+
+void
+InputBufferSwitch::transmit(Cycle now)
+{
+    for (std::size_t o = 0; o < outputs_.size(); ++o) {
+        OutputState &output = outputs_[o];
+        if (!output.busy())
+            continue;
+        OutPort &port = outs_[o];
+        InputState &input =
+            inputs_[static_cast<std::size_t>(output.boundInput)];
+        Branch &branch =
+            input.branches[static_cast<std::size_t>(output.boundBranch)];
+        const PacketRecord &rec = input.packets.front();
+        MDW_ASSERT(rec.pkt->id == branch.pkt->id,
+                   "output %zu bound to a non-head packet", o);
+
+        if (branch.sent >= rec.arrived)
+            continue; // flit not yet in the buffer
+        if (port.credits < 1 || port.out->busy(now))
+            continue;
+        if (branch.sent == 0 && !canStartPacket(port, *branch.pkt)) {
+            stats_.reservationStallCycles.inc();
+            continue;
+        }
+        port.out->send(Flit{branch.pkt, branch.sent}, now);
+        ++branch.sent;
+        --port.credits;
+        notePortSend(o);
+        if (sim_)
+            sim_->noteProgress();
+        if (branch.done()) {
+            output.boundInput = -1;
+            output.boundBranch = -1;
+        }
+    }
+}
+
+void
+InputBufferSwitch::arbitrateSync()
+{
+    // All-or-nothing acquisition (no hold-and-wait): an input gets
+    // every output port its head packet needs in one shot, or none.
+    // Inputs are served in round-robin order for fairness.
+    std::vector<bool> ready(inputs_.size(), false);
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+        const InputState &input = inputs_[i];
+        if (!input.decoded)
+            continue;
+        bool wants = input.upPending;
+        for (const Branch &branch : input.branches)
+            wants = wants || !branch.granted;
+        ready[i] = wants;
+    }
+
+    // Try every waiting input once, rotating priority.
+    for (std::size_t attempt = 0; attempt < inputs_.size(); ++attempt) {
+        const int i = syncArb_.grant(ready);
+        if (i < 0)
+            return;
+        ready[static_cast<std::size_t>(i)] = false;
+        InputState &input = inputs_[static_cast<std::size_t>(i)];
+
+        // Collect the full port set: ungranted branches plus, if
+        // unresolved, one free up candidate.
+        std::vector<PortId> needed;
+        for (const Branch &branch : input.branches) {
+            if (!branch.granted)
+                needed.push_back(branch.port);
+        }
+        PortId up_choice = kInvalidPort;
+        if (input.upPending) {
+            for (PortId cand : input.upCandidates) {
+                if (!outputs_[static_cast<std::size_t>(cand)].busy()) {
+                    up_choice = cand;
+                    break;
+                }
+            }
+            if (up_choice == kInvalidPort)
+                continue; // no free up port: acquire nothing
+            needed.push_back(up_choice);
+        }
+
+        bool all_free = true;
+        for (PortId port : needed) {
+            if (outputs_[static_cast<std::size_t>(port)].busy()) {
+                all_free = false;
+                break;
+            }
+        }
+        if (!all_free || needed.empty())
+            continue;
+
+        // Commit: bind every port.
+        if (up_choice != kInvalidPort) {
+            const PacketPtr &pkt = input.packets.front().pkt;
+            input.branches.push_back(Branch{
+                up_choice, pruneBranch(pkt, input.upDests), 0, false});
+            input.upPending = false;
+        }
+        for (std::size_t b = 0; b < input.branches.size(); ++b) {
+            Branch &branch = input.branches[b];
+            if (branch.granted)
+                continue;
+            branch.granted = true;
+            OutputState &output =
+                outputs_[static_cast<std::size_t>(branch.port)];
+            output.boundInput = i;
+            output.boundBranch = static_cast<int>(b);
+        }
+    }
+}
+
+void
+InputBufferSwitch::transmitSync(Cycle now)
+{
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+        InputState &input = inputs_[i];
+        if (!fullyGranted(input))
+            continue;
+        const PacketRecord &rec = input.packets.front();
+        const int sent = input.branches.front().sent;
+        if (sent >= rec.arrived)
+            continue;
+        if (sent >= rec.pkt->totalFlits())
+            continue;
+
+        // Lock-step: the flit moves only if EVERY branch can take it
+        // this cycle (the synchronous-replication feedback).
+        bool all_can = true;
+        for (const Branch &branch : input.branches) {
+            MDW_ASSERT(branch.sent == sent,
+                       "synchronous branches diverged (%d vs %d)",
+                       branch.sent, sent);
+            OutPort &port =
+                outs_[static_cast<std::size_t>(branch.port)];
+            if (port.credits < 1 || port.out->busy(now) ||
+                (sent == 0 && !canStartPacket(port, *branch.pkt))) {
+                all_can = false;
+                break;
+            }
+        }
+        if (!all_can) {
+            if (sent == 0)
+                stats_.reservationStallCycles.inc();
+            continue;
+        }
+
+        bool done = false;
+        for (Branch &branch : input.branches) {
+            OutPort &port =
+                outs_[static_cast<std::size_t>(branch.port)];
+            port.out->send(Flit{branch.pkt, branch.sent}, now);
+            ++branch.sent;
+            --port.credits;
+            notePortSend(static_cast<std::size_t>(branch.port));
+            done = branch.done();
+        }
+        if (sim_)
+            sim_->noteProgress();
+        if (done) {
+            for (const Branch &branch : input.branches) {
+                OutputState &output =
+                    outputs_[static_cast<std::size_t>(branch.port)];
+                output.boundInput = -1;
+                output.boundBranch = -1;
+            }
+        }
+    }
+}
+
+void
+InputBufferSwitch::release(Cycle now)
+{
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+        InputState &input = inputs_[i];
+        if (!input.decoded || input.packets.empty())
+            continue;
+        const PacketRecord &rec = input.packets.front();
+        const int total = rec.pkt->totalFlits();
+
+        int min_sent = total;
+        if (input.upPending)
+            min_sent = 0;
+        for (const Branch &branch : input.branches)
+            min_sent = std::min(min_sent, branch.sent);
+
+        if (min_sent > input.released) {
+            const int freed = min_sent - input.released;
+            input.released = min_sent;
+            input.freeSlots += freed;
+            if (ins_[i].creditOut)
+                ins_[i].creditOut->send(freed, now);
+        }
+
+        if (input.released == total) {
+            MDW_ASSERT(rec.arrived == total,
+                       "released more flits than arrived");
+            input.packets.pop_front();
+            input.decoded = false;
+            input.branches.clear();
+            input.upPending = false;
+            input.released = 0;
+        }
+    }
+}
+
+} // namespace mdw

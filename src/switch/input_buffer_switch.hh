@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Input-buffer-based switch architecture (paper Section 5).
+ *
+ * Storage is statically partitioned into one FIFO buffer per input
+ * port, each large enough to hold the largest packet in the system.
+ * A multidestination worm at the head of an input buffer decodes its
+ * destination set into a set of required output ports and replicates
+ * *asynchronously*: each requested output port is acquired
+ * independently through round-robin arbitration, and each acquired
+ * branch streams flits at its own pace; a blocked branch never blocks
+ * the others. A buffer slot is recycled (and its credit returned
+ * upstream) once every branch has forwarded the flit.
+ *
+ * Deadlock freedom follows the paper's rule: the upstream sender may
+ * start transferring a multidestination worm only when the whole
+ * packet is guaranteed to fit in this input buffer (whole-packet
+ * credit reservation), so any blocked worm is eventually completely
+ * buffered and releases its upstream path. Unicast traffic uses plain
+ * cut-through with per-flit credits (up/down routing is acyclic).
+ *
+ * The price of this organization is head-of-line blocking: only the
+ * packet at the head of each input FIFO can be routed.
+ */
+
+#ifndef MDW_SWITCH_INPUT_BUFFER_SWITCH_HH
+#define MDW_SWITCH_INPUT_BUFFER_SWITCH_HH
+
+#include <cstdio>
+#include <deque>
+
+#include "switch/arbiter.hh"
+#include "switch/switch_base.hh"
+
+namespace mdw {
+
+/** Parameters of the input-buffer architecture. */
+struct IbParams
+{
+    /**
+     * Flits of buffering per input port. Must be at least the largest
+     * packet (header + payload) in the system; the network builder
+     * validates this.
+     */
+    int bufferFlits = 288;
+};
+
+/** Input-buffered switch with asynchronous multicast replication. */
+class InputBufferSwitch : public SwitchBase
+{
+  public:
+    InputBufferSwitch(std::string name, SwitchId id,
+                      const SwitchRouting *routing,
+                      const SwitchParams &params,
+                      const IbParams &ibParams);
+
+    void step(Cycle now) override;
+
+    ReceivePolicy
+    receivePolicy(PortId) const override
+    {
+        return ReceivePolicy{ibParams_.bufferFlits, true};
+    }
+
+    /** Flits currently buffered at input @p port (tests). */
+    int bufferOccupancy(PortId port) const;
+
+    /** True if output @p port is streaming a branch (tests). */
+    bool outputBusy(PortId port) const;
+
+    /** Print the full internal state (deadlock diagnosis). */
+    void dumpState(FILE *out) const;
+
+  private:
+    /** One replication branch of the head packet of an input. */
+    struct Branch
+    {
+        PortId port = kInvalidPort;
+        PacketPtr pkt; // destination-pruned descriptor
+        int sent = 0;
+        bool granted = false;
+
+        bool done() const { return sent >= pkt->totalFlits(); }
+    };
+
+    /** One packet resident (possibly partially) in an input buffer. */
+    struct PacketRecord
+    {
+        PacketPtr pkt;
+        int arrived = 0;
+    };
+
+    struct InputState
+    {
+        std::deque<PacketRecord> packets;
+        int freeSlots = 0;
+        /** Head-packet flits already forwarded by every branch. */
+        int released = 0;
+        bool decoded = false;
+        /** Head packet still needs an up port to be granted. */
+        bool upPending = false;
+        std::vector<PortId> upCandidates;
+        DestSet upDests{0};
+        std::vector<Branch> branches;
+    };
+
+    struct OutputState
+    {
+        int boundInput = -1;
+        int boundBranch = -1;
+
+        bool busy() const { return boundInput >= 0; }
+    };
+
+    void intake(Cycle now);
+    void decodeHeads();
+    void arbitrate();
+    void transmit(Cycle now);
+    /** Synchronous replication: all-or-nothing port acquisition. */
+    void arbitrateSync();
+    /** Synchronous replication: lock-step forwarding on all branches. */
+    void transmitSync(Cycle now);
+    void release(Cycle now);
+
+    /** True when every branch of the head packet has its port. */
+    static bool fullyGranted(const InputState &input);
+
+    IbParams ibParams_;
+    std::vector<InputState> inputs_;
+    std::vector<OutputState> outputs_;
+    std::vector<RoundRobinArbiter> outputArb_;
+    RoundRobinArbiter syncArb_;
+};
+
+} // namespace mdw
+
+#endif // MDW_SWITCH_INPUT_BUFFER_SWITCH_HH

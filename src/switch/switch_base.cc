@@ -1,0 +1,120 @@
+#include "switch/switch_base.hh"
+
+#include <functional>
+
+namespace mdw {
+
+const char *
+toString(ReplicationMode mode)
+{
+    switch (mode) {
+      case ReplicationMode::Asynchronous:
+        return "asynchronous";
+      case ReplicationMode::Synchronous:
+        return "synchronous";
+    }
+    return "?";
+}
+
+SwitchBase::SwitchBase(std::string name, SwitchId id,
+                       const SwitchRouting *routing,
+                       const SwitchParams &params)
+    : Component(std::move(name)), id_(id), routing_(routing),
+      params_(params),
+      ins_(static_cast<std::size_t>(routing->radix())),
+      outs_(static_cast<std::size_t>(routing->radix())),
+      portTx_(static_cast<std::size_t>(routing->radix())),
+      rng_(Rng(params.seed).fork(static_cast<std::uint64_t>(id) + 17))
+{
+    MDW_ASSERT(routing != nullptr, "switch %d without routing", id);
+}
+
+void
+SwitchBase::connectIn(PortId port, Channel<Flit> *in,
+                      CreditChannel *creditOut)
+{
+    auto &p = ins_.at(static_cast<std::size_t>(port));
+    MDW_ASSERT(!p.connected(), "switch %d input %d connected twice",
+               id_, port);
+    p.in = in;
+    p.creditOut = creditOut;
+}
+
+void
+SwitchBase::connectOut(PortId port, Channel<Flit> *out,
+                       CreditChannel *creditIn,
+                       const ReceivePolicy &policy)
+{
+    auto &p = outs_.at(static_cast<std::size_t>(port));
+    MDW_ASSERT(!p.connected(), "switch %d output %d connected twice",
+               id_, port);
+    p.out = out;
+    p.creditIn = creditIn;
+    p.credits = policy.window;
+    p.mcastWholePacket = policy.mcastWholePacket;
+}
+
+std::uint64_t
+SwitchBase::portTxFlits(PortId port) const
+{
+    return portTx_.at(static_cast<std::size_t>(port)).value();
+}
+
+bool
+SwitchBase::outConnected(PortId port) const
+{
+    return outs_.at(static_cast<std::size_t>(port)).connected();
+}
+
+void
+SwitchBase::notePortSend(std::size_t port)
+{
+    stats_.flitsOut.inc();
+    portTx_[port].inc();
+}
+
+void
+SwitchBase::collectCredits(Cycle now)
+{
+    for (auto &p : outs_) {
+        if (p.creditIn)
+            p.credits += p.creditIn->receive(now);
+    }
+}
+
+bool
+SwitchBase::canStartPacket(const OutPort &port,
+                           const PacketDesc &pkt) const
+{
+    if (port.mcastWholePacket && pkt.kind == PacketKind::HwMulticast)
+        return port.credits >= pkt.totalFlits();
+    return port.credits >= 1;
+}
+
+PortId
+SwitchBase::chooseUpPort(const RouteDecision &route,
+                         const PacketDesc &pkt,
+                         const std::function<bool(PortId)> &freeOk) const
+{
+    MDW_ASSERT(!route.upCandidates.empty(), "no up candidates");
+    const auto &cands = route.upCandidates;
+    const std::size_t n = cands.size();
+    // Deterministic default: spread by source and packet id so
+    // distinct flows take distinct up links.
+    const std::size_t hash =
+        (static_cast<std::size_t>(pkt.src) * 0x9e3779b9u +
+         static_cast<std::size_t>(pkt.id) * 0x85ebca6bu) %
+        n;
+    if (params_.upPolicy == UpPortPolicy::Deterministic || !freeOk)
+        return cands[hash];
+    // Adaptive: first available candidate scanning from the hash
+    // position (ties broken by the hash so load still spreads).
+    for (std::size_t i = 0; i < n; ++i) {
+        const PortId cand = cands[(hash + i) % n];
+        if (freeOk(cand))
+            return cand;
+    }
+    return cands[hash];
+}
+
+} // namespace mdw

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Common machinery shared by the two switch architectures: port
+ * wiring, credit-based link flow control, the multidestination
+ * whole-packet reservation rule, and per-switch statistics.
+ */
+
+#ifndef MDW_SWITCH_SWITCH_BASE_HH
+#define MDW_SWITCH_SWITCH_BASE_HH
+
+#include <functional>
+#include <vector>
+
+#include "message/flit.hh"
+#include "sim/channel.hh"
+#include "sim/component.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "topology/routing.hh"
+
+namespace mdw {
+
+/**
+ * What a component advertises about one of its input ports, consumed
+ * by the wiring code to initialize the upstream sender's credit
+ * counter and reservation behaviour.
+ */
+struct ReceivePolicy
+{
+    /** Flits of buffering behind the link (initial credits). */
+    int window = 0;
+    /**
+     * True if a multidestination worm may only start transfer on this
+     * link once the whole packet fits in the receiver's buffer (the
+     * input-buffer architecture's deadlock-avoidance rule). False for
+     * receivers that make their own internal acceptance decision
+     * (central-buffer switch) or always consume (NIC ejection).
+     */
+    bool mcastWholePacket = false;
+};
+
+/**
+ * How a switch replicates a multidestination worm to several output
+ * ports (paper Section 3).
+ */
+enum class ReplicationMode
+{
+    /**
+     * Each granted branch forwards at its own pace; a blocked branch
+     * never blocks the others. The paper's preferred mechanism.
+     */
+    Asynchronous,
+    /**
+     * Branches proceed in lock-step: all required output ports are
+     * acquired atomically (all-or-nothing, avoiding hold-and-wait
+     * deadlock) and a flit is forwarded only when every branch can
+     * accept it, modeling the feedback architecture of synchronous
+     * replication. Only the input-buffer architecture supports this;
+     * the central queue's store-once readers are inherently
+     * asynchronous.
+     */
+    Synchronous,
+};
+
+const char *toString(ReplicationMode mode);
+
+/** Parameters common to both switch architectures. */
+struct SwitchParams
+{
+    RoutingVariant variant = RoutingVariant::ReplicateAfterLca;
+    UpPortPolicy upPolicy = UpPortPolicy::Adaptive;
+    ReplicationMode replication = ReplicationMode::Asynchronous;
+    std::uint64_t seed = 1;
+};
+
+/** Per-switch activity counters. */
+struct SwitchStats
+{
+    Counter flitsIn;
+    Counter flitsOut;
+    Counter packetsRouted;
+    /** Extra output copies created beyond the first (replications). */
+    Counter replications;
+    /** Cycles a multidestination head waited for buffer reservation. */
+    Counter reservationStallCycles;
+};
+
+/**
+ * Base class: owns the port arrays and implements link-level credit
+ * flow control. Concrete architectures implement step().
+ */
+class SwitchBase : public Component
+{
+  public:
+    /**
+     * @param name Diagnostic name.
+     * @param id Switch id within the topology.
+     * @param routing This switch's frozen routing state (not owned).
+     * @param params Common parameters.
+     */
+    SwitchBase(std::string name, SwitchId id,
+               const SwitchRouting *routing, const SwitchParams &params);
+
+    /** Attach the receive side of port @p port. */
+    void connectIn(PortId port, Channel<Flit> *in,
+                   CreditChannel *creditOut);
+
+    /**
+     * Attach the send side of port @p port.
+     * @param policy The downstream receiver's advertised policy.
+     */
+    void connectOut(PortId port, Channel<Flit> *out,
+                    CreditChannel *creditIn,
+                    const ReceivePolicy &policy);
+
+    /** The policy this switch advertises for its input @p port. */
+    virtual ReceivePolicy receivePolicy(PortId port) const = 0;
+
+    SwitchId id() const { return id_; }
+    const SwitchStats &stats() const { return stats_; }
+    const SwitchRouting &routing() const { return *routing_; }
+
+    /** Flits ever sent on output @p port (link utilization). */
+    std::uint64_t portTxFlits(PortId port) const;
+
+    /** True if output @p port has a link attached. */
+    bool outConnected(PortId port) const;
+
+  protected:
+    struct InPort
+    {
+        Channel<Flit> *in = nullptr;
+        CreditChannel *creditOut = nullptr;
+        bool connected() const { return in != nullptr; }
+    };
+
+    struct OutPort
+    {
+        Channel<Flit> *out = nullptr;
+        CreditChannel *creditIn = nullptr;
+        int credits = 0;
+        bool mcastWholePacket = false;
+        bool connected() const { return out != nullptr; }
+    };
+
+    /** Pull arrived credits on every output port. */
+    void collectCredits(Cycle now);
+
+    /**
+     * May the first flit of @p pkt start crossing output @p port this
+     * cycle? Applies the whole-packet reservation rule for
+     * multidestination worms when the receiver demands it.
+     */
+    bool canStartPacket(const OutPort &port,
+                        const PacketDesc &pkt) const;
+
+    /**
+     * Pick the up port for a packet from decode candidates.
+     * @param freeOk Predicate: is this port currently a good
+     *        (available) choice? Used by the adaptive policy; if no
+     *        candidate satisfies it, adaptive falls back to the
+     *        deterministic choice.
+     */
+    PortId chooseUpPort(const RouteDecision &route,
+                        const PacketDesc &pkt,
+                        const std::function<bool(PortId)> &freeOk) const;
+
+    /** Count one flit leaving through @p port. */
+    void notePortSend(std::size_t port);
+
+    SwitchId id_;
+    const SwitchRouting *routing_;
+    SwitchParams params_;
+    std::vector<InPort> ins_;
+    std::vector<OutPort> outs_;
+    std::vector<Counter> portTx_;
+    Rng rng_;
+    SwitchStats stats_;
+};
+
+} // namespace mdw
+
+#endif // MDW_SWITCH_SWITCH_BASE_HH

@@ -1,0 +1,155 @@
+#include "topology/fat_tree.hh"
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace mdw {
+
+namespace {
+
+/** digit @p pos (base k) of @p label. */
+int
+digitOf(int label, int k, int pos)
+{
+    for (int i = 0; i < pos; ++i)
+        label /= k;
+    return label % k;
+}
+
+/** @p label with digit @p pos replaced by @p value. */
+int
+withDigit(int label, int k, int pos, int value)
+{
+    int scale = 1;
+    for (int i = 0; i < pos; ++i)
+        scale *= k;
+    const int old = (label / scale) % k;
+    return label + (value - old) * scale;
+}
+
+} // namespace
+
+FatTree::FatTree(int k, int n)
+    : k_(k), n_(n)
+{
+    MDW_ASSERT(k >= 2, "fat-tree arity k=%d must be >= 2", k);
+    MDW_ASSERT(n >= 1, "fat-tree must have n >= 1 stages, got %d", n);
+
+    perLevel_ = 1;
+    for (int i = 0; i < n - 1; ++i)
+        perLevel_ *= k;
+
+    std::size_t hosts = static_cast<std::size_t>(perLevel_) *
+                        static_cast<std::size_t>(k);
+
+    // Switches: n stages of perLevel_ radix-2k switches.
+    for (int level = 0; level < n; ++level) {
+        for (int label = 0; label < perLevel_; ++label) {
+            const SwitchId sw = graph_.addSwitch(2 * k);
+            MDW_ASSERT(sw == switchAt(level, label),
+                       "switch id layout mismatch");
+        }
+    }
+    for (std::size_t h = 0; h < hosts; ++h)
+        graph_.addHost();
+
+    // Hosts hang off stage-0 switches: down port c of leaf switch w
+    // is host w*k + c.
+    for (int label = 0; label < perLevel_; ++label) {
+        for (int c = 0; c < k; ++c) {
+            graph_.connectHost(static_cast<NodeId>(label * k + c),
+                               switchAt(0, label),
+                               static_cast<PortId>(c));
+        }
+    }
+
+    // Inter-stage links: up port u of (l, w) connects to down port
+    // digit_l(w) of (l+1, w with digit l := u). Enumerating from the
+    // lower side covers every link exactly once.
+    for (int level = 0; level + 1 < n; ++level) {
+        for (int label = 0; label < perLevel_; ++label) {
+            for (int u = 0; u < k; ++u) {
+                const int upper = withDigit(label, k, level, u);
+                graph_.connectSwitches(
+                    switchAt(level, label),
+                    static_cast<PortId>(k + u),
+                    switchAt(level + 1, upper),
+                    static_cast<PortId>(digitOf(label, k, level)));
+            }
+        }
+    }
+
+    // Port directions: 0..k-1 down, k..2k-1 up (unused at the root
+    // stage, whose up ports have no links).
+    dirs_.assign(graph_.numSwitches(),
+                 std::vector<PortDir>(static_cast<std::size_t>(2 * k),
+                                      PortDir::Unused));
+    for (int level = 0; level < n; ++level) {
+        for (int label = 0; label < perLevel_; ++label) {
+            auto &row = dirs_[static_cast<std::size_t>(
+                switchAt(level, label))];
+            for (int c = 0; c < k; ++c)
+                row[static_cast<std::size_t>(c)] = PortDir::Down;
+            if (level + 1 < n) {
+                for (int u = 0; u < k; ++u)
+                    row[static_cast<std::size_t>(k + u)] = PortDir::Up;
+            }
+        }
+    }
+
+    finalize();
+}
+
+int
+FatTree::levelOf(SwitchId sw) const
+{
+    MDW_ASSERT(sw >= 0 &&
+                   static_cast<std::size_t>(sw) < graph_.numSwitches(),
+               "switch id %d out of range", sw);
+    return sw / perLevel_;
+}
+
+int
+FatTree::labelOf(SwitchId sw) const
+{
+    MDW_ASSERT(sw >= 0 &&
+                   static_cast<std::size_t>(sw) < graph_.numSwitches(),
+               "switch id %d out of range", sw);
+    return sw % perLevel_;
+}
+
+SwitchId
+FatTree::switchAt(int level, int label) const
+{
+    MDW_ASSERT(level >= 0 && level < n_, "level %d out of range", level);
+    MDW_ASSERT(label >= 0 && label < perLevel_, "label %d out of range",
+               label);
+    return static_cast<SwitchId>(level * perLevel_ + label);
+}
+
+std::string
+FatTree::describe() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "%d-ary %d-tree (%zu hosts, %zu switches, radix %d)",
+                  k_, n_, graph_.numHosts(), graph_.numSwitches(),
+                  2 * k_);
+    return buf;
+}
+
+int
+FatTree::levelsFor(int k, std::size_t hosts)
+{
+    MDW_ASSERT(k >= 2, "arity must be >= 2");
+    int n = 1;
+    std::size_t capacity = static_cast<std::size_t>(k);
+    while (capacity < hosts) {
+        capacity *= static_cast<std::size_t>(k);
+        ++n;
+    }
+    return n;
+}
+
+} // namespace mdw

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * k-ary n-tree — the bidirectional MIN used in the paper's evaluation.
+ *
+ * A k-ary n-tree connects k^n hosts through n stages of radix-2k
+ * switches (k down ports, k up ports; the root stage leaves its up
+ * ports unconnected). Stage 0 is adjacent to the hosts; a link between
+ * stage l and stage l+1 connects switches whose (n-1)-digit base-k
+ * labels agree everywhere except digit l. This is the standard
+ * least-common-ancestor network of the IBM SP2-class machines.
+ */
+
+#ifndef MDW_TOPOLOGY_FAT_TREE_HH
+#define MDW_TOPOLOGY_FAT_TREE_HH
+
+#include <string>
+
+#include "topology/topology.hh"
+
+namespace mdw {
+
+/** Builder/descriptor for a k-ary n-tree. */
+class FatTree : public Topology
+{
+  public:
+    /**
+     * @param k Arity (down ports per switch), >= 2.
+     * @param n Number of stages, >= 1. Hosts = k^n.
+     */
+    FatTree(int k, int n);
+
+    int k() const { return k_; }
+    int n() const { return n_; }
+
+    /** Stage (0 = host-adjacent) of a switch. */
+    int levelOf(SwitchId sw) const;
+
+    /** Label (index within its stage) of a switch. */
+    int labelOf(SwitchId sw) const;
+
+    /** Switch id for (level, label). */
+    SwitchId switchAt(int level, int label) const;
+
+    /** Switches per stage (= k^(n-1)). */
+    int switchesPerLevel() const { return perLevel_; }
+
+    int downLevels() const override { return n_; }
+
+    std::string describe() const override;
+
+    /**
+     * Smallest k-ary n-tree (with this fixed k) holding at least
+     * @p hosts hosts; returns the required n.
+     */
+    static int levelsFor(int k, std::size_t hosts);
+
+  private:
+    int k_;
+    int n_;
+    int perLevel_;
+};
+
+} // namespace mdw
+
+#endif // MDW_TOPOLOGY_FAT_TREE_HH

@@ -1,0 +1,200 @@
+#include "topology/graph.hh"
+
+#include <queue>
+
+#include "sim/logging.hh"
+
+namespace mdw {
+
+SwitchId
+PortGraph::addSwitch(int radix)
+{
+    MDW_ASSERT(radix > 0, "switch radix must be positive");
+    ports_.emplace_back(static_cast<std::size_t>(radix));
+    return static_cast<SwitchId>(ports_.size() - 1);
+}
+
+NodeId
+PortGraph::addHost()
+{
+    hosts_.emplace_back();
+    inject_.emplace_back();
+    return static_cast<NodeId>(hosts_.size() - 1);
+}
+
+void
+PortGraph::checkSwitch(SwitchId sw) const
+{
+    MDW_ASSERT(sw >= 0 && static_cast<std::size_t>(sw) < ports_.size(),
+               "switch id %d out of range", sw);
+}
+
+void
+PortGraph::checkPort(SwitchId sw, PortId port) const
+{
+    checkSwitch(sw);
+    MDW_ASSERT(port >= 0 &&
+                   static_cast<std::size_t>(port) < ports_[sw].size(),
+               "port %d out of range on switch %d", port, sw);
+}
+
+void
+PortGraph::connectSwitches(SwitchId a, PortId pa, SwitchId b, PortId pb)
+{
+    checkPort(a, pa);
+    checkPort(b, pb);
+    MDW_ASSERT(!(a == b && pa == pb), "port connected to itself");
+    MDW_ASSERT(!ports_[a][pa].connected(), "switch %d port %d busy", a, pa);
+    MDW_ASSERT(!ports_[b][pb].connected(), "switch %d port %d busy", b, pb);
+    ports_[a][pa] = PortPeer{PortPeer::Kind::Switch, kInvalidNode, b, pb};
+    ports_[b][pb] = PortPeer{PortPeer::Kind::Switch, kInvalidNode, a, pa};
+}
+
+void
+PortGraph::connectHostSide(NodeId host, SwitchId sw, PortId port,
+                           PortPeer::HostRole role)
+{
+    MDW_ASSERT(host >= 0 && static_cast<std::size_t>(host) < hosts_.size(),
+               "host id %d out of range", host);
+    checkPort(sw, port);
+    MDW_ASSERT(!ports_[sw][port].connected(), "switch %d port %d busy",
+               sw, port);
+    if (role != PortPeer::HostRole::Inject) {
+        MDW_ASSERT(hosts_[host].sw == kInvalidSwitch,
+                   "host %d already attached", host);
+        hosts_[host] = HostAttach{sw, port};
+    }
+    if (role != PortPeer::HostRole::Eject) {
+        MDW_ASSERT(inject_[host].sw == kInvalidSwitch,
+                   "host %d inject side already attached", host);
+        inject_[host] = HostAttach{sw, port};
+    }
+    ports_[sw][port] = PortPeer{PortPeer::Kind::Host, host,
+                                kInvalidSwitch, kInvalidPort, role};
+}
+
+void
+PortGraph::connectHost(NodeId host, SwitchId sw, PortId port)
+{
+    connectHostSide(host, sw, port, PortPeer::HostRole::Both);
+}
+
+void
+PortGraph::connectHostInject(NodeId host, SwitchId sw, PortId port)
+{
+    connectHostSide(host, sw, port, PortPeer::HostRole::Inject);
+}
+
+void
+PortGraph::connectHostEject(NodeId host, SwitchId sw, PortId port)
+{
+    connectHostSide(host, sw, port, PortPeer::HostRole::Eject);
+}
+
+int
+PortGraph::radix(SwitchId sw) const
+{
+    checkSwitch(sw);
+    return static_cast<int>(ports_[sw].size());
+}
+
+const PortPeer &
+PortGraph::peer(SwitchId sw, PortId port) const
+{
+    checkPort(sw, port);
+    return ports_[sw][port];
+}
+
+const HostAttach &
+PortGraph::attach(NodeId host) const
+{
+    MDW_ASSERT(host >= 0 && static_cast<std::size_t>(host) < hosts_.size(),
+               "host id %d out of range", host);
+    return hosts_[host];
+}
+
+const HostAttach &
+PortGraph::injectAttach(NodeId host) const
+{
+    MDW_ASSERT(host >= 0 && static_cast<std::size_t>(host) < hosts_.size(),
+               "host id %d out of range", host);
+    return inject_[host];
+}
+
+std::size_t
+PortGraph::switchLinkCount() const
+{
+    std::size_t ends = 0;
+    for (const auto &sw_ports : ports_) {
+        for (const auto &p : sw_ports) {
+            if (p.isSwitch())
+                ++ends;
+        }
+    }
+    MDW_ASSERT(ends % 2 == 0, "odd number of switch link endpoints");
+    return ends / 2;
+}
+
+void
+PortGraph::validate() const
+{
+    for (std::size_t s = 0; s < ports_.size(); ++s) {
+        for (std::size_t p = 0; p < ports_[s].size(); ++p) {
+            const PortPeer &peer = ports_[s][p];
+            if (peer.isSwitch()) {
+                const PortPeer &back = this->peer(peer.sw, peer.port);
+                MDW_ASSERT(back.isSwitch() &&
+                               back.sw == static_cast<SwitchId>(s) &&
+                               back.port == static_cast<PortId>(p),
+                           "asymmetric link at switch %zu port %zu", s, p);
+            } else if (peer.isHost()) {
+                const HostAttach &at =
+                    peer.hostRole == PortPeer::HostRole::Inject
+                        ? inject_[peer.host]
+                        : hosts_[peer.host];
+                MDW_ASSERT(at.sw == static_cast<SwitchId>(s) &&
+                               at.port == static_cast<PortId>(p),
+                           "host %d attach record mismatch", peer.host);
+            }
+        }
+    }
+    for (std::size_t h = 0; h < hosts_.size(); ++h) {
+        MDW_ASSERT(hosts_[h].sw != kInvalidSwitch, "host %zu unattached",
+                   h);
+        MDW_ASSERT(inject_[h].sw != kInvalidSwitch,
+                   "host %zu has no injection attach", h);
+        const PortPeer &peer = ports_[hosts_[h].sw][hosts_[h].port];
+        MDW_ASSERT(peer.isHost() &&
+                       peer.host == static_cast<NodeId>(h),
+                   "host %zu port record mismatch", h);
+        const PortPeer &tx = ports_[inject_[h].sw][inject_[h].port];
+        MDW_ASSERT(tx.isHost() && tx.host == static_cast<NodeId>(h),
+                   "host %zu inject record mismatch", h);
+    }
+}
+
+bool
+PortGraph::connectedSwitches() const
+{
+    if (ports_.empty())
+        return true;
+    std::vector<bool> seen(ports_.size(), false);
+    std::queue<SwitchId> frontier;
+    frontier.push(0);
+    seen[0] = true;
+    std::size_t visited = 1;
+    while (!frontier.empty()) {
+        const SwitchId s = frontier.front();
+        frontier.pop();
+        for (const auto &p : ports_[s]) {
+            if (p.isSwitch() && !seen[p.sw]) {
+                seen[p.sw] = true;
+                ++visited;
+                frontier.push(p.sw);
+            }
+        }
+    }
+    return visited == ports_.size();
+}
+
+} // namespace mdw

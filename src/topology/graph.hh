@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Structural description of a switch-based network: switches with
+ * numbered ports, hosts, and the bidirectional links between them.
+ * Topology builders (fat-tree, irregular) produce a PortGraph; the
+ * network builder turns it into channels and components.
+ */
+
+#ifndef MDW_TOPOLOGY_GRAPH_HH
+#define MDW_TOPOLOGY_GRAPH_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mdw {
+
+/** What sits on the far side of a switch port. */
+struct PortPeer
+{
+    enum class Kind { None, Host, Switch };
+
+    /**
+     * Direction(s) a host port carries. Bidirectional topologies
+     * attach a host's injection and ejection to one port; a
+     * unidirectional MIN injects at the first stage and ejects at
+     * the last, so the two sides live on different switches.
+     */
+    enum class HostRole { Both, Inject, Eject };
+
+    Kind kind = Kind::None;
+    NodeId host = kInvalidNode;
+    SwitchId sw = kInvalidSwitch;
+    PortId port = kInvalidPort;
+    HostRole hostRole = HostRole::Both;
+
+    bool connected() const { return kind != Kind::None; }
+    bool isHost() const { return kind == Kind::Host; }
+    bool isSwitch() const { return kind == Kind::Switch; }
+};
+
+/** Where a host attaches. */
+struct HostAttach
+{
+    SwitchId sw = kInvalidSwitch;
+    PortId port = kInvalidPort;
+};
+
+/**
+ * Switch/host/link structure. All links are bidirectional (a port
+ * pair); the builder records both endpoints and validate() checks
+ * consistency.
+ */
+class PortGraph
+{
+  public:
+    /** Add a switch with @p radix ports; returns its id. */
+    SwitchId addSwitch(int radix);
+
+    /** Add a host (not yet attached); returns its id. */
+    NodeId addHost();
+
+    /** Connect two switch ports (both must be free). */
+    void connectSwitches(SwitchId a, PortId pa, SwitchId b, PortId pb);
+
+    /** Attach a host (inject + eject) to one switch port. */
+    void connectHost(NodeId host, SwitchId sw, PortId port);
+
+    /** Attach only the host's injection side to a switch port. */
+    void connectHostInject(NodeId host, SwitchId sw, PortId port);
+
+    /** Attach only the host's ejection side to a switch port. */
+    void connectHostEject(NodeId host, SwitchId sw, PortId port);
+
+    std::size_t numSwitches() const { return ports_.size(); }
+    std::size_t numHosts() const { return hosts_.size(); }
+
+    int radix(SwitchId sw) const;
+
+    const PortPeer &peer(SwitchId sw, PortId port) const;
+
+    /** Where the host's ejection side attaches (its "home"). */
+    const HostAttach &attach(NodeId host) const;
+
+    /** Where the host's injection side attaches. */
+    const HostAttach &injectAttach(NodeId host) const;
+
+    /** Number of connected switch-to-switch links. */
+    std::size_t switchLinkCount() const;
+
+    /** panic() if any link is one-sided or a host is unattached. */
+    void validate() const;
+
+    /** True if every switch is reachable from switch 0. */
+    bool connectedSwitches() const;
+
+  private:
+    void checkSwitch(SwitchId sw) const;
+    void checkPort(SwitchId sw, PortId port) const;
+
+    void connectHostSide(NodeId host, SwitchId sw, PortId port,
+                         PortPeer::HostRole role);
+
+    std::vector<std::vector<PortPeer>> ports_;
+    /** Per host: ejection attach. */
+    std::vector<HostAttach> hosts_;
+    /** Per host: injection attach. */
+    std::vector<HostAttach> inject_;
+};
+
+} // namespace mdw
+
+#endif // MDW_TOPOLOGY_GRAPH_HH

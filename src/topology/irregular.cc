@@ -1,0 +1,198 @@
+#include "topology/irregular.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <queue>
+
+#include "sim/logging.hh"
+
+namespace mdw {
+
+namespace {
+
+/** First free port on a switch, or kInvalidPort. */
+PortId
+freePort(const PortGraph &graph, SwitchId sw)
+{
+    for (PortId p = 0; p < graph.radix(sw); ++p) {
+        if (!graph.peer(sw, p).connected())
+            return p;
+    }
+    return kInvalidPort;
+}
+
+int
+freePortCount(const PortGraph &graph, SwitchId sw)
+{
+    int count = 0;
+    for (PortId p = 0; p < graph.radix(sw); ++p) {
+        if (!graph.peer(sw, p).connected())
+            ++count;
+    }
+    return count;
+}
+
+} // namespace
+
+IrregularTopology::IrregularTopology(const IrregularParams &params,
+                                     Rng rng)
+    : params_(params)
+{
+    const int S = params.switches;
+    const int R = params.radix;
+    const int H = params.hosts;
+    const int X = params.extraLinks;
+
+    if (S < 1)
+        fatal("irregular topology needs at least one switch");
+    if (H < 1)
+        fatal("irregular topology needs at least one host");
+    const long long port_budget = static_cast<long long>(S) * R;
+    const long long port_demand =
+        2LL * (S - 1) + 2LL * X + static_cast<long long>(H);
+    if (port_demand > port_budget) {
+        fatal("irregular topology needs %lld ports but has %lld "
+              "(switches=%d radix=%d hosts=%d extraLinks=%d)",
+              port_demand, port_budget, S, R, H, X);
+    }
+
+    for (int s = 0; s < S; ++s)
+        graph_.addSwitch(R);
+    for (int h = 0; h < H; ++h)
+        graph_.addHost();
+
+    // Random spanning tree: each new switch links to a random earlier
+    // switch that still has a free port.
+    for (SwitchId s = 1; s < S; ++s) {
+        SwitchId target = static_cast<SwitchId>(rng.below(
+            static_cast<std::uint64_t>(s)));
+        // Linear probe for a switch with a free port (the budget
+        // check above guarantees one exists).
+        for (int tries = 0; tries < S; ++tries) {
+            if (freePort(graph_, target) != kInvalidPort)
+                break;
+            target = static_cast<SwitchId>((target + 1) % s);
+        }
+        const PortId pa = freePort(graph_, s);
+        const PortId pb = freePort(graph_, target);
+        MDW_ASSERT(pa != kInvalidPort && pb != kInvalidPort,
+                   "no free port for spanning-tree link");
+        graph_.connectSwitches(s, pa, target, pb);
+    }
+
+    // Extra cross links between random distinct switches with free
+    // ports; give up on a link after a bounded number of attempts so
+    // pathological parameter mixes degrade instead of hanging.
+    int added = 0;
+    for (int attempt = 0; added < X && attempt < 50 * (X + 1);
+         ++attempt) {
+        const SwitchId a = static_cast<SwitchId>(rng.below(S));
+        const SwitchId b = static_cast<SwitchId>(rng.below(S));
+        if (a == b)
+            continue;
+        const PortId pa = freePort(graph_, a);
+        const PortId pb = freePort(graph_, b);
+        if (pa == kInvalidPort || pb == kInvalidPort)
+            continue;
+        graph_.connectSwitches(a, pa, b, pb);
+        ++added;
+    }
+    if (added < X) {
+        warn("irregular topology: only %d of %d extra links placed",
+             added, X);
+    }
+
+    // Attach hosts to random switches with free ports, preferring the
+    // least-loaded so hosts spread out.
+    for (NodeId h = 0; h < H; ++h) {
+        SwitchId best = kInvalidSwitch;
+        int best_free = -1;
+        // Randomized scan start for variety, deterministic tie-break.
+        const SwitchId start = static_cast<SwitchId>(rng.below(S));
+        for (int i = 0; i < S; ++i) {
+            const SwitchId s = static_cast<SwitchId>((start + i) % S);
+            const int free = freePortCount(graph_, s);
+            if (free > best_free) {
+                best_free = free;
+                best = s;
+            }
+        }
+        MDW_ASSERT(best != kInvalidSwitch && best_free > 0,
+                   "no free port for host %d", h);
+        graph_.connectHost(h, best, freePort(graph_, best));
+    }
+
+    // BFS levels from switch 0 (the up*-down* root).
+    level_.assign(static_cast<std::size_t>(S), -1);
+    std::queue<SwitchId> frontier;
+    frontier.push(0);
+    level_[0] = 0;
+    while (!frontier.empty()) {
+        const SwitchId s = frontier.front();
+        frontier.pop();
+        for (PortId p = 0; p < graph_.radix(s); ++p) {
+            const PortPeer &peer = graph_.peer(s, p);
+            if (peer.isSwitch() && level_[peer.sw] < 0) {
+                level_[peer.sw] = level_[s] + 1;
+                frontier.push(peer.sw);
+            }
+        }
+    }
+
+    // Orient ports: the endpoint at the switch with the smaller
+    // (level, id) key is the "down" end of the link; ties cannot
+    // happen because equal keys mean the same switch. Host ports are
+    // always down; free ports stay unused.
+    dirs_.assign(graph_.numSwitches(), {});
+    for (SwitchId s = 0; s < S; ++s) {
+        dirs_[static_cast<std::size_t>(s)].assign(
+            static_cast<std::size_t>(R), PortDir::Unused);
+        for (PortId p = 0; p < R; ++p) {
+            const PortPeer &peer = graph_.peer(s, p);
+            if (peer.isHost()) {
+                dirs_[s][static_cast<std::size_t>(p)] = PortDir::Down;
+            } else if (peer.isSwitch()) {
+                const auto key_self = std::make_pair(level_[s], s);
+                const auto key_peer =
+                    std::make_pair(level_[peer.sw], peer.sw);
+                dirs_[s][static_cast<std::size_t>(p)] =
+                    key_self < key_peer ? PortDir::Down : PortDir::Up;
+            }
+        }
+    }
+
+    finalize();
+}
+
+int
+IrregularTopology::levelOf(SwitchId sw) const
+{
+    MDW_ASSERT(sw >= 0 &&
+                   static_cast<std::size_t>(sw) < level_.size(),
+               "switch id %d out of range", sw);
+    return level_[static_cast<std::size_t>(sw)];
+}
+
+int
+IrregularTopology::downLevels() const
+{
+    // Worst case: root to deepest switch.
+    int max_level = 0;
+    for (int l : level_)
+        max_level = std::max(max_level, l);
+    return max_level + 1;
+}
+
+std::string
+IrregularTopology::describe() const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "irregular NOW (%zu switches radix %d, %zu hosts, "
+                  "%zu links)",
+                  graph_.numSwitches(), params_.radix, graph_.numHosts(),
+                  graph_.switchLinkCount());
+    return buf;
+}
+
+} // namespace mdw

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Irregular switch networks (networks of workstations, paper Fig 1c)
+ * with up*-down* routing.
+ *
+ * A random connected switch graph is generated (spanning tree plus
+ * extra cross links), hosts are attached to random switches, and
+ * links are oriented by BFS level from a root switch: the endpoint at
+ * the switch closer to the root is the "down" end. Legal up*-down*
+ * paths (zero or more up hops, then zero or more down hops) are
+ * acyclic, so both unicast wormhole routing and LCA-style
+ * multidestination worms are deadlock-free on the oriented graph.
+ */
+
+#ifndef MDW_TOPOLOGY_IRREGULAR_HH
+#define MDW_TOPOLOGY_IRREGULAR_HH
+
+#include <string>
+
+#include "sim/rng.hh"
+#include "topology/topology.hh"
+
+namespace mdw {
+
+/** Parameters of a random irregular network. */
+struct IrregularParams
+{
+    /** Number of switches. */
+    int switches = 16;
+    /** Ports per switch. */
+    int radix = 8;
+    /** Number of hosts to attach. */
+    int hosts = 32;
+    /** Cross links added beyond the spanning tree. */
+    int extraLinks = 8;
+};
+
+/** Random irregular (NOW-style) topology with up*-down* orientation. */
+class IrregularTopology : public Topology
+{
+  public:
+    /**
+     * @param params Shape parameters (validated for port capacity).
+     * @param rng Used for all structural randomness; pass a fixed
+     *            seed for a reproducible network.
+     */
+    IrregularTopology(const IrregularParams &params, Rng rng);
+
+    /** BFS level of a switch (root = 0). */
+    int levelOf(SwitchId sw) const;
+
+    int downLevels() const override;
+
+    std::string describe() const override;
+
+  private:
+    IrregularParams params_;
+    std::vector<int> level_;
+};
+
+} // namespace mdw
+
+#endif // MDW_TOPOLOGY_IRREGULAR_HH

@@ -1,0 +1,250 @@
+#include "topology/routing.hh"
+
+#include "sim/logging.hh"
+#include "topology/graph.hh"
+
+namespace mdw {
+
+const char *
+toString(PortDir dir)
+{
+    switch (dir) {
+      case PortDir::Down:
+        return "down";
+      case PortDir::Up:
+        return "up";
+      case PortDir::Unused:
+        return "unused";
+    }
+    return "?";
+}
+
+const char *
+toString(RoutingVariant variant)
+{
+    switch (variant) {
+      case RoutingVariant::ReplicateAfterLca:
+        return "replicate-after-lca";
+      case RoutingVariant::ReplicateOnUpPath:
+        return "replicate-on-up-path";
+    }
+    return "?";
+}
+
+const char *
+toString(UpPortPolicy policy)
+{
+    switch (policy) {
+      case UpPortPolicy::Deterministic:
+        return "deterministic";
+      case UpPortPolicy::Adaptive:
+        return "adaptive";
+    }
+    return "?";
+}
+
+SwitchRouting::SwitchRouting(int radix, std::size_t num_hosts)
+    : ports_(static_cast<std::size_t>(radix)), allDown_(num_hosts),
+      numHosts_(num_hosts)
+{
+    for (auto &p : ports_)
+        p.reach = DestSet(num_hosts);
+}
+
+void
+SwitchRouting::setDir(PortId port, PortDir dir)
+{
+    MDW_ASSERT(!frozen_, "routing modified after freeze");
+    ports_.at(static_cast<std::size_t>(port)).dir = dir;
+}
+
+PortDir
+SwitchRouting::dir(PortId port) const
+{
+    return ports_.at(static_cast<std::size_t>(port)).dir;
+}
+
+void
+SwitchRouting::setDownReach(PortId port, DestSet reach)
+{
+    MDW_ASSERT(!frozen_, "routing modified after freeze");
+    auto &state = ports_.at(static_cast<std::size_t>(port));
+    MDW_ASSERT(state.dir == PortDir::Down,
+               "down-reach set on non-down port %d", port);
+    state.reach = std::move(reach);
+}
+
+const DestSet &
+SwitchRouting::downReach(PortId port) const
+{
+    return ports_.at(static_cast<std::size_t>(port)).reach;
+}
+
+void
+SwitchRouting::freeze()
+{
+    MDW_ASSERT(!frozen_, "double freeze");
+    upPorts_.clear();
+    downPorts_.clear();
+    allDown_ = DestSet(numHosts_);
+    for (std::size_t p = 0; p < ports_.size(); ++p) {
+        switch (ports_[p].dir) {
+          case PortDir::Up:
+            upPorts_.push_back(static_cast<PortId>(p));
+            break;
+          case PortDir::Down:
+            downPorts_.push_back(static_cast<PortId>(p));
+            allDown_ |= ports_[p].reach;
+            break;
+          case PortDir::Unused:
+            break;
+        }
+    }
+    frozen_ = true;
+}
+
+RouteDecision
+SwitchRouting::decode(const DestSet &dests, RoutingVariant variant) const
+{
+    MDW_ASSERT(frozen_, "decode before freeze");
+    MDW_ASSERT(!dests.empty(), "decoding an empty destination set");
+
+    RouteDecision out;
+    out.upDests = DestSet(dests.size());
+
+    DestSet remaining = dests;
+    for (PortId p : downPorts_) {
+        if (remaining.empty())
+            break;
+        DestSet sub = remaining & downReach(p);
+        if (sub.empty())
+            continue;
+        remaining -= sub;
+        out.downBranches.emplace_back(p, std::move(sub));
+    }
+
+    if (!remaining.empty()) {
+        MDW_ASSERT(!upPorts_.empty(),
+                   "destinations unreachable and no up port");
+        if (variant == RoutingVariant::ReplicateAfterLca) {
+            // Below the LCA the worm does not branch: the whole set
+            // rides up and all replication happens on the way down.
+            out.downBranches.clear();
+            out.upDests = dests;
+        } else {
+            out.upDests = std::move(remaining);
+        }
+        out.upCandidates = upPorts_;
+    }
+
+    return out;
+}
+
+NetworkRouting::NetworkRouting(
+    const PortGraph &graph,
+    const std::vector<std::vector<PortDir>> &dirs)
+{
+    const std::size_t num_switches = graph.numSwitches();
+    const std::size_t num_hosts = graph.numHosts();
+    MDW_ASSERT(dirs.size() == num_switches,
+               "direction table size mismatch");
+
+    switches_.reserve(num_switches);
+    for (std::size_t s = 0; s < num_switches; ++s) {
+        const SwitchId sw = static_cast<SwitchId>(s);
+        MDW_ASSERT(dirs[s].size() ==
+                       static_cast<std::size_t>(graph.radix(sw)),
+                   "direction table radix mismatch at switch %zu", s);
+        switches_.emplace_back(graph.radix(sw), num_hosts);
+        for (std::size_t p = 0; p < dirs[s].size(); ++p)
+            switches_[s].setDir(static_cast<PortId>(p), dirs[s][p]);
+    }
+
+    // Memoized down-reachability per switch. Colors: 0 unvisited,
+    // 1 in progress (cycle detection), 2 done.
+    std::vector<int> color(num_switches, 0);
+    std::vector<DestSet> down_reach(num_switches, DestSet(num_hosts));
+
+    // Iterative DFS to avoid deep recursion on large networks.
+    struct Frame
+    {
+        SwitchId sw;
+        PortId next_port;
+    };
+
+    auto compute = [&](SwitchId root) {
+        if (color[root] == 2)
+            return;
+        std::vector<Frame> stack;
+        stack.push_back(Frame{root, 0});
+        color[root] = 1;
+        while (!stack.empty()) {
+            Frame &frame = stack.back();
+            const SwitchId sw = frame.sw;
+            const int radix = graph.radix(sw);
+            bool descended = false;
+            while (frame.next_port < radix) {
+                const PortId p = frame.next_port++;
+                if (dirs[sw][p] != PortDir::Down)
+                    continue;
+                const PortPeer &peer = graph.peer(sw, p);
+                if (peer.isHost()) {
+                    down_reach[sw].set(peer.host);
+                } else if (peer.isSwitch()) {
+                    if (color[peer.sw] == 1) {
+                        panic("down-link cycle through switches %d "
+                              "and %d: up*/down* orientation invalid",
+                              sw, peer.sw);
+                    }
+                    if (color[peer.sw] == 0) {
+                        color[peer.sw] = 1;
+                        stack.push_back(Frame{peer.sw, 0});
+                        descended = true;
+                        break;
+                    }
+                    down_reach[sw] |= down_reach[peer.sw];
+                }
+            }
+            if (descended)
+                continue;
+            if (frame.next_port >= radix) {
+                color[sw] = 2;
+                stack.pop_back();
+                if (!stack.empty()) {
+                    down_reach[stack.back().sw] |= down_reach[sw];
+                }
+            }
+        }
+    };
+
+    for (std::size_t s = 0; s < num_switches; ++s)
+        compute(static_cast<SwitchId>(s));
+
+    // Fill per-port reachability masks.
+    for (std::size_t s = 0; s < num_switches; ++s) {
+        const SwitchId sw = static_cast<SwitchId>(s);
+        for (PortId p = 0; p < graph.radix(sw); ++p) {
+            if (dirs[s][static_cast<std::size_t>(p)] != PortDir::Down)
+                continue;
+            const PortPeer &peer = graph.peer(sw, p);
+            if (peer.isHost()) {
+                DestSet reach(num_hosts);
+                reach.set(peer.host);
+                switches_[s].setDownReach(p, std::move(reach));
+            } else if (peer.isSwitch()) {
+                switches_[s].setDownReach(p, down_reach[peer.sw]);
+            }
+        }
+        switches_[s].freeze();
+    }
+}
+
+const SwitchRouting &
+NetworkRouting::at(SwitchId sw) const
+{
+    MDW_ASSERT(sw >= 0 && static_cast<std::size_t>(sw) < switches_.size(),
+               "switch id %d out of range", sw);
+    return switches_[static_cast<std::size_t>(sw)];
+}
+
+} // namespace mdw

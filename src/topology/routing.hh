@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Reachability-based routing for multidestination worms.
+ *
+ * Every output port of a switch is classified "down" (toward hosts;
+ * host ports included) or "up" (toward the root stage). Each down
+ * port carries an N-bit reachability mask: the hosts reachable from
+ * it using down links only. Decoding a worm's destination set is then
+ * a per-port AND — exactly the paper's bit-string decode logic.
+ *
+ * A worm travels up until all of its destinations are down-reachable
+ * (the least-common-ancestor, LCA, stage) and replicates downward.
+ * Two routing variants from the paper:
+ *
+ * - ReplicateAfterLca: no replication on the way up; the whole set
+ *   rides to the LCA stage and all branching happens on the way down.
+ * - ReplicateOnUpPath: while moving up, the worm additionally spawns
+ *   branches for destinations already reachable below.
+ */
+
+#ifndef MDW_TOPOLOGY_ROUTING_HH
+#define MDW_TOPOLOGY_ROUTING_HH
+
+#include <utility>
+#include <vector>
+
+#include "message/dest_set.hh"
+#include "sim/types.hh"
+
+namespace mdw {
+
+class PortGraph;
+
+/** Port orientation in the (possibly virtual) routing tree. */
+enum class PortDir { Down, Up, Unused };
+
+const char *toString(PortDir dir);
+
+/** How multidestination worms branch relative to the LCA stage. */
+enum class RoutingVariant { ReplicateAfterLca, ReplicateOnUpPath };
+
+const char *toString(RoutingVariant variant);
+
+/** How a switch picks among equivalent up ports. */
+enum class UpPortPolicy
+{
+    /** Hash of source and packet id selects one fixed up port. */
+    Deterministic,
+    /** Any currently free up port may be taken (first free wins). */
+    Adaptive,
+};
+
+const char *toString(UpPortPolicy policy);
+
+/** The output ports a worm must acquire at one switch. */
+struct RouteDecision
+{
+    /** Down branches: (output port, pruned destination subset). */
+    std::vector<std::pair<PortId, DestSet>> downBranches;
+    /** Candidate up ports (exactly one must be taken) if upDests. */
+    std::vector<PortId> upCandidates;
+    /** Destination subset that continues upward (may be empty). */
+    DestSet upDests;
+
+    bool needsUp() const { return !upDests.empty(); }
+    std::size_t branchCount() const
+    {
+        return downBranches.size() + (needsUp() ? 1 : 0);
+    }
+};
+
+/** Per-switch routing state. */
+class SwitchRouting
+{
+  public:
+    SwitchRouting(int radix, std::size_t num_hosts);
+
+    /** Set a port's direction (default Unused). */
+    void setDir(PortId port, PortDir dir);
+    PortDir dir(PortId port) const;
+
+    /** Down-reachability mask of a port (down ports only). */
+    void setDownReach(PortId port, DestSet reach);
+    const DestSet &downReach(PortId port) const;
+
+    /** Union of all down ports' reachability. */
+    const DestSet &allDownReach() const { return allDown_; }
+
+    /** All up ports in index order. */
+    const std::vector<PortId> &upPorts() const { return upPorts_; }
+
+    int radix() const { return static_cast<int>(ports_.size()); }
+
+    /**
+     * Route a destination set. Every destination must be coverable,
+     * i.e. either down-reachable here or the switch must have an up
+     * port. @p variant controls branching below the LCA.
+     */
+    RouteDecision decode(const DestSet &dests,
+                         RoutingVariant variant) const;
+
+    /** Finalize internal caches once all ports are configured. */
+    void freeze();
+
+  private:
+    struct PortState
+    {
+        PortDir dir = PortDir::Unused;
+        DestSet reach;
+    };
+
+    std::vector<PortState> ports_;
+    std::vector<PortId> upPorts_;
+    std::vector<PortId> downPorts_;
+    DestSet allDown_;
+    std::size_t numHosts_;
+    bool frozen_ = false;
+};
+
+/**
+ * Routing state for a whole network, computed from a PortGraph plus a
+ * per-port direction assignment by propagating host reachability
+ * through down links (memoized reverse-topological traversal; down
+ * links must be acyclic, which holds for fat-trees and for up*-down*
+ * orientations of irregular networks).
+ */
+class NetworkRouting
+{
+  public:
+    /**
+     * @param graph Validated network structure.
+     * @param dirs dirs[s][p] is the direction of switch s port p.
+     */
+    NetworkRouting(const PortGraph &graph,
+                   const std::vector<std::vector<PortDir>> &dirs);
+
+    const SwitchRouting &at(SwitchId sw) const;
+    std::size_t numSwitches() const { return switches_.size(); }
+
+  private:
+    std::vector<SwitchRouting> switches_;
+};
+
+} // namespace mdw
+
+#endif // MDW_TOPOLOGY_ROUTING_HH

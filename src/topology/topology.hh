@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Topology base class: structure + port directions + routing.
+ */
+
+#ifndef MDW_TOPOLOGY_TOPOLOGY_HH
+#define MDW_TOPOLOGY_TOPOLOGY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "topology/graph.hh"
+#include "topology/routing.hh"
+
+namespace mdw {
+
+/**
+ * A concrete network shape. Builders populate the PortGraph and the
+ * per-port direction table in their constructor and then call
+ * finalize(), which validates the structure and computes routing.
+ */
+class Topology
+{
+  public:
+    virtual ~Topology() = default;
+
+    Topology(const Topology &) = delete;
+    Topology &operator=(const Topology &) = delete;
+
+    const PortGraph &graph() const { return graph_; }
+    const NetworkRouting &routing() const { return *routing_; }
+
+    std::size_t numHosts() const { return graph_.numHosts(); }
+    std::size_t numSwitches() const { return graph_.numSwitches(); }
+
+    PortDir portDir(SwitchId sw, PortId port) const;
+
+    /**
+     * Number of downward replication levels a worm can encounter
+     * (used to size multiport-encoded headers).
+     */
+    virtual int downLevels() const = 0;
+
+    /** Human-readable one-line description. */
+    virtual std::string describe() const = 0;
+
+  protected:
+    Topology() = default;
+
+    /** Validate structure and compute routing; call once. */
+    void finalize();
+
+    PortGraph graph_;
+    std::vector<std::vector<PortDir>> dirs_;
+    /**
+     * Bidirectional topologies require every up-portless switch to
+     * down-reach all hosts (it is a routing root). Unidirectional
+     * MINs have many up-portless switches that legitimately reach
+     * only their forward cone; they clear this.
+     */
+    bool rootsMustReachAll_ = true;
+
+  private:
+    std::unique_ptr<NetworkRouting> routing_;
+};
+
+} // namespace mdw
+
+#endif // MDW_TOPOLOGY_TOPOLOGY_HH

@@ -1,0 +1,134 @@
+#include "topology/uni_min.hh"
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace mdw {
+
+namespace {
+
+int
+digitOf(int label, int k, int pos)
+{
+    for (int i = 0; i < pos; ++i)
+        label /= k;
+    return label % k;
+}
+
+int
+withDigit(int label, int k, int pos, int value)
+{
+    int scale = 1;
+    for (int i = 0; i < pos; ++i)
+        scale *= k;
+    const int old = (label / scale) % k;
+    return label + (value - old) * scale;
+}
+
+} // namespace
+
+UniMin::UniMin(int k, int n)
+    : k_(k), n_(n)
+{
+    MDW_ASSERT(k >= 2, "uni-MIN arity k=%d must be >= 2", k);
+    MDW_ASSERT(n >= 1, "uni-MIN needs n >= 1 stages, got %d", n);
+    rootsMustReachAll_ = false;
+
+    perStage_ = 1;
+    for (int i = 0; i < n - 1; ++i)
+        perStage_ *= k;
+    const std::size_t hosts = static_cast<std::size_t>(perStage_) *
+                              static_cast<std::size_t>(k);
+
+    for (int stage = 0; stage < n; ++stage) {
+        for (int label = 0; label < perStage_; ++label) {
+            const SwitchId sw = graph_.addSwitch(2 * k);
+            MDW_ASSERT(sw == switchAt(stage, label),
+                       "switch id layout mismatch");
+        }
+    }
+    for (std::size_t h = 0; h < hosts; ++h)
+        graph_.addHost();
+
+    // Hosts inject at stage 0 input ports and eject from stage n-1
+    // output ports.
+    for (int label = 0; label < perStage_; ++label) {
+        for (int c = 0; c < k; ++c) {
+            const NodeId h = static_cast<NodeId>(label * k + c);
+            graph_.connectHostInject(h, switchAt(0, label),
+                                     static_cast<PortId>(k + c));
+            graph_.connectHostEject(h, switchAt(n - 1, label),
+                                    static_cast<PortId>(c));
+        }
+    }
+
+    // Inter-stage wiring: the directed down-half of the k-ary n-tree
+    // (stage s = tree level n-1-s). Output port c of (s, v) connects
+    // to input port k + digit_l(v) of (s+1, v[l <- c]) with
+    // l = n-2-s.
+    for (int stage = 0; stage + 1 < n; ++stage) {
+        const int l = n - 2 - stage;
+        for (int label = 0; label < perStage_; ++label) {
+            for (int c = 0; c < k; ++c) {
+                const int next = withDigit(label, k_, l, c);
+                graph_.connectSwitches(
+                    switchAt(stage, label), static_cast<PortId>(c),
+                    switchAt(stage + 1, next),
+                    static_cast<PortId>(k + digitOf(label, k_, l)));
+            }
+        }
+    }
+
+    // Routing directions: outputs forward ("down"), inputs unused
+    // (nothing is ever routed backward).
+    dirs_.assign(graph_.numSwitches(),
+                 std::vector<PortDir>(static_cast<std::size_t>(2 * k),
+                                      PortDir::Unused));
+    for (auto &row : dirs_) {
+        for (int c = 0; c < k; ++c)
+            row[static_cast<std::size_t>(c)] = PortDir::Down;
+    }
+
+    finalize();
+}
+
+int
+UniMin::stageOf(SwitchId sw) const
+{
+    MDW_ASSERT(sw >= 0 &&
+                   static_cast<std::size_t>(sw) < graph_.numSwitches(),
+               "switch id %d out of range", sw);
+    return sw / perStage_;
+}
+
+int
+UniMin::labelOf(SwitchId sw) const
+{
+    MDW_ASSERT(sw >= 0 &&
+                   static_cast<std::size_t>(sw) < graph_.numSwitches(),
+               "switch id %d out of range", sw);
+    return sw % perStage_;
+}
+
+SwitchId
+UniMin::switchAt(int stage, int label) const
+{
+    MDW_ASSERT(stage >= 0 && stage < n_, "stage %d out of range", stage);
+    MDW_ASSERT(label >= 0 && label < perStage_, "label %d out of range",
+               label);
+    return static_cast<SwitchId>(stage * perStage_ + label);
+}
+
+std::string
+UniMin::describe() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "unidirectional %d-ary %d-stage MIN (%zu hosts, "
+                  "%zu switches)",
+                  k_, n_, graph_.numHosts(), graph_.numSwitches());
+    return buf;
+}
+
+} // namespace mdw

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Unidirectional multistage interconnection network (the paper's
+ * other regular switch-based class, Section 2). Every packet enters
+ * at stage 0, traverses all n stages forward, and ejects at stage
+ * n-1; there is no up phase, so a multidestination worm replicates
+ * at every stage where its destination set spans more than one
+ * output. Path-based multicast deadlocks in these networks [6];
+ * single-phase tree replication with the whole-packet acceptance
+ * rule does not (the stage order makes all buffer dependencies
+ * acyclic).
+ *
+ * Construction: k^n hosts, n stages of k^(n-1) switches with k input
+ * ports (k..2k-1) and k output ports (0..k-1). The inter-stage
+ * wiring is the directed down-half of the k-ary n-tree: stage s
+ * corresponds to tree level n-1-s, so a stage-0 switch forward-
+ * reaches every host and each switch's output cones are disjoint —
+ * exactly what destination-set decode needs. Hosts inject at stage 0
+ * (host h at switch h/k, input port k + h%k) and eject at stage n-1
+ * (switch h/k, output port h%k).
+ */
+
+#ifndef MDW_TOPOLOGY_UNI_MIN_HH
+#define MDW_TOPOLOGY_UNI_MIN_HH
+
+#include <string>
+
+#include "topology/topology.hh"
+
+namespace mdw {
+
+/** Builder/descriptor for a unidirectional k-ary n-stage MIN. */
+class UniMin : public Topology
+{
+  public:
+    /**
+     * @param k Switch arity (ports per side), >= 2.
+     * @param n Number of stages, >= 1. Hosts = k^n.
+     */
+    UniMin(int k, int n);
+
+    int k() const { return k_; }
+    int n() const { return n_; }
+
+    /** Stage (0 = injection side) of a switch. */
+    int stageOf(SwitchId sw) const;
+
+    /** Label (index within its stage) of a switch. */
+    int labelOf(SwitchId sw) const;
+
+    /** Switch id for (stage, label). */
+    SwitchId switchAt(int stage, int label) const;
+
+    int switchesPerStage() const { return perStage_; }
+
+    int downLevels() const override { return n_; }
+
+    std::string describe() const override;
+
+  private:
+    int k_;
+    int n_;
+    int perStage_;
+};
+
+} // namespace mdw
+
+#endif // MDW_TOPOLOGY_UNI_MIN_HH

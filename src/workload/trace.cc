@@ -1,0 +1,172 @@
+#include "workload/trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace mdw {
+
+TraceTraffic::TraceTraffic(std::size_t numHosts)
+    : numHosts_(numHosts), nodes_(numHosts)
+{
+    MDW_ASSERT(numHosts >= 2, "trace needs at least two hosts");
+}
+
+void
+TraceTraffic::add(TraceEvent event)
+{
+    MDW_ASSERT(event.src >= 0 &&
+                   static_cast<std::size_t>(event.src) < numHosts_,
+               "trace source %d out of range", event.src);
+    if (event.spec.multicast) {
+        MDW_ASSERT(event.spec.dests.size() == numHosts_,
+                   "trace multicast universe mismatch");
+        MDW_ASSERT(!event.spec.dests.empty() &&
+                       !event.spec.dests.test(event.src),
+                   "trace multicast destinations invalid");
+    } else {
+        MDW_ASSERT(event.spec.dest >= 0 &&
+                       static_cast<std::size_t>(event.spec.dest) <
+                           numHosts_ &&
+                       event.spec.dest != event.src,
+                   "trace destination %d invalid", event.spec.dest);
+    }
+    MDW_ASSERT(event.spec.payloadFlits > 0, "trace payload invalid");
+    auto &queue = nodes_[static_cast<std::size_t>(event.src)];
+    queue.events.push_back(std::move(event));
+    queue.sorted = false;
+    ++pending_;
+    ++total_;
+}
+
+void
+TraceTraffic::poll(NodeId node, Cycle now,
+                   std::vector<MessageSpec> &out)
+{
+    auto &queue = nodes_.at(static_cast<std::size_t>(node));
+    if (!queue.sorted) {
+        std::stable_sort(queue.events.begin() +
+                             static_cast<std::ptrdiff_t>(queue.next),
+                         queue.events.end(),
+                         [](const TraceEvent &a, const TraceEvent &b) {
+                             return a.when < b.when;
+                         });
+        queue.sorted = true;
+    }
+    while (queue.next < queue.events.size() &&
+           queue.events[queue.next].when <= now) {
+        out.push_back(queue.events[queue.next].spec);
+        ++queue.next;
+        --pending_;
+    }
+}
+
+TraceTraffic
+TraceTraffic::fromFile(const std::string &path, std::size_t numHosts)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file '%s'", path.c_str());
+
+    TraceTraffic trace(numHosts);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream fields(line);
+        unsigned long long when = 0;
+        long src = 0;
+        std::string kind;
+        if (!(fields >> when >> src >> kind)) {
+            // Blank or comment-only line.
+            std::istringstream blank(line);
+            std::string token;
+            if (blank >> token)
+                fatal("%s:%d: malformed trace line", path.c_str(),
+                      line_no);
+            continue;
+        }
+
+        TraceEvent event;
+        event.when = when;
+        event.src = static_cast<NodeId>(src);
+        if (kind == "U" || kind == "u") {
+            long dest = 0;
+            int payload = 0;
+            if (!(fields >> dest >> payload))
+                fatal("%s:%d: malformed unicast event", path.c_str(),
+                      line_no);
+            event.spec.multicast = false;
+            event.spec.dest = static_cast<NodeId>(dest);
+            event.spec.payloadFlits = payload;
+        } else if (kind == "M" || kind == "m") {
+            int payload = 0;
+            std::string dest_list;
+            if (!(fields >> payload >> dest_list))
+                fatal("%s:%d: malformed multicast event", path.c_str(),
+                      line_no);
+            event.spec.multicast = true;
+            event.spec.payloadFlits = payload;
+            event.spec.dests = DestSet(numHosts);
+            std::istringstream dests(dest_list);
+            std::string item;
+            while (std::getline(dests, item, ',')) {
+                if (item.empty())
+                    continue;
+                char *end = nullptr;
+                const long d = std::strtol(item.c_str(), &end, 10);
+                if (end == item.c_str() || *end != '\0' || d < 0 ||
+                    static_cast<std::size_t>(d) >= numHosts) {
+                    fatal("%s:%d: bad destination '%s'", path.c_str(),
+                          line_no, item.c_str());
+                }
+                event.spec.dests.set(static_cast<NodeId>(d));
+            }
+            if (event.spec.dests.empty())
+                fatal("%s:%d: multicast with no destinations",
+                      path.c_str(), line_no);
+        } else {
+            fatal("%s:%d: unknown event kind '%s'", path.c_str(),
+                  line_no, kind.c_str());
+        }
+        trace.add(std::move(event));
+    }
+    return trace;
+}
+
+void
+TraceTraffic::writeFile(const std::string &path,
+                        const std::vector<TraceEvent> &events)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write trace file '%s'", path.c_str());
+    out << "# mdworm trace: <cycle> <src> U <dest> <payload>\n"
+        << "#              <cycle> <src> M <payload> <d1,d2,...>\n";
+    for (const TraceEvent &event : events) {
+        if (event.spec.multicast) {
+            out << event.when << ' ' << event.src << " M "
+                << event.spec.payloadFlits << ' ';
+            bool first = true;
+            event.spec.dests.forEach([&](NodeId d) {
+                if (!first)
+                    out << ',';
+                first = false;
+                out << d;
+            });
+            out << '\n';
+        } else {
+            out << event.when << ' ' << event.src << " U "
+                << event.spec.dest << ' ' << event.spec.payloadFlits
+                << '\n';
+        }
+    }
+}
+
+} // namespace mdw

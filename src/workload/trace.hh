@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Trace-driven workload: replay an explicit list of message postings
+ * from memory or from a text trace file, so recorded or hand-crafted
+ * communication patterns can be fed through the simulator.
+ *
+ * Trace file format — one event per line, '#' starts a comment:
+ *
+ *     <cycle> <src> U <dest> <payloadFlits>
+ *     <cycle> <src> M <payloadFlits> <dest1,dest2,...>
+ */
+
+#ifndef MDW_WORKLOAD_TRACE_HH
+#define MDW_WORKLOAD_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "host/nic.hh"
+
+namespace mdw {
+
+/** One posting in a trace. */
+struct TraceEvent
+{
+    Cycle when = 0;
+    NodeId src = kInvalidNode;
+    MessageSpec spec;
+};
+
+/** Replays TraceEvents through the TrafficSource interface. */
+class TraceTraffic : public TrafficSource
+{
+  public:
+    /** Empty trace over a universe of @p numHosts nodes. */
+    explicit TraceTraffic(std::size_t numHosts);
+
+    /** Parse @p path; fatal() with a line number on malformed input. */
+    static TraceTraffic fromFile(const std::string &path,
+                                 std::size_t numHosts);
+
+    /** Serialize @p events to @p path in the trace format. */
+    static void writeFile(const std::string &path,
+                          const std::vector<TraceEvent> &events);
+
+    /** Append one event (validated against the universe). */
+    void add(TraceEvent event);
+
+    void poll(NodeId node, Cycle now,
+              std::vector<MessageSpec> &out) override;
+
+    /** Events not yet handed out. */
+    std::size_t pending() const { return pending_; }
+
+    /** Total events loaded. */
+    std::size_t size() const { return total_; }
+
+  private:
+    std::size_t numHosts_;
+    /** Per node, events sorted by cycle with a replay cursor. */
+    struct NodeQueue
+    {
+        std::vector<TraceEvent> events;
+        std::size_t next = 0;
+        bool sorted = false;
+    };
+    std::vector<NodeQueue> nodes_;
+    std::size_t pending_ = 0;
+    std::size_t total_ = 0;
+};
+
+} // namespace mdw
+
+#endif // MDW_WORKLOAD_TRACE_HH

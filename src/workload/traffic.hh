@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Synthetic traffic generators for the paper's evaluation workloads:
+ * uniform unicast, multiple multicast (every node issues random
+ * degree-d multicasts), and bimodal (a unicast background with a
+ * fraction of multicast messages).
+ */
+
+#ifndef MDW_WORKLOAD_TRAFFIC_HH
+#define MDW_WORKLOAD_TRAFFIC_HH
+
+#include <map>
+#include <vector>
+
+#include "host/nic.hh"
+#include "sim/rng.hh"
+
+namespace mdw {
+
+/** Which synthetic workload to generate. */
+enum class TrafficPattern
+{
+    UniformUnicast,
+    MultipleMulticast,
+    Bimodal,
+    /**
+     * Unicast background in which a fraction of messages target one
+     * hot node (the paper's future-work traffic class).
+     */
+    HotSpot,
+};
+
+const char *toString(TrafficPattern pattern);
+
+/** Parameters of a synthetic workload. */
+struct TrafficParams
+{
+    TrafficPattern pattern = TrafficPattern::MultipleMulticast;
+    /**
+     * Offered load in *payload* flits per node per cycle, counting
+     * each message once at its source (a multicast's fan-out
+     * multiplies delivered, not offered, load).
+     */
+    double load = 0.1;
+    /** Payload flits per message. */
+    int payloadFlits = 64;
+    /** Destinations per multicast. */
+    int mcastDegree = 8;
+    /** Fraction of messages that are multicast (Bimodal only). */
+    double mcastFraction = 0.1;
+    /** Fraction of messages aimed at the hot node (HotSpot only). */
+    double hotFraction = 0.2;
+    /** The hot node (HotSpot only). */
+    NodeId hotNode = 0;
+    std::uint64_t seed = 42;
+    /** Generation starts at this cycle. */
+    Cycle startCycle = 0;
+    /** Generation stops at this cycle (kNoCycle = never). */
+    Cycle stopCycle = kNoCycle;
+};
+
+/** Open-loop Bernoulli-arrival workload generator. */
+class SyntheticTraffic : public TrafficSource
+{
+  public:
+    SyntheticTraffic(std::size_t numHosts, const TrafficParams &params);
+
+    void poll(NodeId node, Cycle now,
+              std::vector<MessageSpec> &out) override;
+
+    /** Message arrivals per node per cycle implied by the load. */
+    double messageRate() const { return rate_; }
+
+    /** Messages generated so far across all nodes. */
+    std::uint64_t generated() const { return generated_; }
+
+  private:
+    struct NodeState
+    {
+        Rng rng{1};
+        Cycle next = kNoCycle;
+        bool started = false;
+    };
+
+    MessageSpec makeSpec(NodeState &state, NodeId self);
+    NodeId randomOther(NodeState &state, NodeId self);
+    DestSet randomDests(NodeState &state, NodeId self, int degree);
+
+    std::size_t numHosts_;
+    TrafficParams params_;
+    double rate_;
+    std::vector<NodeState> nodes_;
+    std::uint64_t generated_ = 0;
+};
+
+/**
+ * Deterministic scripted workload for tests and examples: an explicit
+ * list of (cycle, node, message) postings.
+ */
+class ScriptedTraffic : public TrafficSource
+{
+  public:
+    /** Schedule @p spec to be posted by @p node at cycle @p when. */
+    void post(Cycle when, NodeId node, MessageSpec spec);
+
+    void poll(NodeId node, Cycle now,
+              std::vector<MessageSpec> &out) override;
+
+    /** Postings not yet handed out. */
+    std::size_t pending() const { return pending_; }
+
+  private:
+    std::map<std::pair<Cycle, NodeId>, std::vector<MessageSpec>> script_;
+    std::size_t pending_ = 0;
+};
+
+} // namespace mdw
+
+#endif // MDW_WORKLOAD_TRAFFIC_HH

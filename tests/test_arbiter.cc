@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for round-robin arbitration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "switch/arbiter.hh"
+
+namespace mdw {
+namespace {
+
+TEST(RoundRobinArbiter, GrantsNothingWithoutRequests)
+{
+    RoundRobinArbiter arb(4);
+    EXPECT_EQ(arb.grant({false, false, false, false}), -1);
+    EXPECT_EQ(arb.grantFrom({}), -1);
+}
+
+TEST(RoundRobinArbiter, SingleRequester)
+{
+    RoundRobinArbiter arb(4);
+    EXPECT_EQ(arb.grant({false, false, true, false}), 2);
+    EXPECT_EQ(arb.grant({false, false, true, false}), 2);
+}
+
+TEST(RoundRobinArbiter, RotatesUnderFullContention)
+{
+    RoundRobinArbiter arb(3);
+    const std::vector<bool> all{true, true, true};
+    EXPECT_EQ(arb.grant(all), 0);
+    EXPECT_EQ(arb.grant(all), 1);
+    EXPECT_EQ(arb.grant(all), 2);
+    EXPECT_EQ(arb.grant(all), 0);
+}
+
+TEST(RoundRobinArbiter, IsFairOverTime)
+{
+    RoundRobinArbiter arb(4);
+    int grants[4] = {};
+    const std::vector<bool> all{true, true, true, true};
+    for (int i = 0; i < 400; ++i)
+        ++grants[arb.grant(all)];
+    for (int g : grants)
+        EXPECT_EQ(g, 100);
+}
+
+TEST(RoundRobinArbiter, SkipsIdleRequesters)
+{
+    RoundRobinArbiter arb(4);
+    EXPECT_EQ(arb.grant({true, false, true, false}), 0);
+    EXPECT_EQ(arb.grant({true, false, true, false}), 2);
+    EXPECT_EQ(arb.grant({true, false, true, false}), 0);
+}
+
+TEST(RoundRobinArbiter, GrantFromMatchesGrant)
+{
+    RoundRobinArbiter a(4), b(4);
+    const std::vector<std::vector<int>> reqs = {
+        {0, 2}, {0, 2}, {1, 3}, {0, 1, 2, 3}, {3}};
+    for (const auto &req : reqs) {
+        std::vector<bool> mask(4, false);
+        for (int r : req)
+            mask[static_cast<std::size_t>(r)] = true;
+        EXPECT_EQ(a.grantFrom(req), b.grant(mask));
+    }
+}
+
+TEST(RoundRobinArbiter, ResizeResetsPriority)
+{
+    RoundRobinArbiter arb(2);
+    EXPECT_EQ(arb.grant({true, true}), 0);
+    arb.resize(3);
+    EXPECT_EQ(arb.size(), 3);
+    EXPECT_EQ(arb.grant({true, true, true}), 0);
+}
+
+TEST(RoundRobinArbiterDeath, SizeMismatchPanics)
+{
+    RoundRobinArbiter arb(2);
+    EXPECT_DEATH((void)arb.grant({true}), "arbiter size");
+}
+
+} // namespace
+} // namespace mdw

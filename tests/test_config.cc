@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for the key=value configuration store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hh"
+
+namespace mdw {
+namespace {
+
+TEST(Config, TypedGettersWithDefaults)
+{
+    Config c;
+    EXPECT_EQ(c.getInt("missing", 7), 7);
+    EXPECT_DOUBLE_EQ(c.getDouble("missing", 0.5), 0.5);
+    EXPECT_TRUE(c.getBool("missing", true));
+    EXPECT_EQ(c.getString("missing", "x"), "x");
+}
+
+TEST(Config, ParsesValues)
+{
+    Config c;
+    c.parseToken("count=42");
+    c.parseToken("rate=0.25");
+    c.parseToken("name=hello");
+    c.parseToken("flag=true");
+    EXPECT_EQ(c.getInt("count", 0), 42);
+    EXPECT_DOUBLE_EQ(c.getDouble("rate", 0.0), 0.25);
+    EXPECT_EQ(c.getString("name", ""), "hello");
+    EXPECT_TRUE(c.getBool("flag", false));
+}
+
+TEST(Config, HexIntegers)
+{
+    Config c;
+    c.set("addr", "0x10");
+    EXPECT_EQ(c.getInt("addr", 0), 16);
+}
+
+TEST(Config, BoolSpellings)
+{
+    Config c;
+    c.set("a", "1");
+    c.set("b", "yes");
+    c.set("c", "off");
+    c.set("d", "false");
+    EXPECT_TRUE(c.getBool("a", false));
+    EXPECT_TRUE(c.getBool("b", false));
+    EXPECT_FALSE(c.getBool("c", true));
+    EXPECT_FALSE(c.getBool("d", true));
+}
+
+TEST(Config, OverwriteTakesLastValue)
+{
+    Config c;
+    c.set("k", "1");
+    c.set("k", "2");
+    EXPECT_EQ(c.getInt("k", 0), 2);
+}
+
+TEST(Config, ParseArgsSkipsArgv0)
+{
+    const char *argv[] = {"prog", "a=1", "b=2"};
+    Config c;
+    const int n = c.parseArgs(3, const_cast<char **>(argv));
+    EXPECT_EQ(n, 2);
+    EXPECT_EQ(c.getInt("a", 0), 1);
+    EXPECT_EQ(c.getInt("b", 0), 2);
+}
+
+TEST(Config, UnreadKeysTracksTypos)
+{
+    Config c;
+    c.set("used", "1");
+    c.set("typo", "1");
+    (void)c.getInt("used", 0);
+    const auto unread = c.unreadKeys();
+    ASSERT_EQ(unread.size(), 1u);
+    EXPECT_EQ(unread[0], "typo");
+}
+
+TEST(Config, KeysSorted)
+{
+    Config c;
+    c.set("b", "1");
+    c.set("a", "1");
+    const auto keys = c.keys();
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0], "a");
+    EXPECT_EQ(keys[1], "b");
+}
+
+TEST(ConfigDeath, MalformedTokenIsFatal)
+{
+    Config c;
+    EXPECT_DEATH(c.parseToken("no-equals"), "not key=value");
+    EXPECT_DEATH(c.parseToken("=value"), "not key=value");
+}
+
+TEST(ConfigDeath, MalformedNumberIsFatal)
+{
+    Config c;
+    c.set("n", "12abc");
+    EXPECT_DEATH((void)c.getInt("n", 0), "not an integer");
+    c.set("d", "zz");
+    EXPECT_DEATH((void)c.getDouble("d", 0), "not a number");
+    c.set("b", "maybe");
+    EXPECT_DEATH((void)c.getBool("b", false), "not a boolean");
+}
+
+} // namespace
+} // namespace mdw

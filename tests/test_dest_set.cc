@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for DestSet, parameterized across universe sizes that
+ * exercise word boundaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "message/dest_set.hh"
+
+namespace mdw {
+namespace {
+
+class DestSetSizes : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(DestSetSizes, SetTestClear)
+{
+    const std::size_t n = GetParam();
+    DestSet s(n);
+    EXPECT_TRUE(s.empty());
+    for (std::size_t i = 0; i < n; i += 3)
+        s.set(static_cast<NodeId>(i));
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(s.test(static_cast<NodeId>(i)), i % 3 == 0);
+    EXPECT_EQ(s.count(), (n + 2) / 3);
+    s.clear(0);
+    EXPECT_FALSE(s.test(0));
+}
+
+TEST_P(DestSetSizes, ForEachAscending)
+{
+    const std::size_t n = GetParam();
+    DestSet s(n);
+    std::vector<NodeId> want;
+    for (std::size_t i = 1; i < n; i += 7) {
+        s.set(static_cast<NodeId>(i));
+        want.push_back(static_cast<NodeId>(i));
+    }
+    EXPECT_EQ(s.toVector(), want);
+    EXPECT_EQ(s.first(), want.empty() ? kInvalidNode : want.front());
+}
+
+TEST_P(DestSetSizes, SetOperations)
+{
+    const std::size_t n = GetParam();
+    DestSet a(n), b(n);
+    a.set(0);
+    if (n > 1)
+        a.set(static_cast<NodeId>(n - 1));
+    b.set(0);
+
+    EXPECT_TRUE(b.subsetOf(a));
+    EXPECT_TRUE(a.intersects(b));
+
+    const DestSet inter = a & b;
+    EXPECT_EQ(inter.count(), 1u);
+    EXPECT_TRUE(inter.test(0));
+
+    const DestSet uni = a | b;
+    EXPECT_EQ(uni.count(), a.count());
+
+    const DestSet diff = a - b;
+    EXPECT_FALSE(diff.test(0));
+    EXPECT_EQ(diff.count(), a.count() - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(WordBoundaries, DestSetSizes,
+                         ::testing::Values(1, 2, 63, 64, 65, 128, 200,
+                                           1024));
+
+TEST(DestSet, OfBuildsLiteralSets)
+{
+    const DestSet s = DestSet::of(16, {1, 5, 9});
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_TRUE(s.test(1));
+    EXPECT_TRUE(s.test(5));
+    EXPECT_TRUE(s.test(9));
+}
+
+TEST(DestSet, EqualityIncludesUniverse)
+{
+    EXPECT_EQ(DestSet::of(16, {3}), DestSet::of(16, {3}));
+    EXPECT_FALSE(DestSet::of(16, {3}) == DestSet::of(32, {3}));
+    EXPECT_FALSE(DestSet::of(16, {3}) == DestSet::of(16, {4}));
+}
+
+TEST(DestSet, ResetClearsAll)
+{
+    DestSet s = DestSet::of(100, {0, 50, 99});
+    s.reset();
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.first(), kInvalidNode);
+}
+
+TEST(DestSet, SubsetOfEmptyAndFull)
+{
+    DestSet empty(64);
+    DestSet full(64);
+    for (int i = 0; i < 64; ++i)
+        full.set(i);
+    EXPECT_TRUE(empty.subsetOf(full));
+    EXPECT_TRUE(empty.subsetOf(empty));
+    EXPECT_FALSE(full.subsetOf(empty));
+    EXPECT_FALSE(empty.intersects(full));
+}
+
+TEST(DestSetDeath, OutOfRangePanics)
+{
+    DestSet s(8);
+    EXPECT_DEATH(s.set(8), "out of universe");
+    EXPECT_DEATH(s.set(-1), "out of universe");
+    EXPECT_DEATH((void)s.test(100), "out of universe");
+}
+
+TEST(DestSetDeath, MismatchedUniversePanics)
+{
+    DestSet a(8), b(16);
+    EXPECT_DEATH(a |= b, "universe mismatch");
+    EXPECT_DEATH((void)a.subsetOf(b), "universe mismatch");
+}
+
+} // namespace
+} // namespace mdw

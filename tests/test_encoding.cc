@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit and property tests for the header encodings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "message/encoding.hh"
+#include "sim/rng.hh"
+
+namespace mdw {
+namespace {
+
+TEST(BitString, HeaderFlitsFormula)
+{
+    EncodingParams enc; // 8-bit flits
+    EXPECT_EQ(bitStringHeaderFlits(16, enc), 1 + 2);
+    EXPECT_EQ(bitStringHeaderFlits(64, enc), 1 + 8);
+    EXPECT_EQ(bitStringHeaderFlits(65, enc), 1 + 9);
+    EXPECT_EQ(bitStringHeaderFlits(256, enc), 1 + 32);
+    enc.flitBits = 16;
+    EXPECT_EQ(bitStringHeaderFlits(64, enc), 1 + 4);
+}
+
+TEST(BitString, RoundTrip)
+{
+    const DestSet dests = DestSet::of(70, {0, 7, 8, 33, 69});
+    const auto bytes = encodeBitString(dests);
+    EXPECT_EQ(bytes.size(), 9u); // ceil(70/8)
+    EXPECT_EQ(decodeBitString(bytes, 70), dests);
+}
+
+TEST(BitString, RoundTripRandomSets)
+{
+    Rng rng(99);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t n = 1 + rng.below(300);
+        DestSet dests(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (rng.chance(0.3))
+                dests.set(static_cast<NodeId>(i));
+        }
+        EXPECT_EQ(decodeBitString(encodeBitString(dests), n), dests);
+    }
+}
+
+TEST(Multiport, HeaderFlitsIndependentOfSystemSize)
+{
+    EncodingParams enc;
+    EXPECT_EQ(multiportHeaderFlits(3, enc), 4);
+    EXPECT_EQ(multiportHeaderFlits(5, enc), 6);
+}
+
+TEST(Multiport, SingleDestinationIsOnePhase)
+{
+    const DestSet d = DestSet::of(64, {37});
+    const auto groups = planMultiportPhases(4, 3, d);
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0], d);
+}
+
+TEST(Multiport, FullBroadcastIsOnePhase)
+{
+    DestSet all(64);
+    for (int i = 0; i < 64; ++i)
+        all.set(i);
+    const auto groups = planMultiportPhases(4, 3, all);
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0], all);
+}
+
+TEST(Multiport, ProductSetRecognizedAsOnePhase)
+{
+    // Destinations {0,1} x {0,2} at the two levels of a 4-ary 2-tree:
+    // leaves 0,2,4,6 (digits (0,0),(0,2),(1,0),(1,2)).
+    const DestSet d = DestSet::of(16, {0, 2, 4, 6});
+    const auto groups = planMultiportPhases(4, 2, d);
+    EXPECT_EQ(groups.size(), 1u);
+}
+
+TEST(Multiport, NonProductNeedsMultiplePhases)
+{
+    // {0, 5} has digits (0,0) and (1,1): the product closure would
+    // cover 1 and 4 too, which are not destinations.
+    const DestSet d = DestSet::of(16, {0, 5});
+    const auto groups = planMultiportPhases(4, 2, d);
+    EXPECT_EQ(groups.size(), 2u);
+}
+
+class MultiportProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MultiportProperty, ExactDisjointCover)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    const std::size_t k = 4;
+    const int levels = 3;
+    const std::size_t n = 64;
+
+    DestSet dests(n);
+    const std::size_t degree = 1 + rng.below(n - 1);
+    while (dests.count() < degree)
+        dests.set(static_cast<NodeId>(rng.below(n)));
+
+    const auto groups = planMultiportPhases(k, levels, dests);
+    ASSERT_FALSE(groups.empty());
+
+    DestSet covered(n);
+    for (const DestSet &group : groups) {
+        EXPECT_FALSE(group.empty());
+        // Disjoint: no destination covered twice.
+        EXPECT_FALSE(covered.intersects(group));
+        covered |= group;
+    }
+    // Exact: everything covered, nothing extra.
+    EXPECT_EQ(covered, dests);
+    // Never worse than one unicast per destination.
+    EXPECT_LE(groups.size(), dests.count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiportProperty,
+                         ::testing::Range(1, 21));
+
+TEST(EncodingNames, ToString)
+{
+    EXPECT_STREQ(toString(McastEncoding::BitString), "bit-string");
+    EXPECT_STREQ(toString(McastEncoding::Multiport), "multiport");
+}
+
+} // namespace
+} // namespace mdw

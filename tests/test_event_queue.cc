@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for the event queue and the simulator driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/system.hh"
+
+namespace mdw {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    q.schedule(30, [&] { fired.push_back(3); });
+    q.schedule(10, [&] { fired.push_back(1); });
+    q.schedule(20, [&] { fired.push_back(2); });
+    q.runDue(25);
+    EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+    q.runDue(30);
+    EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameCycleFifoTieBreak)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(7, [&fired, i] { fired.push_back(i); });
+    q.runDue(7);
+    EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ActionMayScheduleMore)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(1, [&] {
+        ++count;
+        q.schedule(1, [&] { ++count; }); // due immediately
+        q.schedule(5, [&] { ++count; }); // later
+    });
+    q.runDue(2);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(q.nextEventCycle(), 5u);
+    q.runDue(5);
+    EXPECT_EQ(count, 3);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextEventCycleEmpty)
+{
+    EventQueue q;
+    EXPECT_EQ(q.nextEventCycle(), kNoCycle);
+}
+
+namespace {
+
+class TickCounter : public Component
+{
+  public:
+    TickCounter() : Component("ticker") {}
+
+    void
+    step(Cycle now) override
+    {
+        ++ticks;
+        last = now;
+        if (report_progress && sim_)
+            sim_->noteProgress();
+    }
+
+    int ticks = 0;
+    Cycle last = 0;
+    bool report_progress = true;
+};
+
+} // namespace
+
+TEST(Simulator, StepsComponentsOncePerCycle)
+{
+    Simulator sim;
+    TickCounter a, b;
+    sim.add(&a);
+    sim.add(&b);
+    sim.run(10);
+    EXPECT_EQ(a.ticks, 10);
+    EXPECT_EQ(b.ticks, 10);
+    EXPECT_EQ(a.last, 9u);
+    EXPECT_EQ(sim.now(), 10u);
+}
+
+TEST(Simulator, RunUntilStopsEarly)
+{
+    Simulator sim;
+    TickCounter a;
+    sim.add(&a);
+    const bool done =
+        sim.runUntil([&] { return a.ticks >= 5; }, 100);
+    EXPECT_TRUE(done);
+    EXPECT_EQ(a.ticks, 5);
+}
+
+TEST(Simulator, RunUntilHonorsLimit)
+{
+    Simulator sim;
+    TickCounter a;
+    sim.add(&a);
+    const bool done = sim.runUntil([] { return false; }, 20);
+    EXPECT_FALSE(done);
+    EXPECT_EQ(sim.now(), 20u);
+}
+
+TEST(Simulator, EventsFireDuringRun)
+{
+    Simulator sim;
+    int fired_at = -1;
+    sim.events().schedule(5, [&] {
+        fired_at = static_cast<int>(sim.now());
+    });
+    sim.run(10);
+    EXPECT_EQ(fired_at, 5);
+}
+
+TEST(Simulator, WatchdogTripsOnStall)
+{
+    Simulator sim;
+    TickCounter a;
+    a.report_progress = false;
+    sim.add(&a);
+    bool tripped = false;
+    sim.setWatchdog(10, [] { return true; }, [&] { tripped = true; });
+    sim.run(50);
+    EXPECT_TRUE(tripped);
+    EXPECT_TRUE(sim.deadlockDetected());
+    // run() stops once deadlocked.
+    EXPECT_LE(sim.now(), 12u);
+}
+
+TEST(Simulator, WatchdogQuietWhileProgressing)
+{
+    Simulator sim;
+    TickCounter a; // reports progress every cycle
+    sim.add(&a);
+    sim.setWatchdog(10, [] { return true; });
+    sim.run(100);
+    EXPECT_FALSE(sim.deadlockDetected());
+}
+
+TEST(Simulator, WatchdogIgnoresIdleSystem)
+{
+    Simulator sim;
+    TickCounter a;
+    a.report_progress = false;
+    sim.add(&a);
+    sim.setWatchdog(10, [] { return false; }); // no work pending
+    sim.run(100);
+    EXPECT_FALSE(sim.deadlockDetected());
+}
+
+} // namespace
+} // namespace mdw

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the PortGraph structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "topology/graph.hh"
+
+namespace mdw {
+namespace {
+
+TEST(PortGraph, BuildAndQuery)
+{
+    PortGraph g;
+    const SwitchId s0 = g.addSwitch(4);
+    const SwitchId s1 = g.addSwitch(4);
+    const NodeId h0 = g.addHost();
+    EXPECT_EQ(g.numSwitches(), 2u);
+    EXPECT_EQ(g.numHosts(), 1u);
+    EXPECT_EQ(g.radix(s0), 4);
+
+    g.connectSwitches(s0, 0, s1, 2);
+    g.connectHost(h0, s0, 1);
+
+    const PortPeer &p = g.peer(s0, 0);
+    EXPECT_TRUE(p.isSwitch());
+    EXPECT_EQ(p.sw, s1);
+    EXPECT_EQ(p.port, 2);
+
+    const PortPeer &back = g.peer(s1, 2);
+    EXPECT_EQ(back.sw, s0);
+    EXPECT_EQ(back.port, 0);
+
+    const PortPeer &hp = g.peer(s0, 1);
+    EXPECT_TRUE(hp.isHost());
+    EXPECT_EQ(hp.host, h0);
+    EXPECT_EQ(g.attach(h0).sw, s0);
+    EXPECT_EQ(g.attach(h0).port, 1);
+
+    EXPECT_FALSE(g.peer(s0, 3).connected());
+    EXPECT_EQ(g.switchLinkCount(), 1u);
+    g.validate();
+}
+
+TEST(PortGraph, ConnectivityDetection)
+{
+    PortGraph g;
+    g.addSwitch(2);
+    g.addSwitch(2);
+    g.addSwitch(2);
+    EXPECT_FALSE(g.connectedSwitches());
+    g.connectSwitches(0, 0, 1, 0);
+    EXPECT_FALSE(g.connectedSwitches());
+    g.connectSwitches(1, 1, 2, 0);
+    EXPECT_TRUE(g.connectedSwitches());
+}
+
+TEST(PortGraph, EmptyGraphIsConnected)
+{
+    PortGraph g;
+    EXPECT_TRUE(g.connectedSwitches());
+}
+
+TEST(PortGraphDeath, DoubleConnectPanics)
+{
+    PortGraph g;
+    g.addSwitch(2);
+    g.addSwitch(2);
+    g.connectSwitches(0, 0, 1, 0);
+    EXPECT_DEATH(g.connectSwitches(0, 0, 1, 1), "busy");
+}
+
+TEST(PortGraphDeath, SelfLoopPanics)
+{
+    PortGraph g;
+    g.addSwitch(2);
+    EXPECT_DEATH(g.connectSwitches(0, 1, 0, 1), "itself");
+}
+
+TEST(PortGraphDeath, DoubleHostAttachPanics)
+{
+    PortGraph g;
+    g.addSwitch(4);
+    const NodeId h = g.addHost();
+    g.connectHost(h, 0, 0);
+    EXPECT_DEATH(g.connectHost(h, 0, 1), "already attached");
+}
+
+TEST(PortGraphDeath, OutOfRangePanics)
+{
+    PortGraph g;
+    g.addSwitch(2);
+    EXPECT_DEATH((void)g.radix(5), "out of range");
+    EXPECT_DEATH((void)g.peer(0, 9), "out of range");
+}
+
+TEST(PortGraphDeath, ValidateCatchesUnattachedHost)
+{
+    PortGraph g;
+    g.addSwitch(2);
+    g.addHost(); // never attached
+    EXPECT_DEATH(g.validate(), "unattached");
+}
+
+} // namespace
+} // namespace mdw

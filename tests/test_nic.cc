@@ -1,0 +1,252 @@
+/**
+ * @file
+ * NIC behavior: send overheads, injection serialization, software
+ * multicast forwarding, and multiport-encoded sends.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/presets.hh"
+
+namespace mdw {
+namespace {
+
+NetworkConfig
+smallConfig()
+{
+    NetworkConfig config = defaultNetwork();
+    config.fatTreeK = 4;
+    config.fatTreeN = 1; // 4 hosts
+    return config;
+}
+
+Cycle
+drain(Network &net, Cycle limit = 100000)
+{
+    net.armWatchdog(10000);
+    const bool done =
+        net.sim().runUntil([&net] { return net.idle(); }, limit);
+    EXPECT_TRUE(done) << "network failed to drain";
+    return net.sim().now();
+}
+
+TEST(Nic, SendOverheadDelaysInjection)
+{
+    auto latency = [](Cycle overhead) {
+        NetworkConfig config = smallConfig();
+        config.nic.sendOverhead = overhead;
+        config.nic.recvOverhead = 0;
+        Network net(config);
+        net.nic(0).postUnicast(1, 16, 0);
+        net.sim().runUntil([&net] { return net.idle(); }, 10000);
+        return net.tracker().unicastLatency().mean();
+    };
+    const double base = latency(0);
+    EXPECT_NEAR(latency(100), base + 100.0, 1e-9);
+    EXPECT_NEAR(latency(500), base + 500.0, 1e-9);
+}
+
+TEST(Nic, InjectionIsSerialized)
+{
+    NetworkConfig config = smallConfig();
+    config.nic.sendOverhead = 50;
+    Network net(config);
+    // Two messages queued at once: the second pays the first's
+    // serialization plus its own overhead.
+    net.nic(0).postUnicast(1, 20, 0);
+    net.nic(0).postUnicast(2, 20, 0);
+    EXPECT_EQ(net.nic(0).txBacklog(), 2u);
+    drain(net);
+    EXPECT_EQ(net.nic(0).txBacklog(), 0u);
+    EXPECT_EQ(net.nic(0).stats().packetsInjected.value(), 2u);
+    const Sampler &lat = net.tracker().unicastLatency();
+    EXPECT_EQ(lat.count(), 2u);
+    // Second message waits >= 50 (own overhead) + 22 (first packet).
+    EXPECT_GE(lat.max(), lat.min() + 70.0);
+}
+
+TEST(Nic, HardwareMulticastIsOnePacket)
+{
+    Network net(smallConfig());
+    net.nic(0).postMulticast(DestSet::of(4, {1, 2, 3}), 32, 0);
+    drain(net);
+    EXPECT_EQ(net.nic(0).stats().packetsInjected.value(), 1u);
+    EXPECT_EQ(net.tracker().totalDeliveries(), 3u);
+}
+
+TEST(Nic, SoftwareMulticastSendsBinomialTree)
+{
+    NetworkConfig config = smallConfig();
+    config.nic.scheme = McastScheme::Software;
+    Network net(config);
+    net.nic(0).postMulticast(DestSet::of(4, {1, 2, 3}), 32, 0);
+    drain(net);
+    // d=3: source sends ceil(log2(4)) = 2 carriers; one recipient
+    // forwards once. Total carriers = 3 (one per destination).
+    EXPECT_EQ(net.nic(0).stats().packetsInjected.value(), 2u);
+    std::uint64_t total_injected = 0, forwards = 0;
+    for (NodeId n = 0; n < 4; ++n) {
+        total_injected += net.nic(n).stats().packetsInjected.value();
+        forwards += net.nic(n).stats().swForwards.value();
+    }
+    EXPECT_EQ(total_injected, 3u);
+    EXPECT_EQ(forwards, 1u);
+    EXPECT_EQ(net.tracker().totalDeliveries(), 3u);
+    EXPECT_EQ(net.tracker().mcastLastLatency().count(), 1u);
+}
+
+TEST(Nic, SoftwareMulticastPaysPerPhaseOverheads)
+{
+    auto lastLatency = [](McastScheme scheme) {
+        NetworkConfig config = smallConfig();
+        config.nic.scheme = scheme;
+        config.nic.sendOverhead = 200;
+        config.nic.recvOverhead = 200;
+        Network net(config);
+        net.nic(0).postMulticast(DestSet::of(4, {1, 2, 3}), 32, 0);
+        net.sim().runUntil([&net] { return net.idle(); }, 100000);
+        return net.tracker().mcastLastLatency().mean();
+    };
+    const double hw = lastLatency(McastScheme::Hardware);
+    const double sw = lastLatency(McastScheme::Software);
+    // Hardware pays one send overhead; software pays overheads on
+    // every tree edge along the critical path.
+    EXPECT_GE(sw, hw + 400.0);
+}
+
+TEST(Nic, MultiportEncodingSplitsNonProductSets)
+{
+    NetworkConfig config = defaultNetwork();
+    config.fatTreeK = 4;
+    config.fatTreeN = 2; // 16 hosts
+    config.nic.encoding = McastEncoding::Multiport;
+    Network net(config);
+    // {1, 6} has digits (0,1) and (1,2): not a product set.
+    net.nic(0).postMulticast(DestSet::of(16, {1, 6}), 32, 0);
+    drain(net);
+    EXPECT_EQ(net.nic(0).stats().packetsInjected.value(), 2u);
+    EXPECT_EQ(net.tracker().totalDeliveries(), 2u);
+    EXPECT_EQ(net.tracker().mcastLastLatency().count(), 1u);
+}
+
+TEST(Nic, MultiportHeaderShorterThanBitStringOnBigSystems)
+{
+    NetworkConfig bitstring = defaultNetwork(); // 64 hosts, n=3
+    Network a(bitstring);
+    NetworkConfig multiport = defaultNetwork();
+    multiport.nic.encoding = McastEncoding::Multiport;
+    Network b(multiport);
+    EXPECT_EQ(a.mcastHeaderFlits(), 9); // 1 + 64/8
+    EXPECT_EQ(b.mcastHeaderFlits(), 4); // 1 + 3 levels
+}
+
+TEST(Nic, SwListOverheadGrowsCarrierHeaders)
+{
+    auto latency = [](bool overhead) {
+        NetworkConfig config = smallConfig();
+        config.nic.scheme = McastScheme::Software;
+        config.nic.swListOverhead = overhead;
+        config.nic.sendOverhead = 0;
+        config.nic.recvOverhead = 0;
+        Network net(config);
+        net.nic(0).postMulticast(DestSet::of(4, {1, 2, 3}), 32, 0);
+        net.sim().runUntil([&net] { return net.idle(); }, 100000);
+        return net.tracker().mcastLastLatency().mean();
+    };
+    EXPECT_GT(latency(true), latency(false));
+}
+
+TEST(Nic, TracksDeliveredPayload)
+{
+    Network net(smallConfig());
+    net.tracker().setWindow(0, kNoCycle);
+    net.nic(0).postMulticast(DestSet::of(4, {1, 2}), 40, 0);
+    drain(net);
+    EXPECT_EQ(net.tracker().windowDeliveredFlits(), 80u);
+}
+
+TEST(NicSegmentation, LongUnicastSplitsAndReassembles)
+{
+    NetworkConfig config = smallConfig();
+    config.maxPayloadFlits = 100;
+    Network net(config);
+    net.nic(0).postUnicast(1, 350, 0); // 4 packets: 100+100+100+50
+    drain(net);
+    EXPECT_EQ(net.nic(0).stats().packetsInjected.value(), 4u);
+    EXPECT_EQ(net.nic(1).stats().packetsDelivered.value(), 4u);
+    // One logical delivery, full payload accounted.
+    EXPECT_EQ(net.tracker().totalDeliveries(), 1u);
+    EXPECT_EQ(net.tracker().unicastLatency().count(), 1u);
+}
+
+TEST(NicSegmentation, PayloadAccountingSumsSegments)
+{
+    NetworkConfig config = smallConfig();
+    config.maxPayloadFlits = 64;
+    Network net(config);
+    net.tracker().setWindow(0, kNoCycle);
+    net.nic(0).postUnicast(2, 150, 0);
+    drain(net);
+    EXPECT_EQ(net.tracker().windowDeliveredFlits(), 150u);
+}
+
+TEST(NicSegmentation, LongMulticastReachesEveryDestinationOnce)
+{
+    NetworkConfig config = smallConfig();
+    config.maxPayloadFlits = 80;
+    Network net(config);
+    net.tracker().setWindow(0, kNoCycle);
+    net.nic(0).postMulticast(DestSet::of(4, {1, 2, 3}), 200, 0);
+    drain(net);
+    // 3 packets x 3 destinations, but 3 logical deliveries.
+    EXPECT_EQ(net.tracker().totalDeliveries(), 3u);
+    EXPECT_EQ(net.tracker().mcastLastLatency().count(), 1u);
+    EXPECT_EQ(net.tracker().windowDeliveredFlits(), 600u);
+}
+
+TEST(NicSegmentation, LongSoftwareMulticastForwardsWholeMessage)
+{
+    NetworkConfig config = smallConfig();
+    config.maxPayloadFlits = 64;
+    config.nic.scheme = McastScheme::Software;
+    Network net(config);
+    net.tracker().setWindow(0, kNoCycle);
+    net.nic(0).postMulticast(DestSet::of(4, {1, 2, 3}), 150, 0);
+    drain(net);
+    EXPECT_EQ(net.tracker().totalDeliveries(), 3u);
+    // Every destination received the full 150-flit message (the
+    // intermediate forwarder must resend all segments).
+    EXPECT_EQ(net.tracker().windowDeliveredFlits(), 450u);
+}
+
+TEST(NicSegmentation, SegmentedLatencyExceedsSinglePacket)
+{
+    auto latency = [](int maxPayload) {
+        NetworkConfig config = smallConfig();
+        config.maxPayloadFlits = maxPayload;
+        config.nic.sendOverhead = 100;
+        Network net(config);
+        net.nic(0).postUnicast(1, 200, 0);
+        net.sim().runUntil([&net] { return net.idle(); }, 50000);
+        return net.tracker().unicastLatency().mean();
+    };
+    // Four segments pay four send overheads; one packet pays one.
+    EXPECT_GT(latency(50), latency(256) + 250.0);
+}
+
+TEST(NicDeath, MulticastToSelfPanics)
+{
+    Network net(smallConfig());
+    EXPECT_DEATH(
+        net.nic(1).postMulticast(DestSet::of(4, {1, 2}), 8, 0),
+        "includes itself");
+}
+
+TEST(NicDeath, UnicastToSelfPanics)
+{
+    Network net(smallConfig());
+    EXPECT_DEATH(net.nic(1).postUnicast(1, 8, 0), "itself");
+}
+
+} // namespace
+} // namespace mdw

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/rng.hh"
+
+namespace mdw {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams)
+{
+    Rng a(123), b(124);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+        for (int i = 0; i < 2000; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng rng(11);
+    constexpr int kBuckets = 8;
+    constexpr int kSamples = 80000;
+    int counts[kBuckets] = {};
+    for (int i = 0; i < kSamples; ++i)
+        ++counts[rng.below(kBuckets)];
+    const double expected = kSamples / static_cast<double>(kBuckets);
+    for (int c : counts)
+        EXPECT_NEAR(c, expected, expected * 0.1);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(13);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(19);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(23);
+    int hits = 0;
+    for (int i = 0; i < 50000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 50000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(29);
+    double sum = 0.0;
+    for (int i = 0; i < 50000; ++i)
+        sum += rng.exponential(40.0);
+    EXPECT_NEAR(sum / 50000.0, 40.0, 2.0);
+}
+
+TEST(Rng, GeometricGapMeanIsInverseRate)
+{
+    Rng rng(31);
+    const double p = 0.05;
+    double sum = 0.0;
+    constexpr int kSamples = 50000;
+    for (int i = 0; i < kSamples; ++i) {
+        const auto gap = rng.geometricGap(p);
+        ASSERT_GE(gap, 1u);
+        sum += static_cast<double>(gap);
+    }
+    EXPECT_NEAR(sum / kSamples, 1.0 / p, 1.0);
+}
+
+TEST(Rng, GeometricGapAtProbabilityOne)
+{
+    Rng rng(37);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.geometricGap(1.0), 1u);
+}
+
+TEST(Rng, ForkIsDeterministic)
+{
+    Rng root(41);
+    Rng a = root.fork(5);
+    Rng b = Rng(41).fork(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ForksWithDifferentTagsDiffer)
+{
+    Rng root(43);
+    Rng a = root.fork(1);
+    Rng b = root.fork(2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ShuffleIsAPermutation)
+{
+    Rng rng(47);
+    std::vector<int> v(100);
+    std::iota(v.begin(), v.end(), 0);
+    auto shuffled = v;
+    rng.shuffle(shuffled);
+    EXPECT_FALSE(std::equal(v.begin(), v.end(), shuffled.begin()));
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(v, shuffled);
+}
+
+} // namespace
+} // namespace mdw

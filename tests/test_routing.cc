@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests for reachability-based decode and LCA routing, including a
+ * full routing-walk property: simulate the branch tree hop by hop and
+ * check that every destination is delivered exactly once with no
+ * up-turn after going down.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "sim/rng.hh"
+#include "topology/fat_tree.hh"
+#include "topology/irregular.hh"
+
+namespace mdw {
+namespace {
+
+/**
+ * Walk a worm through the network following decode() decisions,
+ * delivering at host ports. Fails the test if a branch revisits the
+ * up phase after descending or exceeds a hop budget.
+ */
+void
+walkWorm(const Topology &topo, NodeId src, const DestSet &dests,
+         RoutingVariant variant, DestSet &delivered, int &maxHops)
+{
+    struct Leg
+    {
+        SwitchId sw;
+        DestSet dests;
+        bool goingDown;
+        int hops;
+    };
+
+    const HostAttach &at = topo.graph().attach(src);
+    std::deque<Leg> legs;
+    legs.push_back(Leg{at.sw, dests, false, 1});
+    const int hop_budget = static_cast<int>(topo.numSwitches()) + 4;
+
+    while (!legs.empty()) {
+        Leg leg = legs.front();
+        legs.pop_front();
+        ASSERT_LE(leg.hops, hop_budget) << "routing did not converge";
+        maxHops = std::max(maxHops, leg.hops);
+
+        const SwitchRouting &sr = topo.routing().at(leg.sw);
+        const RouteDecision route = sr.decode(leg.dests, variant);
+
+        // Once a branch starts descending it must never need an up
+        // port again (the pruned set is always down-reachable).
+        if (leg.goingDown)
+            ASSERT_FALSE(route.needsUp());
+
+        DestSet branched(leg.dests.size());
+        for (const auto &[port, sub] : route.downBranches) {
+            ASSERT_FALSE(sub.empty());
+            ASSERT_FALSE(branched.intersects(sub))
+                << "destination covered by two branches";
+            branched |= sub;
+            const PortPeer &peer = topo.graph().peer(leg.sw, port);
+            if (peer.isHost()) {
+                ASSERT_EQ(sub.count(), 1u);
+                ASSERT_TRUE(sub.test(peer.host));
+                ASSERT_FALSE(delivered.test(peer.host))
+                    << "duplicate delivery";
+                delivered.set(peer.host);
+            } else {
+                legs.push_back(
+                    Leg{peer.sw, sub, true, leg.hops + 1});
+            }
+        }
+        if (route.needsUp()) {
+            ASSERT_FALSE(route.upCandidates.empty());
+            // Take the first candidate (all are equivalent for
+            // reachability).
+            const PortId up = route.upCandidates.front();
+            const PortPeer &peer = topo.graph().peer(leg.sw, up);
+            ASSERT_TRUE(peer.isSwitch());
+            legs.push_back(
+                Leg{peer.sw, route.upDests, false, leg.hops + 1});
+        }
+    }
+}
+
+class RoutingWalk
+    : public ::testing::TestWithParam<std::tuple<RoutingVariant, int>>
+{
+};
+
+TEST_P(RoutingWalk, FatTreeMulticastDeliversExactlyOnce)
+{
+    const auto [variant, seed] = GetParam();
+    FatTree topo(4, 3);
+    Rng rng(static_cast<std::uint64_t>(seed));
+    for (int trial = 0; trial < 20; ++trial) {
+        const NodeId src =
+            static_cast<NodeId>(rng.below(topo.numHosts()));
+        DestSet dests(topo.numHosts());
+        const std::size_t degree = 1 + rng.below(topo.numHosts() - 1);
+        while (dests.count() < degree) {
+            const auto d =
+                static_cast<NodeId>(rng.below(topo.numHosts()));
+            if (d != src)
+                dests.set(d);
+        }
+        DestSet delivered(topo.numHosts());
+        int max_hops = 0;
+        walkWorm(topo, src, dests, variant, delivered, max_hops);
+        EXPECT_EQ(delivered, dests);
+        // At most up to the root stage and all the way down: 2n-1
+        // switches on any branch path.
+        EXPECT_LE(max_hops, 2 * topo.n() - 1);
+    }
+}
+
+TEST_P(RoutingWalk, IrregularMulticastDeliversExactlyOnce)
+{
+    const auto [variant, seed] = GetParam();
+    IrregularParams params;
+    IrregularTopology topo(params, Rng(static_cast<std::uint64_t>(seed)));
+    Rng rng(static_cast<std::uint64_t>(seed) + 999);
+    for (int trial = 0; trial < 10; ++trial) {
+        const NodeId src =
+            static_cast<NodeId>(rng.below(topo.numHosts()));
+        DestSet dests(topo.numHosts());
+        const std::size_t degree = 1 + rng.below(12);
+        while (dests.count() < degree) {
+            const auto d =
+                static_cast<NodeId>(rng.below(topo.numHosts()));
+            if (d != src)
+                dests.set(d);
+        }
+        DestSet delivered(topo.numHosts());
+        int max_hops = 0;
+        walkWorm(topo, src, dests, variant, delivered, max_hops);
+        EXPECT_EQ(delivered, dests);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsAndSeeds, RoutingWalk,
+    ::testing::Combine(
+        ::testing::Values(RoutingVariant::ReplicateAfterLca,
+                          RoutingVariant::ReplicateOnUpPath),
+        ::testing::Values(1, 2, 3, 4, 5)));
+
+TEST(Decode, UnicastWithinLeafSwitch)
+{
+    FatTree topo(4, 2);
+    // Host 1 and host 2 share leaf switch 0.
+    const SwitchRouting &sr = topo.routing().at(0);
+    const RouteDecision route =
+        sr.decode(DestSet::of(16, {2}), RoutingVariant::ReplicateAfterLca);
+    EXPECT_FALSE(route.needsUp());
+    ASSERT_EQ(route.downBranches.size(), 1u);
+    EXPECT_EQ(route.downBranches[0].first, 2);
+}
+
+TEST(Decode, UnicastAcrossTreeNeedsUp)
+{
+    FatTree topo(4, 2);
+    const SwitchRouting &sr = topo.routing().at(0);
+    const RouteDecision route = sr.decode(
+        DestSet::of(16, {15}), RoutingVariant::ReplicateAfterLca);
+    EXPECT_TRUE(route.needsUp());
+    EXPECT_TRUE(route.downBranches.empty());
+    EXPECT_EQ(route.upCandidates.size(), 4u);
+    EXPECT_EQ(route.upDests.count(), 1u);
+}
+
+TEST(Decode, AfterLcaHoldsWholeSetOnUpPath)
+{
+    FatTree topo(4, 2);
+    const SwitchRouting &sr = topo.routing().at(0);
+    // Host 1 is local; host 12 needs the root stage.
+    const DestSet dests = DestSet::of(16, {1, 12});
+    const RouteDecision route =
+        sr.decode(dests, RoutingVariant::ReplicateAfterLca);
+    EXPECT_TRUE(route.needsUp());
+    EXPECT_TRUE(route.downBranches.empty());
+    EXPECT_EQ(route.upDests, dests);
+}
+
+TEST(Decode, OnUpPathBranchesEagerly)
+{
+    FatTree topo(4, 2);
+    const SwitchRouting &sr = topo.routing().at(0);
+    const DestSet dests = DestSet::of(16, {1, 12});
+    const RouteDecision route =
+        sr.decode(dests, RoutingVariant::ReplicateOnUpPath);
+    EXPECT_TRUE(route.needsUp());
+    ASSERT_EQ(route.downBranches.size(), 1u);
+    EXPECT_TRUE(route.downBranches[0].second.test(1));
+    EXPECT_EQ(route.upDests.count(), 1u);
+    EXPECT_TRUE(route.upDests.test(12));
+}
+
+TEST(Decode, MulticastSplitsAcrossDownPorts)
+{
+    FatTree topo(4, 2);
+    // At root switch 4 (level 1, label 0): all hosts reachable down.
+    const SwitchRouting &sr = topo.routing().at(topo.switchAt(1, 0));
+    const DestSet dests = DestSet::of(16, {0, 5, 10, 15});
+    const RouteDecision route =
+        sr.decode(dests, RoutingVariant::ReplicateAfterLca);
+    EXPECT_FALSE(route.needsUp());
+    EXPECT_EQ(route.downBranches.size(), 4u); // one per subtree
+}
+
+TEST(DecodeDeath, EmptySetPanics)
+{
+    FatTree topo(4, 2);
+    EXPECT_DEATH((void)topo.routing().at(0).decode(
+                     DestSet(16), RoutingVariant::ReplicateAfterLca),
+                 "empty destination set");
+}
+
+TEST(RoutingNames, ToString)
+{
+    EXPECT_STREQ(toString(PortDir::Down), "down");
+    EXPECT_STREQ(toString(PortDir::Up), "up");
+    EXPECT_STREQ(toString(RoutingVariant::ReplicateAfterLca),
+                 "replicate-after-lca");
+    EXPECT_STREQ(toString(UpPortPolicy::Adaptive), "adaptive");
+}
+
+} // namespace
+} // namespace mdw

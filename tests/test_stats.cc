@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for the statistics primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/stats.hh"
+
+namespace mdw {
+namespace {
+
+TEST(Sampler, EmptyIsZero)
+{
+    Sampler s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(Sampler, MeanAndMinMax)
+{
+    Sampler s;
+    for (double x : {4.0, 8.0, 6.0, 2.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 8.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 20.0);
+}
+
+TEST(Sampler, VarianceMatchesDefinition)
+{
+    Sampler s;
+    const double xs[] = {1, 2, 3, 4, 5};
+    for (double x : xs)
+        s.add(x);
+    // Population variance of 1..5 = 2.
+    EXPECT_NEAR(s.variance(), 2.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Sampler, MergeEqualsCombinedStream)
+{
+    Sampler a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        const double x = i * 0.37;
+        a.add(x);
+        all.add(x);
+    }
+    for (int i = 0; i < 70; ++i) {
+        const double x = 100 - i * 0.21;
+        b.add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Sampler, MergeWithEmpty)
+{
+    Sampler a, b;
+    a.add(5.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_DOUBLE_EQ(b.mean(), 5.0);
+}
+
+TEST(Histogram, CountsAndOverflow)
+{
+    Histogram h(10.0, 5); // bins [0,50), overflow beyond
+    h.add(0.0);
+    h.add(9.99);
+    h.add(10.0);
+    h.add(49.0);
+    h.add(50.0);
+    h.add(1000.0);
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.bins()[0], 2u);
+    EXPECT_EQ(h.bins()[1], 1u);
+    EXPECT_EQ(h.bins()[4], 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(Histogram, PercentileMedian)
+{
+    Histogram h(1.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(static_cast<double>(i));
+    EXPECT_NEAR(h.percentile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.percentile(0.9), 90.0, 1.5);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 99.0);
+}
+
+TEST(Histogram, PercentileAllInOverflowReturnsMax)
+{
+    Histogram h(1.0, 4);
+    h.add(100.0);
+    h.add(200.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.9), 200.0);
+}
+
+TEST(Histogram, MergeAddsBins)
+{
+    Histogram a(1.0, 10), b(1.0, 10);
+    a.add(1.0);
+    b.add(1.5);
+    b.add(20.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_EQ(a.bins()[1], 2u);
+    EXPECT_EQ(a.overflow(), 1u);
+}
+
+TEST(Histogram, NegativeClampsToFirstBin)
+{
+    Histogram h(1.0, 4);
+    h.add(-5.0);
+    EXPECT_EQ(h.bins()[0], 1u);
+}
+
+TEST(TimeAverage, PiecewiseConstant)
+{
+    TimeAverage t;
+    t.update(0.0, 0);
+    t.update(10.0, 100); // value 0 over [0,100)
+    t.update(20.0, 200); // value 10 over [100,200)
+    // At cycle 200: (0*100 + 10*100) / 200 = 5.
+    EXPECT_DOUBLE_EQ(t.average(200), 5.0);
+    // At cycle 400, value 20 held for [200,400).
+    EXPECT_DOUBLE_EQ(t.average(400), (10.0 * 100 + 20.0 * 200) / 400.0);
+    EXPECT_DOUBLE_EQ(t.current(), 20.0);
+    EXPECT_DOUBLE_EQ(t.peak(), 20.0);
+}
+
+TEST(TimeAverage, ResetKeepsValue)
+{
+    TimeAverage t;
+    t.update(8.0, 10);
+    t.reset(100);
+    EXPECT_DOUBLE_EQ(t.average(200), 8.0);
+    EXPECT_DOUBLE_EQ(t.current(), 8.0);
+}
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+} // namespace
+} // namespace mdw

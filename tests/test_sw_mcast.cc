@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the binomial software-multicast planner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "host/sw_mcast.hh"
+
+namespace mdw {
+namespace {
+
+/** Recursively execute the plan and collect every reached node. */
+void
+execute(NodeId self, const std::vector<NodeId> &cover,
+        std::set<NodeId> &reached, int depth, int &maxDepth)
+{
+    maxDepth = std::max(maxDepth, depth);
+    for (const SwSend &send : planBinomialSends(self, cover)) {
+        ASSERT_NE(send.target, self);
+        ASSERT_TRUE(reached.insert(send.target).second)
+            << "node " << send.target << " reached twice";
+        execute(send.target, send.delegated, reached, depth + 1,
+                maxDepth);
+    }
+}
+
+TEST(BinomialPhases, MatchesCeilLog2)
+{
+    EXPECT_EQ(binomialPhases(0), 0);
+    EXPECT_EQ(binomialPhases(1), 1);
+    EXPECT_EQ(binomialPhases(2), 2);
+    EXPECT_EQ(binomialPhases(3), 2);
+    EXPECT_EQ(binomialPhases(4), 3);
+    EXPECT_EQ(binomialPhases(7), 3);
+    EXPECT_EQ(binomialPhases(8), 4);
+    EXPECT_EQ(binomialPhases(63), 6);
+}
+
+TEST(PlanBinomial, EmptyCoverNeedsNoSends)
+{
+    EXPECT_TRUE(planBinomialSends(0, {}).empty());
+}
+
+TEST(PlanBinomial, SingleDestination)
+{
+    const auto sends = planBinomialSends(0, {5});
+    ASSERT_EQ(sends.size(), 1u);
+    EXPECT_EQ(sends[0].target, 5);
+    EXPECT_TRUE(sends[0].delegated.empty());
+}
+
+TEST(PlanBinomial, SourceSendCountIsPhaseCount)
+{
+    for (std::size_t d = 1; d <= 40; ++d) {
+        std::vector<NodeId> cover;
+        for (std::size_t i = 1; i <= d; ++i)
+            cover.push_back(static_cast<NodeId>(i));
+        const auto sends = planBinomialSends(0, cover);
+        EXPECT_EQ(static_cast<int>(sends.size()), binomialPhases(d))
+            << "d=" << d;
+    }
+}
+
+class BinomialCoverage : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BinomialCoverage, EveryNodeReachedExactlyOnce)
+{
+    const int d = GetParam();
+    std::vector<NodeId> cover;
+    for (int i = 1; i <= d; ++i)
+        cover.push_back(static_cast<NodeId>(i * 3)); // arbitrary ids
+    std::set<NodeId> reached;
+    int max_depth = 0;
+    execute(0, cover, reached, 0, max_depth);
+    EXPECT_EQ(reached.size(), static_cast<std::size_t>(d));
+    for (NodeId n : cover)
+        EXPECT_TRUE(reached.count(n));
+    // The tree is never deeper than the phase count (the critical
+    // path is the source's send sequence, not the tree depth).
+    EXPECT_LE(max_depth, binomialPhases(static_cast<std::size_t>(d)));
+    EXPECT_GE(max_depth, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, BinomialCoverage,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 15, 16,
+                                           31, 33, 63, 100));
+
+TEST(PlanBinomialDeath, SelfInCoverPanics)
+{
+    EXPECT_DEATH((void)planBinomialSends(3, {1, 3}), "cover itself");
+}
+
+} // namespace
+} // namespace mdw

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the delivery tracker and its latency metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/mcast_tracker.hh"
+
+namespace mdw {
+namespace {
+
+TEST(Tracker, UnicastLatency)
+{
+    McastTracker t;
+    t.expectMessage(1, 0, 1, 100, false);
+    EXPECT_EQ(t.inFlight(), 1u);
+    EXPECT_FALSE(t.isComplete(1));
+    t.onDelivered(1, 5, 150, 64);
+    EXPECT_TRUE(t.isComplete(1));
+    EXPECT_EQ(t.inFlight(), 0u);
+    EXPECT_EQ(t.unicastLatency().count(), 1u);
+    EXPECT_DOUBLE_EQ(t.unicastLatency().mean(), 50.0);
+}
+
+TEST(Tracker, MulticastLastAndAverage)
+{
+    McastTracker t;
+    t.expectMessage(7, 0, 3, 1000, true);
+    t.onDelivered(7, 1, 1100, 10);
+    t.onDelivered(7, 2, 1150, 10);
+    EXPECT_FALSE(t.isComplete(7));
+    t.onDelivered(7, 3, 1400, 10);
+    EXPECT_TRUE(t.isComplete(7));
+    EXPECT_DOUBLE_EQ(t.mcastLastLatency().mean(), 400.0);
+    EXPECT_DOUBLE_EQ(t.mcastAvgLatency().mean(),
+                     (100.0 + 150.0 + 400.0) / 3.0);
+    EXPECT_EQ(t.totalDeliveries(), 3u);
+    EXPECT_EQ(t.totalCompleted(), 1u);
+}
+
+TEST(Tracker, WindowFiltersByCreationTime)
+{
+    McastTracker t;
+    t.setWindow(100, 200);
+    t.expectMessage(1, 0, 1, 50, false);  // before window
+    t.expectMessage(2, 0, 1, 150, false); // inside
+    t.expectMessage(3, 0, 1, 250, false); // after
+    EXPECT_EQ(t.measuredInFlight(), 1u);
+    t.onDelivered(1, 1, 60, 8);
+    t.onDelivered(2, 1, 160, 8);
+    t.onDelivered(3, 1, 260, 8);
+    EXPECT_EQ(t.unicastLatency().count(), 1u);
+    EXPECT_DOUBLE_EQ(t.unicastLatency().mean(), 10.0);
+    EXPECT_EQ(t.measuredInFlight(), 0u);
+}
+
+TEST(Tracker, WindowThroughputCountsDeliveryTime)
+{
+    McastTracker t;
+    t.setWindow(100, 200);
+    t.expectMessage(1, 0, 2, 50, true);
+    t.onDelivered(1, 1, 99, 32);  // before window: not counted
+    t.onDelivered(1, 2, 100, 32); // inside: counted
+    EXPECT_EQ(t.windowDeliveredFlits(), 32u);
+}
+
+TEST(Tracker, ResetStatsKeepsLiveMessages)
+{
+    McastTracker t;
+    t.expectMessage(1, 0, 1, 0, false);
+    t.onDelivered(1, 1, 10, 8);
+    t.expectMessage(2, 0, 1, 0, false);
+    t.resetStats();
+    EXPECT_EQ(t.unicastLatency().count(), 0u);
+    EXPECT_EQ(t.totalDeliveries(), 0u);
+    EXPECT_EQ(t.inFlight(), 1u);
+    t.onDelivered(2, 1, 20, 8); // still tracked
+    EXPECT_EQ(t.inFlight(), 0u);
+}
+
+TEST(TrackerDeath, DoubleRegisterPanics)
+{
+    McastTracker t;
+    t.expectMessage(1, 0, 1, 0, false);
+    EXPECT_DEATH(t.expectMessage(1, 0, 1, 0, false), "twice");
+}
+
+TEST(TrackerDeath, UnknownDeliveryPanics)
+{
+    McastTracker t;
+    EXPECT_DEATH(t.onDelivered(9, 1, 10, 8), "unknown message");
+}
+
+TEST(TrackerDeath, OverDeliveryPanics)
+{
+    McastTracker t;
+    t.expectMessage(1, 0, 1, 0, false);
+    t.onDelivered(1, 1, 10, 8);
+    // Message completed and was erased; another delivery is unknown.
+    EXPECT_DEATH(t.onDelivered(1, 2, 11, 8), "unknown message");
+}
+
+} // namespace
+} // namespace mdw
