@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cbsize.dir/ablation_cbsize.cc.o"
+  "CMakeFiles/ablation_cbsize.dir/ablation_cbsize.cc.o.d"
+  "ablation_cbsize"
+  "ablation_cbsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cbsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ibsize.dir/ablation_ibsize.cc.o"
+  "CMakeFiles/ablation_ibsize.dir/ablation_ibsize.cc.o.d"
+  "ablation_ibsize"
+  "ablation_ibsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ibsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

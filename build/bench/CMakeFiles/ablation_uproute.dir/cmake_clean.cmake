@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_uproute.dir/ablation_uproute.cc.o"
+  "CMakeFiles/ablation_uproute.dir/ablation_uproute.cc.o.d"
+  "ablation_uproute"
+  "ablation_uproute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_uproute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

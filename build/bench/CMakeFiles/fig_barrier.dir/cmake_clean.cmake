@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_barrier.dir/fig_barrier.cc.o"
+  "CMakeFiles/fig_barrier.dir/fig_barrier.cc.o.d"
+  "fig_barrier"
+  "fig_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_bimodal.dir/fig_bimodal.cc.o"
+  "CMakeFiles/fig_bimodal.dir/fig_bimodal.cc.o.d"
+  "fig_bimodal"
+  "fig_bimodal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_bimodal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

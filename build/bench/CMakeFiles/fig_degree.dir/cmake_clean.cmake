@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_degree.dir/fig_degree.cc.o"
+  "CMakeFiles/fig_degree.dir/fig_degree.cc.o.d"
+  "fig_degree"
+  "fig_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_msg_length.dir/fig_msg_length.cc.o"
+  "CMakeFiles/fig_msg_length.dir/fig_msg_length.cc.o.d"
+  "fig_msg_length"
+  "fig_msg_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_msg_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

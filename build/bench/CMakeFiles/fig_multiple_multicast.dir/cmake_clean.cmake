@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_multiple_multicast.dir/fig_multiple_multicast.cc.o"
+  "CMakeFiles/fig_multiple_multicast.dir/fig_multiple_multicast.cc.o.d"
+  "fig_multiple_multicast"
+  "fig_multiple_multicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_multiple_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_system_size.dir/fig_system_size.cc.o"
+  "CMakeFiles/fig_system_size.dir/fig_system_size.cc.o.d"
+  "fig_system_size"
+  "fig_system_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_system_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

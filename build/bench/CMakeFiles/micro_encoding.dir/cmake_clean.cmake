@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_encoding.dir/micro_encoding.cc.o"
+  "CMakeFiles/micro_encoding.dir/micro_encoding.cc.o.d"
+  "micro_encoding"
+  "micro_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

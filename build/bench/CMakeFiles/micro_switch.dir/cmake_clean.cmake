@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_switch.dir/micro_switch.cc.o"
+  "CMakeFiles/micro_switch.dir/micro_switch.cc.o.d"
+  "micro_switch"
+  "micro_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

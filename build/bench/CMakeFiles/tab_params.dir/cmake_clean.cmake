@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_params.dir/tab_params.cc.o"
+  "CMakeFiles/tab_params.dir/tab_params.cc.o.d"
+  "tab_params"
+  "tab_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

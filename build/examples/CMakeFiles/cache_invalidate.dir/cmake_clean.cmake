@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_invalidate.dir/cache_invalidate.cpp.o"
+  "CMakeFiles/cache_invalidate.dir/cache_invalidate.cpp.o.d"
+  "cache_invalidate"
+  "cache_invalidate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_invalidate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collective_barrier.dir/collective_barrier.cpp.o"
+  "CMakeFiles/collective_barrier.dir/collective_barrier.cpp.o.d"
+  "collective_barrier"
+  "collective_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collective_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

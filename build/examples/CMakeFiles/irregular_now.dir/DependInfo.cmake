@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/irregular_now.cpp" "examples/CMakeFiles/irregular_now.dir/irregular_now.cpp.o" "gcc" "examples/CMakeFiles/irregular_now.dir/irregular_now.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mdw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdw_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdw_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdw_switch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdw_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdw_message.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irregular_now.dir/irregular_now.cpp.o"
+  "CMakeFiles/irregular_now.dir/irregular_now.cpp.o.d"
+  "irregular_now"
+  "irregular_now.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irregular_now.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

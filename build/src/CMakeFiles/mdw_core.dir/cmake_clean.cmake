@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdw_core.dir/core/collectives.cc.o"
+  "CMakeFiles/mdw_core.dir/core/collectives.cc.o.d"
+  "CMakeFiles/mdw_core.dir/core/experiment.cc.o"
+  "CMakeFiles/mdw_core.dir/core/experiment.cc.o.d"
+  "CMakeFiles/mdw_core.dir/core/hw_barrier.cc.o"
+  "CMakeFiles/mdw_core.dir/core/hw_barrier.cc.o.d"
+  "CMakeFiles/mdw_core.dir/core/network.cc.o"
+  "CMakeFiles/mdw_core.dir/core/network.cc.o.d"
+  "CMakeFiles/mdw_core.dir/core/presets.cc.o"
+  "CMakeFiles/mdw_core.dir/core/presets.cc.o.d"
+  "libmdw_core.a"
+  "libmdw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdw_host.dir/host/mcast_tracker.cc.o"
+  "CMakeFiles/mdw_host.dir/host/mcast_tracker.cc.o.d"
+  "CMakeFiles/mdw_host.dir/host/nic.cc.o"
+  "CMakeFiles/mdw_host.dir/host/nic.cc.o.d"
+  "CMakeFiles/mdw_host.dir/host/sw_mcast.cc.o"
+  "CMakeFiles/mdw_host.dir/host/sw_mcast.cc.o.d"
+  "libmdw_host.a"
+  "libmdw_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdw_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

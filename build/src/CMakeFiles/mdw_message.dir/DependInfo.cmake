@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/message/dest_set.cc" "src/CMakeFiles/mdw_message.dir/message/dest_set.cc.o" "gcc" "src/CMakeFiles/mdw_message.dir/message/dest_set.cc.o.d"
+  "/root/repo/src/message/encoding.cc" "src/CMakeFiles/mdw_message.dir/message/encoding.cc.o" "gcc" "src/CMakeFiles/mdw_message.dir/message/encoding.cc.o.d"
+  "/root/repo/src/message/flit.cc" "src/CMakeFiles/mdw_message.dir/message/flit.cc.o" "gcc" "src/CMakeFiles/mdw_message.dir/message/flit.cc.o.d"
+  "/root/repo/src/message/packet.cc" "src/CMakeFiles/mdw_message.dir/message/packet.cc.o" "gcc" "src/CMakeFiles/mdw_message.dir/message/packet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mdw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

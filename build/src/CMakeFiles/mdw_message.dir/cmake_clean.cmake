@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdw_message.dir/message/dest_set.cc.o"
+  "CMakeFiles/mdw_message.dir/message/dest_set.cc.o.d"
+  "CMakeFiles/mdw_message.dir/message/encoding.cc.o"
+  "CMakeFiles/mdw_message.dir/message/encoding.cc.o.d"
+  "CMakeFiles/mdw_message.dir/message/flit.cc.o"
+  "CMakeFiles/mdw_message.dir/message/flit.cc.o.d"
+  "CMakeFiles/mdw_message.dir/message/packet.cc.o"
+  "CMakeFiles/mdw_message.dir/message/packet.cc.o.d"
+  "libmdw_message.a"
+  "libmdw_message.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdw_message.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdw_sim.dir/sim/channel.cc.o"
+  "CMakeFiles/mdw_sim.dir/sim/channel.cc.o.d"
+  "CMakeFiles/mdw_sim.dir/sim/config.cc.o"
+  "CMakeFiles/mdw_sim.dir/sim/config.cc.o.d"
+  "CMakeFiles/mdw_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/mdw_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/mdw_sim.dir/sim/logging.cc.o"
+  "CMakeFiles/mdw_sim.dir/sim/logging.cc.o.d"
+  "CMakeFiles/mdw_sim.dir/sim/rng.cc.o"
+  "CMakeFiles/mdw_sim.dir/sim/rng.cc.o.d"
+  "CMakeFiles/mdw_sim.dir/sim/stats.cc.o"
+  "CMakeFiles/mdw_sim.dir/sim/stats.cc.o.d"
+  "CMakeFiles/mdw_sim.dir/sim/system.cc.o"
+  "CMakeFiles/mdw_sim.dir/sim/system.cc.o.d"
+  "libmdw_sim.a"
+  "libmdw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

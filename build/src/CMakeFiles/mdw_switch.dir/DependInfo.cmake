@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/switch/arbiter.cc" "src/CMakeFiles/mdw_switch.dir/switch/arbiter.cc.o" "gcc" "src/CMakeFiles/mdw_switch.dir/switch/arbiter.cc.o.d"
+  "/root/repo/src/switch/barrier_unit.cc" "src/CMakeFiles/mdw_switch.dir/switch/barrier_unit.cc.o" "gcc" "src/CMakeFiles/mdw_switch.dir/switch/barrier_unit.cc.o.d"
+  "/root/repo/src/switch/central_buffer_switch.cc" "src/CMakeFiles/mdw_switch.dir/switch/central_buffer_switch.cc.o" "gcc" "src/CMakeFiles/mdw_switch.dir/switch/central_buffer_switch.cc.o.d"
+  "/root/repo/src/switch/central_queue.cc" "src/CMakeFiles/mdw_switch.dir/switch/central_queue.cc.o" "gcc" "src/CMakeFiles/mdw_switch.dir/switch/central_queue.cc.o.d"
+  "/root/repo/src/switch/input_buffer_switch.cc" "src/CMakeFiles/mdw_switch.dir/switch/input_buffer_switch.cc.o" "gcc" "src/CMakeFiles/mdw_switch.dir/switch/input_buffer_switch.cc.o.d"
+  "/root/repo/src/switch/switch_base.cc" "src/CMakeFiles/mdw_switch.dir/switch/switch_base.cc.o" "gcc" "src/CMakeFiles/mdw_switch.dir/switch/switch_base.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mdw_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdw_message.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

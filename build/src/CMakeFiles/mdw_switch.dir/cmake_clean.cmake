@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdw_switch.dir/switch/arbiter.cc.o"
+  "CMakeFiles/mdw_switch.dir/switch/arbiter.cc.o.d"
+  "CMakeFiles/mdw_switch.dir/switch/barrier_unit.cc.o"
+  "CMakeFiles/mdw_switch.dir/switch/barrier_unit.cc.o.d"
+  "CMakeFiles/mdw_switch.dir/switch/central_buffer_switch.cc.o"
+  "CMakeFiles/mdw_switch.dir/switch/central_buffer_switch.cc.o.d"
+  "CMakeFiles/mdw_switch.dir/switch/central_queue.cc.o"
+  "CMakeFiles/mdw_switch.dir/switch/central_queue.cc.o.d"
+  "CMakeFiles/mdw_switch.dir/switch/input_buffer_switch.cc.o"
+  "CMakeFiles/mdw_switch.dir/switch/input_buffer_switch.cc.o.d"
+  "CMakeFiles/mdw_switch.dir/switch/switch_base.cc.o"
+  "CMakeFiles/mdw_switch.dir/switch/switch_base.cc.o.d"
+  "libmdw_switch.a"
+  "libmdw_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdw_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

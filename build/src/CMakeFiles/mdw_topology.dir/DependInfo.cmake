@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/fat_tree.cc" "src/CMakeFiles/mdw_topology.dir/topology/fat_tree.cc.o" "gcc" "src/CMakeFiles/mdw_topology.dir/topology/fat_tree.cc.o.d"
+  "/root/repo/src/topology/graph.cc" "src/CMakeFiles/mdw_topology.dir/topology/graph.cc.o" "gcc" "src/CMakeFiles/mdw_topology.dir/topology/graph.cc.o.d"
+  "/root/repo/src/topology/irregular.cc" "src/CMakeFiles/mdw_topology.dir/topology/irregular.cc.o" "gcc" "src/CMakeFiles/mdw_topology.dir/topology/irregular.cc.o.d"
+  "/root/repo/src/topology/routing.cc" "src/CMakeFiles/mdw_topology.dir/topology/routing.cc.o" "gcc" "src/CMakeFiles/mdw_topology.dir/topology/routing.cc.o.d"
+  "/root/repo/src/topology/topology.cc" "src/CMakeFiles/mdw_topology.dir/topology/topology.cc.o" "gcc" "src/CMakeFiles/mdw_topology.dir/topology/topology.cc.o.d"
+  "/root/repo/src/topology/uni_min.cc" "src/CMakeFiles/mdw_topology.dir/topology/uni_min.cc.o" "gcc" "src/CMakeFiles/mdw_topology.dir/topology/uni_min.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mdw_message.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

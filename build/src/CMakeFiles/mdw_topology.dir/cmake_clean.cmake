@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdw_topology.dir/topology/fat_tree.cc.o"
+  "CMakeFiles/mdw_topology.dir/topology/fat_tree.cc.o.d"
+  "CMakeFiles/mdw_topology.dir/topology/graph.cc.o"
+  "CMakeFiles/mdw_topology.dir/topology/graph.cc.o.d"
+  "CMakeFiles/mdw_topology.dir/topology/irregular.cc.o"
+  "CMakeFiles/mdw_topology.dir/topology/irregular.cc.o.d"
+  "CMakeFiles/mdw_topology.dir/topology/routing.cc.o"
+  "CMakeFiles/mdw_topology.dir/topology/routing.cc.o.d"
+  "CMakeFiles/mdw_topology.dir/topology/topology.cc.o"
+  "CMakeFiles/mdw_topology.dir/topology/topology.cc.o.d"
+  "CMakeFiles/mdw_topology.dir/topology/uni_min.cc.o"
+  "CMakeFiles/mdw_topology.dir/topology/uni_min.cc.o.d"
+  "libmdw_topology.a"
+  "libmdw_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdw_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

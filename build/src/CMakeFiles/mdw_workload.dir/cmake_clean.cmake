@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdw_workload.dir/workload/trace.cc.o"
+  "CMakeFiles/mdw_workload.dir/workload/trace.cc.o.d"
+  "CMakeFiles/mdw_workload.dir/workload/traffic.cc.o"
+  "CMakeFiles/mdw_workload.dir/workload/traffic.cc.o.d"
+  "libmdw_workload.a"
+  "libmdw_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdw_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_arbiter.cc" "tests/CMakeFiles/mdw_tests.dir/test_arbiter.cc.o" "gcc" "tests/CMakeFiles/mdw_tests.dir/test_arbiter.cc.o.d"
+  "/root/repo/tests/test_central_queue.cc" "tests/CMakeFiles/mdw_tests.dir/test_central_queue.cc.o" "gcc" "tests/CMakeFiles/mdw_tests.dir/test_central_queue.cc.o.d"
+  "/root/repo/tests/test_channel.cc" "tests/CMakeFiles/mdw_tests.dir/test_channel.cc.o" "gcc" "tests/CMakeFiles/mdw_tests.dir/test_channel.cc.o.d"
+  "/root/repo/tests/test_collectives.cc" "tests/CMakeFiles/mdw_tests.dir/test_collectives.cc.o" "gcc" "tests/CMakeFiles/mdw_tests.dir/test_collectives.cc.o.d"
+  "/root/repo/tests/test_config.cc" "tests/CMakeFiles/mdw_tests.dir/test_config.cc.o" "gcc" "tests/CMakeFiles/mdw_tests.dir/test_config.cc.o.d"
+  "/root/repo/tests/test_dest_set.cc" "tests/CMakeFiles/mdw_tests.dir/test_dest_set.cc.o" "gcc" "tests/CMakeFiles/mdw_tests.dir/test_dest_set.cc.o.d"
+  "/root/repo/tests/test_encoding.cc" "tests/CMakeFiles/mdw_tests.dir/test_encoding.cc.o" "gcc" "tests/CMakeFiles/mdw_tests.dir/test_encoding.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/mdw_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/mdw_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_experiment.cc" "tests/CMakeFiles/mdw_tests.dir/test_experiment.cc.o" "gcc" "tests/CMakeFiles/mdw_tests.dir/test_experiment.cc.o.d"
+  "/root/repo/tests/test_fat_tree.cc" "tests/CMakeFiles/mdw_tests.dir/test_fat_tree.cc.o" "gcc" "tests/CMakeFiles/mdw_tests.dir/test_fat_tree.cc.o.d"
+  "/root/repo/tests/test_graph.cc" "tests/CMakeFiles/mdw_tests.dir/test_graph.cc.o" "gcc" "tests/CMakeFiles/mdw_tests.dir/test_graph.cc.o.d"
+  "/root/repo/tests/test_hw_barrier.cc" "tests/CMakeFiles/mdw_tests.dir/test_hw_barrier.cc.o" "gcc" "tests/CMakeFiles/mdw_tests.dir/test_hw_barrier.cc.o.d"
+  "/root/repo/tests/test_irregular.cc" "tests/CMakeFiles/mdw_tests.dir/test_irregular.cc.o" "gcc" "tests/CMakeFiles/mdw_tests.dir/test_irregular.cc.o.d"
+  "/root/repo/tests/test_network.cc" "tests/CMakeFiles/mdw_tests.dir/test_network.cc.o" "gcc" "tests/CMakeFiles/mdw_tests.dir/test_network.cc.o.d"
+  "/root/repo/tests/test_network_e2e.cc" "tests/CMakeFiles/mdw_tests.dir/test_network_e2e.cc.o" "gcc" "tests/CMakeFiles/mdw_tests.dir/test_network_e2e.cc.o.d"
+  "/root/repo/tests/test_nic.cc" "tests/CMakeFiles/mdw_tests.dir/test_nic.cc.o" "gcc" "tests/CMakeFiles/mdw_tests.dir/test_nic.cc.o.d"
+  "/root/repo/tests/test_packet.cc" "tests/CMakeFiles/mdw_tests.dir/test_packet.cc.o" "gcc" "tests/CMakeFiles/mdw_tests.dir/test_packet.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/mdw_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/mdw_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_routing.cc" "tests/CMakeFiles/mdw_tests.dir/test_routing.cc.o" "gcc" "tests/CMakeFiles/mdw_tests.dir/test_routing.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/mdw_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/mdw_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_sw_mcast.cc" "tests/CMakeFiles/mdw_tests.dir/test_sw_mcast.cc.o" "gcc" "tests/CMakeFiles/mdw_tests.dir/test_sw_mcast.cc.o.d"
+  "/root/repo/tests/test_switch_base.cc" "tests/CMakeFiles/mdw_tests.dir/test_switch_base.cc.o" "gcc" "tests/CMakeFiles/mdw_tests.dir/test_switch_base.cc.o.d"
+  "/root/repo/tests/test_switches.cc" "tests/CMakeFiles/mdw_tests.dir/test_switches.cc.o" "gcc" "tests/CMakeFiles/mdw_tests.dir/test_switches.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/mdw_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/mdw_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_tracker.cc" "tests/CMakeFiles/mdw_tests.dir/test_tracker.cc.o" "gcc" "tests/CMakeFiles/mdw_tests.dir/test_tracker.cc.o.d"
+  "/root/repo/tests/test_traffic.cc" "tests/CMakeFiles/mdw_tests.dir/test_traffic.cc.o" "gcc" "tests/CMakeFiles/mdw_tests.dir/test_traffic.cc.o.d"
+  "/root/repo/tests/test_uni_min.cc" "tests/CMakeFiles/mdw_tests.dir/test_uni_min.cc.o" "gcc" "tests/CMakeFiles/mdw_tests.dir/test_uni_min.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mdw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdw_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdw_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdw_switch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdw_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdw_message.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
