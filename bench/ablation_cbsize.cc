@@ -17,17 +17,21 @@ main(int argc, char **argv)
 
     Config cli;
     const bool quick = parseCli(argc, argv, cli);
+    const SweepCli sc = parseSweepCli(cli);
 
     banner("A2", "central-buffer size ablation (CB-HW)",
            "64 nodes, degree 8, 64-flit payload, load 0.10");
     std::printf("%8s %9s | %9s %9s %9s %10s\n", "chunks", "flits",
                 "mc-avg", "mc-last", "deliv", "stall-cyc");
+    std::fflush(stdout);
 
     // Lower bound: a 73-flit worm needs 10 chunks, x2 for the
     // up-phase headroom, plus 8 escape chunks = 28.
     const std::vector<int> sizes =
         quick ? std::vector<int>{28, 64, 192}
               : std::vector<int>{28, 32, 48, 64, 96, 128, 192, 256};
+    SweepRunner runner(sc.options);
+    int chunkFlits = 0;
     for (int chunks : sizes) {
         NetworkConfig net = networkFor(Scheme::CbHw);
         TrafficParams traffic = defaultTraffic();
@@ -37,17 +41,25 @@ main(int argc, char **argv)
         // The workload's 64-flit payload is the largest packet here.
         net.maxPayloadFlits = traffic.payloadFlits;
         traffic.load = 0.10;
-        const ExperimentResult r =
-            Experiment(net, traffic, params).run();
+        chunkFlits = net.cb.chunkFlits;
+        char label[48];
+        std::snprintf(label, sizeof(label), "chunks=%d", chunks);
+        runner.add(label, net, traffic, params);
+    }
+    runner.run();
+
+    std::size_t idx = 0;
+    for (int chunks : sizes) {
+        const ExperimentResult &r = runner.results()[idx++];
         std::printf("%8d %9d | %s %s %9.3f %10llu%s\n", chunks,
-                    chunks * net.cb.chunkFlits,
+                    chunks * chunkFlits,
                     cell(r.mcastAvgAvg, r.mcastCount).c_str(),
                     cell(r.mcastLastAvg, r.mcastCount).c_str(),
                     r.deliveredLoad,
                     static_cast<unsigned long long>(
                         r.reservationStallCycles),
                     satMark(r));
-        std::fflush(stdout);
     }
+    maybeReport(sc, runner);
     return 0;
 }

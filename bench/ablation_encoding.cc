@@ -18,6 +18,7 @@ main(int argc, char **argv)
 
     Config cli;
     const bool quick = parseCli(argc, argv, cli);
+    const SweepCli sc = parseSweepCli(cli);
 
     banner("A3", "header encoding ablation (CB-HW)",
            "64 nodes, load 0.05, 64-flit payload");
@@ -25,14 +26,16 @@ main(int argc, char **argv)
                 "multiport", "");
     std::printf("%8s | %9s %9s | %9s %9s\n", "degree", "mc-avg",
                 "mc-last", "mc-avg", "mc-last");
+    std::fflush(stdout);
 
+    const McastEncoding encodings[] = {McastEncoding::BitString,
+                                       McastEncoding::Multiport};
     const std::vector<int> degrees =
         quick ? std::vector<int>{4, 16, 63}
               : std::vector<int>{2, 4, 8, 16, 32, 63};
+    SweepRunner runner(sc.options);
     for (int degree : degrees) {
-        std::printf("%8d", degree);
-        for (McastEncoding encoding :
-             {McastEncoding::BitString, McastEncoding::Multiport}) {
+        for (McastEncoding encoding : encodings) {
             NetworkConfig net = networkFor(Scheme::CbHw);
             TrafficParams traffic = defaultTraffic();
             ExperimentParams params = benchExperiment(quick);
@@ -40,15 +43,27 @@ main(int argc, char **argv)
             net.nic.encoding = encoding;
             traffic.load = 0.05;
             traffic.mcastDegree = degree;
-            const ExperimentResult r =
-                Experiment(net, traffic, params).run();
+            char label[48];
+            std::snprintf(label, sizeof(label), "%s degree=%d",
+                          toString(encoding), degree);
+            runner.add(label, net, traffic, params);
+        }
+    }
+    runner.run();
+
+    std::size_t idx = 0;
+    for (int degree : degrees) {
+        std::printf("%8d", degree);
+        for (McastEncoding encoding : encodings) {
+            (void)encoding;
+            const ExperimentResult &r = runner.results()[idx++];
             std::printf(" | %s %s%s",
                         cell(r.mcastAvgAvg, r.mcastCount).c_str(),
                         cell(r.mcastLastAvg, r.mcastCount).c_str(),
                         satMark(r));
         }
         std::printf("\n");
-        std::fflush(stdout);
     }
+    maybeReport(sc, runner);
     return 0;
 }

@@ -18,6 +18,7 @@ main(int argc, char **argv)
 
     Config cli;
     const bool quick = parseCli(argc, argv, cli);
+    const SweepCli sc = parseSweepCli(cli);
 
     banner("A7", "hot-spot unicast traffic",
            "64 nodes, load 0.10, 64-flit payload, hot node 0");
@@ -26,16 +27,18 @@ main(int argc, char **argv)
     std::printf("%8s | %9s %9s %9s | %9s %9s %9s\n", "hot-frac",
                 "uni-avg", "uni-p95", "deliv", "uni-avg", "uni-p95",
                 "deliv");
+    std::fflush(stdout);
 
     // Hot-node ejection load is load*(1 + hotFraction*(N-2)), so
     // fractions are kept below the ejection-link saturation point.
+    const SwitchArch archs[] = {SwitchArch::CentralBuffer,
+                                SwitchArch::InputBuffer};
     const std::vector<double> fractions =
         quick ? std::vector<double>{0.0, 0.08}
               : std::vector<double>{0.0, 0.02, 0.04, 0.08, 0.12};
+    SweepRunner runner(sc.options);
     for (double fraction : fractions) {
-        std::printf("%8.2f", fraction);
-        for (SwitchArch arch :
-             {SwitchArch::CentralBuffer, SwitchArch::InputBuffer}) {
+        for (SwitchArch arch : archs) {
             NetworkConfig net = defaultNetwork();
             TrafficParams traffic = defaultTraffic();
             ExperimentParams params = benchExperiment(quick);
@@ -44,8 +47,20 @@ main(int argc, char **argv)
             traffic.pattern = TrafficPattern::HotSpot;
             traffic.load = 0.10;
             traffic.hotFraction = fraction;
-            const ExperimentResult r =
-                Experiment(net, traffic, params).run();
+            char label[48];
+            std::snprintf(label, sizeof(label), "%s hot=%.2f",
+                          toString(arch), fraction);
+            runner.add(label, net, traffic, params);
+        }
+    }
+    runner.run();
+
+    std::size_t idx = 0;
+    for (double fraction : fractions) {
+        std::printf("%8.2f", fraction);
+        for (SwitchArch arch : archs) {
+            (void)arch;
+            const ExperimentResult &r = runner.results()[idx++];
             std::printf(" | %s %s %9.3f",
                         cell(r.unicastAvg, r.unicastCount).c_str(),
                         cell(r.unicastP95, r.unicastCount).c_str(),
@@ -53,7 +68,7 @@ main(int argc, char **argv)
             std::printf("%s", satMark(r));
         }
         std::printf("\n");
-        std::fflush(stdout);
     }
+    maybeReport(sc, runner);
     return 0;
 }

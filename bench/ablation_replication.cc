@@ -20,6 +20,7 @@ main(int argc, char **argv)
 
     Config cli;
     const bool quick = parseCli(argc, argv, cli);
+    const SweepCli sc = parseSweepCli(cli);
 
     banner("A8", "replication-mechanism ablation (IB-HW)",
            "64 nodes, degree 8, 64-flit payload");
@@ -27,27 +28,40 @@ main(int argc, char **argv)
                 "", "sync", "", "");
     std::printf("%8s | %9s %9s %9s | %9s %9s %9s\n", "load", "mc-avg",
                 "mc-last", "deliv", "mc-avg", "mc-last", "deliv");
+    std::fflush(stdout);
 
+    const ReplicationMode modes[] = {ReplicationMode::Asynchronous,
+                                     ReplicationMode::Synchronous};
+    SweepRunner runner(sc.options);
     for (double load : loadGrid(quick)) {
-        std::printf("%8.3f", load);
-        for (ReplicationMode mode :
-             {ReplicationMode::Asynchronous,
-              ReplicationMode::Synchronous}) {
+        for (ReplicationMode mode : modes) {
             NetworkConfig net = networkFor(Scheme::IbHw);
             TrafficParams traffic = defaultTraffic();
             ExperimentParams params = benchExperiment(quick);
             applyOverrides(cli, net, traffic, params);
             net.sw.replication = mode;
             traffic.load = load;
-            const ExperimentResult r =
-                Experiment(net, traffic, params).run();
+            char label[48];
+            std::snprintf(label, sizeof(label), "%s load=%.3f",
+                          toString(mode), load);
+            runner.add(label, net, traffic, params);
+        }
+    }
+    runner.run();
+
+    std::size_t idx = 0;
+    for (double load : loadGrid(quick)) {
+        std::printf("%8.3f", load);
+        for (ReplicationMode mode : modes) {
+            (void)mode;
+            const ExperimentResult &r = runner.results()[idx++];
             std::printf(" | %s %s %9.3f%s",
                         cell(r.mcastAvgAvg, r.mcastCount).c_str(),
                         cell(r.mcastLastAvg, r.mcastCount).c_str(),
                         r.deliveredLoad, satMark(r));
         }
         std::printf("\n");
-        std::fflush(stdout);
     }
+    maybeReport(sc, runner);
     return 0;
 }

@@ -17,6 +17,7 @@ main(int argc, char **argv)
 
     Config cli;
     const bool quick = parseCli(argc, argv, cli);
+    const SweepCli sc = parseSweepCli(cli);
 
     banner("A1", "routing variant ablation (CB-HW)",
            "64 nodes, degree 8, 64-flit payload");
@@ -24,27 +25,41 @@ main(int argc, char **argv)
                 "on-up-path", "");
     std::printf("%8s | %9s %9s | %9s %9s\n", "load", "mc-avg",
                 "mc-last", "mc-avg", "mc-last");
+    std::fflush(stdout);
 
+    const RoutingVariant variants[] = {
+        RoutingVariant::ReplicateAfterLca,
+        RoutingVariant::ReplicateOnUpPath};
+    SweepRunner runner(sc.options);
     for (double load : loadGrid(quick)) {
-        std::printf("%8.3f", load);
-        for (RoutingVariant variant :
-             {RoutingVariant::ReplicateAfterLca,
-              RoutingVariant::ReplicateOnUpPath}) {
+        for (RoutingVariant variant : variants) {
             NetworkConfig net = networkFor(Scheme::CbHw);
             TrafficParams traffic = defaultTraffic();
             ExperimentParams params = benchExperiment(quick);
             applyOverrides(cli, net, traffic, params);
             net.sw.variant = variant;
             traffic.load = load;
-            const ExperimentResult r =
-                Experiment(net, traffic, params).run();
+            char label[48];
+            std::snprintf(label, sizeof(label), "%s load=%.3f",
+                          toString(variant), load);
+            runner.add(label, net, traffic, params);
+        }
+    }
+    runner.run();
+
+    std::size_t idx = 0;
+    for (double load : loadGrid(quick)) {
+        std::printf("%8.3f", load);
+        for (RoutingVariant variant : variants) {
+            (void)variant;
+            const ExperimentResult &r = runner.results()[idx++];
             std::printf(" | %s %s%s",
                         cell(r.mcastAvgAvg, r.mcastCount).c_str(),
                         cell(r.mcastLastAvg, r.mcastCount).c_str(),
                         satMark(r));
         }
         std::printf("\n");
-        std::fflush(stdout);
     }
+    maybeReport(sc, runner);
     return 0;
 }

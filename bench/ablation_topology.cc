@@ -20,6 +20,7 @@ main(int argc, char **argv)
 
     Config cli;
     const bool quick = parseCli(argc, argv, cli);
+    const SweepCli sc = parseSweepCli(cli);
 
     banner("A9", "bidirectional vs unidirectional MIN (CB-HW)",
            "64 nodes, degree 8, 64-flit payload");
@@ -27,26 +28,40 @@ main(int argc, char **argv)
                 "", "", "uni-min", "", "");
     std::printf("%8s | %9s %9s %9s | %9s %9s %9s\n", "load", "mc-avg",
                 "mc-last", "deliv", "mc-avg", "mc-last", "deliv");
+    std::fflush(stdout);
 
+    const TopologyKind topos[] = {TopologyKind::FatTree,
+                                  TopologyKind::UniMin};
+    SweepRunner runner(sc.options);
     for (double load : loadGrid(quick)) {
-        std::printf("%8.3f", load);
-        for (TopologyKind topo :
-             {TopologyKind::FatTree, TopologyKind::UniMin}) {
+        for (TopologyKind topo : topos) {
             NetworkConfig net = networkFor(Scheme::CbHw);
             TrafficParams traffic = defaultTraffic();
             ExperimentParams params = benchExperiment(quick);
             applyOverrides(cli, net, traffic, params);
             net.topo = topo;
             traffic.load = load;
-            const ExperimentResult r =
-                Experiment(net, traffic, params).run();
+            char label[48];
+            std::snprintf(label, sizeof(label), "%s load=%.3f",
+                          toString(topo), load);
+            runner.add(label, net, traffic, params);
+        }
+    }
+    runner.run();
+
+    std::size_t idx = 0;
+    for (double load : loadGrid(quick)) {
+        std::printf("%8.3f", load);
+        for (TopologyKind topo : topos) {
+            (void)topo;
+            const ExperimentResult &r = runner.results()[idx++];
             std::printf(" | %s %s %9.3f%s",
                         cell(r.mcastAvgAvg, r.mcastCount).c_str(),
                         cell(r.mcastLastAvg, r.mcastCount).c_str(),
                         r.deliveredLoad, satMark(r));
         }
         std::printf("\n");
-        std::fflush(stdout);
     }
+    maybeReport(sc, runner);
     return 0;
 }

@@ -17,6 +17,7 @@ main(int argc, char **argv)
 
     Config cli;
     const bool quick = parseCli(argc, argv, cli);
+    const SweepCli sc = parseSweepCli(cli);
 
     banner("A4", "up-port selection ablation (CB-HW)",
            "64 nodes, degree 8, 64-flit payload");
@@ -24,25 +25,39 @@ main(int argc, char **argv)
                 "determin.", "");
     std::printf("%8s | %9s %9s | %9s %9s\n", "load", "mc-last",
                 "deliv", "mc-last", "deliv");
+    std::fflush(stdout);
 
+    const UpPortPolicy policies[] = {UpPortPolicy::Adaptive,
+                                     UpPortPolicy::Deterministic};
+    SweepRunner runner(sc.options);
     for (double load : loadGrid(quick)) {
-        std::printf("%8.3f", load);
-        for (UpPortPolicy policy :
-             {UpPortPolicy::Adaptive, UpPortPolicy::Deterministic}) {
+        for (UpPortPolicy policy : policies) {
             NetworkConfig net = networkFor(Scheme::CbHw);
             TrafficParams traffic = defaultTraffic();
             ExperimentParams params = benchExperiment(quick);
             applyOverrides(cli, net, traffic, params);
             net.sw.upPolicy = policy;
             traffic.load = load;
-            const ExperimentResult r =
-                Experiment(net, traffic, params).run();
+            char label[48];
+            std::snprintf(label, sizeof(label), "%s load=%.3f",
+                          toString(policy), load);
+            runner.add(label, net, traffic, params);
+        }
+    }
+    runner.run();
+
+    std::size_t idx = 0;
+    for (double load : loadGrid(quick)) {
+        std::printf("%8.3f", load);
+        for (UpPortPolicy policy : policies) {
+            (void)policy;
+            const ExperimentResult &r = runner.results()[idx++];
             std::printf(" | %s %9.3f%s",
                         cell(r.mcastLastAvg, r.mcastCount).c_str(),
                         r.deliveredLoad, satMark(r));
         }
         std::printf("\n");
-        std::fflush(stdout);
     }
+    maybeReport(sc, runner);
     return 0;
 }

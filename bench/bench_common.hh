@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/presets.hh"
+#include "core/sweep.hh"
 
 namespace mdw::bench {
 
@@ -53,6 +54,40 @@ parseCli(int argc, char **argv, Config &cli)
     cli.parseArgs(argc, argv);
     const bool quick = cli.getBool("quick", false);
     return quick;
+}
+
+/** Sweep-execution knobs shared by every figure bench. */
+struct SweepCli
+{
+    SweepOptions options;
+    /** Print the per-run audit trail to stderr after the sweep. */
+    bool report = false;
+};
+
+/**
+ * Read the sweep keys (threads=, baseSeed=, report=). Must be called
+ * before the first applyOverrides(), which rejects unread keys.
+ * Without baseSeed the per-run seeds stay at their preset values (the
+ * historical serial behavior); with it every run gets its own RNG
+ * stream derived from (baseSeed, run index).
+ */
+inline SweepCli
+parseSweepCli(const Config &cli)
+{
+    SweepCli sc;
+    sc.options.threads = static_cast<int>(cli.getInt("threads", 1));
+    sc.options.deriveSeeds = cli.has("baseSeed");
+    sc.options.baseSeed = cli.getU64("baseSeed", 0);
+    sc.report = cli.getBool("report", false);
+    return sc;
+}
+
+/** Emit the audit trail when report=1 was given. */
+inline void
+maybeReport(const SweepCli &sc, const SweepRunner &runner)
+{
+    if (sc.report)
+        std::fputs(runner.report().summary().c_str(), stderr);
 }
 
 /** "n/a" or a fixed-point number (for latencies of absent classes). */

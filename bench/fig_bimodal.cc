@@ -21,6 +21,7 @@ main(int argc, char **argv)
 
     Config cli;
     const bool quick = parseCli(argc, argv, cli);
+    const SweepCli sc = parseSweepCli(cli);
 
     banner("E4+E5", "bimodal traffic: unicast + multicast latency",
            "64 nodes, 10% multicast of degree 8, 64-flit payload");
@@ -28,9 +29,10 @@ main(int argc, char **argv)
                 "", "ib-hw", "", "sw-umin", "");
     std::printf("%8s | %9s %9s | %9s %9s | %9s %9s\n", "load", "uni",
                 "mc-last", "uni", "mc-last", "uni", "mc-last");
+    std::fflush(stdout);
 
+    SweepRunner runner(sc.options);
     for (double load : loadGrid(quick)) {
-        std::printf("%8.3f", load);
         for (Scheme scheme : kAllSchemes) {
             NetworkConfig net = networkFor(scheme);
             TrafficParams traffic = defaultTraffic();
@@ -39,15 +41,27 @@ main(int argc, char **argv)
             traffic.pattern = TrafficPattern::Bimodal;
             traffic.mcastFraction = 0.1;
             traffic.load = load;
-            const ExperimentResult r =
-                Experiment(net, traffic, params).run();
+            char label[48];
+            std::snprintf(label, sizeof(label), "%s load=%.3f",
+                          toString(scheme), load);
+            runner.add(label, net, traffic, params);
+        }
+    }
+    runner.run();
+
+    std::size_t idx = 0;
+    for (double load : loadGrid(quick)) {
+        std::printf("%8.3f", load);
+        for (Scheme scheme : kAllSchemes) {
+            (void)scheme;
+            const ExperimentResult &r = runner.results()[idx++];
             std::printf(" | %s %s%s",
                         cell(r.unicastAvg, r.unicastCount).c_str(),
                         cell(r.mcastLastAvg, r.mcastCount).c_str(),
                         satMark(r));
         }
         std::printf("\n");
-        std::fflush(stdout);
     }
+    maybeReport(sc, runner);
     return 0;
 }

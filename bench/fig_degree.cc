@@ -19,6 +19,7 @@ main(int argc, char **argv)
 
     Config cli;
     const bool quick = parseCli(argc, argv, cli);
+    const SweepCli sc = parseSweepCli(cli);
 
     // Delivered load (payload flits/node/cycle at the receivers) is
     // held constant across degrees — offered load is 0.32/d — so the
@@ -28,14 +29,13 @@ main(int argc, char **argv)
            "64 nodes, delivered load 0.32, 64-flit payload");
     std::printf("%8s %7s | %9s %9s %9s\n", "degree", "phases",
                 "cb-hw", "ib-hw", "sw-umin");
+    std::fflush(stdout);
 
     const std::vector<int> degrees =
         quick ? std::vector<int>{4, 16, 63}
               : std::vector<int>{2, 4, 8, 16, 32, 48, 63};
+    SweepRunner runner(sc.options);
     for (int degree : degrees) {
-        const int phases =
-            binomialPhases(static_cast<std::size_t>(degree));
-        std::printf("%8d %7d", degree, phases);
         for (Scheme scheme : kAllSchemes) {
             NetworkConfig net = networkFor(scheme);
             TrafficParams traffic = defaultTraffic();
@@ -43,14 +43,28 @@ main(int argc, char **argv)
             applyOverrides(cli, net, traffic, params);
             traffic.load = 0.32 / degree;
             traffic.mcastDegree = degree;
-            const ExperimentResult r =
-                Experiment(net, traffic, params).run();
+            char label[48];
+            std::snprintf(label, sizeof(label), "%s degree=%d",
+                          toString(scheme), degree);
+            runner.add(label, net, traffic, params);
+        }
+    }
+    runner.run();
+
+    std::size_t idx = 0;
+    for (int degree : degrees) {
+        const int phases =
+            binomialPhases(static_cast<std::size_t>(degree));
+        std::printf("%8d %7d", degree, phases);
+        for (Scheme scheme : kAllSchemes) {
+            (void)scheme;
+            const ExperimentResult &r = runner.results()[idx++];
             std::printf(" %s%s",
                         cell(r.mcastLastAvg, r.mcastCount).c_str(),
                         satMark(r));
         }
         std::printf("\n");
-        std::fflush(stdout);
     }
+    maybeReport(sc, runner);
     return 0;
 }

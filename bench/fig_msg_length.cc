@@ -19,17 +19,19 @@ main(int argc, char **argv)
 
     Config cli;
     const bool quick = parseCli(argc, argv, cli);
+    const SweepCli sc = parseSweepCli(cli);
 
     banner("E7", "multicast latency vs message length",
            "64 nodes, load 0.05, degree 8");
     std::printf("%8s | %9s %9s %9s\n", "payload", "cb-hw", "ib-hw",
                 "sw-umin");
+    std::fflush(stdout);
 
     const std::vector<int> lengths =
         quick ? std::vector<int>{16, 64, 256}
               : std::vector<int>{8, 16, 32, 64, 128, 256};
+    SweepRunner runner(sc.options);
     for (int length : lengths) {
-        std::printf("%8d", length);
         for (Scheme scheme : kAllSchemes) {
             NetworkConfig net = networkFor(scheme);
             TrafficParams traffic = defaultTraffic();
@@ -37,14 +39,26 @@ main(int argc, char **argv)
             applyOverrides(cli, net, traffic, params);
             traffic.load = 0.05;
             traffic.payloadFlits = length;
-            const ExperimentResult r =
-                Experiment(net, traffic, params).run();
+            char label[48];
+            std::snprintf(label, sizeof(label), "%s payload=%d",
+                          toString(scheme), length);
+            runner.add(label, net, traffic, params);
+        }
+    }
+    runner.run();
+
+    std::size_t idx = 0;
+    for (int length : lengths) {
+        std::printf("%8d", length);
+        for (Scheme scheme : kAllSchemes) {
+            (void)scheme;
+            const ExperimentResult &r = runner.results()[idx++];
             std::printf(" %s%s",
                         cell(r.mcastLastAvg, r.mcastCount).c_str(),
                         satMark(r));
         }
         std::printf("\n");
-        std::fflush(stdout);
     }
+    maybeReport(sc, runner);
     return 0;
 }

@@ -19,6 +19,7 @@ main(int argc, char **argv)
 
     Config cli;
     const bool quick = parseCli(argc, argv, cli);
+    const SweepCli sc = parseSweepCli(cli);
 
     banner("E1+E2", "multiple multicast latency vs offered load",
            "64 nodes, degree 8, 64-flit payload");
@@ -26,23 +27,37 @@ main(int argc, char **argv)
                 "cb-hw", "", "ib-hw", "", "sw-umin", "");
     std::printf("%-8s %8s | %9s %9s | %9s %9s | %9s %9s\n", "metric",
                 "load", "avg", "last", "avg", "last", "avg", "last");
+    std::fflush(stdout);
 
+    SweepRunner runner(sc.options);
     for (double load : loadGrid(quick)) {
-        std::printf("%-8s %8.3f", "mcast", load);
         for (Scheme scheme : kAllSchemes) {
             NetworkConfig net = networkFor(scheme);
             TrafficParams traffic = defaultTraffic();
             ExperimentParams params = benchExperiment(quick);
             applyOverrides(cli, net, traffic, params);
             traffic.load = load;
-            const ExperimentResult r =
-                Experiment(net, traffic, params).run();
-            std::printf(" | %s %s%s", cell(r.mcastAvgAvg, r.mcastCount).c_str(),
+            char label[48];
+            std::snprintf(label, sizeof(label), "%s load=%.3f",
+                          toString(scheme), load);
+            runner.add(label, net, traffic, params);
+        }
+    }
+    runner.run();
+
+    std::size_t idx = 0;
+    for (double load : loadGrid(quick)) {
+        std::printf("%-8s %8.3f", "mcast", load);
+        for (Scheme scheme : kAllSchemes) {
+            (void)scheme;
+            const ExperimentResult &r = runner.results()[idx++];
+            std::printf(" | %s %s%s",
+                        cell(r.mcastAvgAvg, r.mcastCount).c_str(),
                         cell(r.mcastLastAvg, r.mcastCount).c_str(),
                         satMark(r));
         }
         std::printf("\n");
-        std::fflush(stdout);
     }
+    maybeReport(sc, runner);
     return 0;
 }

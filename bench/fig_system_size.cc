@@ -20,14 +20,34 @@ main(int argc, char **argv)
 
     Config cli;
     const bool quick = parseCli(argc, argv, cli);
+    const SweepCli sc = parseSweepCli(cli);
 
     banner("E8", "multicast latency vs system size",
            "4-ary n-tree, load 0.05, degree 8, 64-flit payload");
     std::printf("%8s %7s %8s | %9s %9s %9s\n", "nodes", "stages",
                 "hdr", "cb-hw", "ib-hw", "sw-umin");
+    std::fflush(stdout);
 
     const std::vector<int> stages =
         quick ? std::vector<int>{2, 3} : std::vector<int>{2, 3, 4};
+    SweepRunner runner(sc.options);
+    for (int n : stages) {
+        for (Scheme scheme : kAllSchemes) {
+            NetworkConfig net = networkFor(scheme);
+            TrafficParams traffic = defaultTraffic();
+            ExperimentParams params = benchExperiment(quick);
+            applyOverrides(cli, net, traffic, params);
+            net.fatTreeN = n;
+            traffic.load = 0.05;
+            char label[48];
+            std::snprintf(label, sizeof(label), "%s stages=%d",
+                          toString(scheme), n);
+            runner.add(label, net, traffic, params);
+        }
+    }
+    runner.run();
+
+    std::size_t idx = 0;
     for (int n : stages) {
         std::size_t hosts = 1;
         for (int i = 0; i < n; ++i)
@@ -36,20 +56,14 @@ main(int argc, char **argv)
         std::printf("%8zu %7d %8d", hosts, n,
                     bitStringHeaderFlits(hosts, enc));
         for (Scheme scheme : kAllSchemes) {
-            NetworkConfig net = networkFor(scheme);
-            TrafficParams traffic = defaultTraffic();
-            ExperimentParams params = benchExperiment(quick);
-            applyOverrides(cli, net, traffic, params);
-            net.fatTreeN = n;
-            traffic.load = 0.05;
-            const ExperimentResult r =
-                Experiment(net, traffic, params).run();
+            (void)scheme;
+            const ExperimentResult &r = runner.results()[idx++];
             std::printf(" %s%s",
                         cell(r.mcastLastAvg, r.mcastCount).c_str(),
                         satMark(r));
         }
         std::printf("\n");
-        std::fflush(stdout);
     }
+    maybeReport(sc, runner);
     return 0;
 }

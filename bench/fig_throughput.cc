@@ -19,26 +19,40 @@ main(int argc, char **argv)
 
     Config cli;
     const bool quick = parseCli(argc, argv, cli);
+    const SweepCli sc = parseSweepCli(cli);
 
     banner("E3", "delivered throughput vs offered load",
            "64 nodes, degree 8, 64-flit payload");
     std::printf("%8s %9s | %9s %9s %9s\n", "load", "ideal", "cb-hw",
                 "ib-hw", "sw-umin");
+    std::fflush(stdout);
 
+    SweepRunner runner(sc.options);
     for (double load : loadGrid(quick)) {
-        std::printf("%8.3f %9.3f", load, load * 8.0);
         for (Scheme scheme : kAllSchemes) {
             NetworkConfig net = networkFor(scheme);
             TrafficParams traffic = defaultTraffic();
             ExperimentParams params = benchExperiment(quick);
             applyOverrides(cli, net, traffic, params);
             traffic.load = load;
-            const ExperimentResult r =
-                Experiment(net, traffic, params).run();
+            char label[48];
+            std::snprintf(label, sizeof(label), "%s load=%.3f",
+                          toString(scheme), load);
+            runner.add(label, net, traffic, params);
+        }
+    }
+    runner.run();
+
+    std::size_t idx = 0;
+    for (double load : loadGrid(quick)) {
+        std::printf("%8.3f %9.3f", load, load * 8.0);
+        for (Scheme scheme : kAllSchemes) {
+            (void)scheme;
+            const ExperimentResult &r = runner.results()[idx++];
             std::printf(" %9.3f%s", r.deliveredLoad, satMark(r));
         }
         std::printf("\n");
-        std::fflush(stdout);
     }
+    maybeReport(sc, runner);
     return 0;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "core/sweep.hh"
+
 namespace mdw {
 
 Experiment::Experiment(NetworkConfig network, TrafficParams traffic,
@@ -71,6 +73,9 @@ Experiment::run()
     result.mcastAvgAvg = tracker.mcastAvgLatency().mean();
     result.mcastCount =
         static_cast<double>(tracker.mcastLastLatency().count());
+    result.unicastLatency = tracker.unicastLatency();
+    result.mcastLastLatency = tracker.mcastLastLatency();
+    result.mcastAvgLatency = tracker.mcastAvgLatency();
 
     const double node_cycles = static_cast<double>(net.numHosts()) *
                                static_cast<double>(params_.measure);
@@ -102,19 +107,60 @@ Experiment::run()
     return result;
 }
 
+namespace {
+
+bool
+sameSampler(const Sampler &a, const Sampler &b)
+{
+    return a.count() == b.count() && a.mean() == b.mean() &&
+           a.variance() == b.variance() && a.min() == b.min() &&
+           a.max() == b.max();
+}
+
+} // namespace
+
+bool
+identicalResults(const ExperimentResult &a, const ExperimentResult &b)
+{
+    return a.offeredLoad == b.offeredLoad &&
+           a.deliveredLoad == b.deliveredLoad &&
+           a.expectedDelivered == b.expectedDelivered &&
+           a.unicastAvg == b.unicastAvg &&
+           a.unicastP95 == b.unicastP95 &&
+           a.unicastCount == b.unicastCount &&
+           a.mcastLastAvg == b.mcastLastAvg &&
+           a.mcastLastP95 == b.mcastLastP95 &&
+           a.mcastAvgAvg == b.mcastAvgAvg &&
+           a.mcastCount == b.mcastCount &&
+           a.saturated == b.saturated && a.drained == b.drained &&
+           a.deadlocked == b.deadlocked && a.cyclesRun == b.cyclesRun &&
+           a.meanLinkUtil == b.meanLinkUtil &&
+           a.maxLinkUtil == b.maxLinkUtil &&
+           a.replications == b.replications &&
+           a.reservationStallCycles == b.reservationStallCycles &&
+           a.avgCqChunks == b.avgCqChunks &&
+           a.endBacklogPackets == b.endBacklogPackets &&
+           sameSampler(a.unicastLatency, b.unicastLatency) &&
+           sameSampler(a.mcastLastLatency, b.mcastLastLatency) &&
+           sameSampler(a.mcastAvgLatency, b.mcastAvgLatency);
+}
+
 std::vector<ExperimentResult>
 sweepLoads(const NetworkConfig &network, const TrafficParams &traffic,
            const ExperimentParams &params,
-           const std::vector<double> &loads)
+           const std::vector<double> &loads, int threads)
 {
-    std::vector<ExperimentResult> results;
-    results.reserve(loads.size());
+    SweepOptions options;
+    options.threads = threads;
+    SweepRunner runner(options);
     for (double load : loads) {
         TrafficParams t = traffic;
         t.load = load;
-        results.push_back(Experiment(network, t, params).run());
+        char label[32];
+        std::snprintf(label, sizeof(label), "load=%.4f", load);
+        runner.add(label, network, t, params);
     }
-    return results;
+    return runner.run();
 }
 
 std::string

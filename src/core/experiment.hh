@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/network.hh"
+#include "sim/stats.hh"
 #include "workload/traffic.hh"
 
 namespace mdw {
@@ -61,7 +62,24 @@ struct ExperimentResult
     std::uint64_t reservationStallCycles = 0;
     double avgCqChunks = 0.0;
     std::size_t endBacklogPackets = 0;
+
+    /**
+     * Full latency samplers from the measurement window, so sweep
+     * aggregates can be built with Sampler::merge instead of
+     * re-deriving moments from the scalar summaries above.
+     */
+    Sampler unicastLatency;
+    Sampler mcastLastLatency;
+    Sampler mcastAvgLatency;
 };
+
+/**
+ * Exact (bitwise, not tolerance-based) equality of two results —
+ * the property the deterministic sweep runner guarantees across
+ * thread counts.
+ */
+bool identicalResults(const ExperimentResult &a,
+                      const ExperimentResult &b);
 
 /** One simulation run: build, warm up, measure, drain, report. */
 class Experiment
@@ -83,13 +101,17 @@ class Experiment
 };
 
 /**
- * Run the same configuration across several offered loads.
- * Results appear in the order of @p loads.
+ * Run the same configuration across several offered loads, optionally
+ * spreading the runs across @p threads worker threads (see
+ * core/sweep.hh; 1 = serial, 0 = one per hardware thread). Results
+ * appear in the order of @p loads regardless of thread count, and are
+ * identical to a serial sweep.
  */
 std::vector<ExperimentResult> sweepLoads(const NetworkConfig &network,
                                          const TrafficParams &traffic,
                                          const ExperimentParams &params,
-                                         const std::vector<double> &loads);
+                                         const std::vector<double> &loads,
+                                         int threads = 1);
 
 /** Fixed-width header line matching formatResultRow(). */
 std::string resultHeader();

@@ -6,28 +6,81 @@
 
 namespace mdw {
 
+bool
+EventQueue::earlier(const Event &a, const Event &b)
+{
+    if (a.when != b.when)
+        return a.when < b.when;
+    return a.seq < b.seq;
+}
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!earlier(heap_[i], heap_[parent]))
+            break;
+        std::swap(heap_[i], heap_[parent]);
+        i = parent;
+    }
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    const std::size_t n = heap_.size();
+    while (true) {
+        const std::size_t left = 2 * i + 1;
+        if (left >= n)
+            break;
+        std::size_t best = left;
+        const std::size_t right = left + 1;
+        if (right < n && earlier(heap_[right], heap_[left]))
+            best = right;
+        if (!earlier(heap_[best], heap_[i]))
+            break;
+        std::swap(heap_[i], heap_[best]);
+        i = best;
+    }
+}
+
+EventQueue::Event
+EventQueue::popTop()
+{
+    Event top = std::move(heap_.front());
+    if (heap_.size() > 1) {
+        heap_.front() = std::move(heap_.back());
+        heap_.pop_back();
+        siftDown(0);
+    } else {
+        heap_.pop_back();
+    }
+    return top;
+}
+
 void
 EventQueue::schedule(Cycle when, Action action)
 {
     MDW_ASSERT(action != nullptr, "scheduling a null event action");
-    heap_.push(Event{when, nextSeq_++, std::move(action)});
+    heap_.push_back(Event{when, nextSeq_++, std::move(action)});
+    siftUp(heap_.size() - 1);
 }
 
 void
 EventQueue::runDue(Cycle now)
 {
-    while (!heap_.empty() && heap_.top().when <= now) {
+    while (!heap_.empty() && heap_.front().when <= now) {
         // The action may schedule further events, so pop first.
-        Action action = std::move(const_cast<Event &>(heap_.top()).action);
-        heap_.pop();
-        action();
+        Event event = popTop();
+        event.action();
     }
 }
 
 Cycle
 EventQueue::nextEventCycle() const
 {
-    return heap_.empty() ? kNoCycle : heap_.top().when;
+    return heap_.empty() ? kNoCycle : heap_.front().when;
 }
 
 } // namespace mdw

@@ -13,7 +13,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/types.hh"
@@ -48,18 +47,16 @@ class EventQueue
         Action action;
     };
 
-    struct Later
-    {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+    // Explicit binary min-heap on (when, seq) rather than
+    // std::priority_queue: top() there is const, which forces a
+    // const_cast to move the action out. Here popTop() moves the
+    // whole event out legitimately.
+    static bool earlier(const Event &a, const Event &b);
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+    Event popTop();
 
-    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    std::vector<Event> heap_;
     std::uint64_t nextSeq_ = 0;
 };
 

@@ -128,4 +128,15 @@ Rng::fork(std::uint64_t tag) const
     return Rng(splitmix64(x));
 }
 
+std::uint64_t
+Rng::streamSeed(std::uint64_t base, std::uint64_t index)
+{
+    // Mix the base before combining with the index so that nearby
+    // (base, index) pairs never produce nearby seeds.
+    std::uint64_t x = base;
+    const std::uint64_t mixed = splitmix64(x);
+    x = mixed ^ (index * 0xd1342543de82ef95ULL + 1);
+    return splitmix64(x);
+}
+
 } // namespace mdw

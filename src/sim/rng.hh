@@ -63,6 +63,16 @@ class Rng
      */
     Rng fork(std::uint64_t tag) const;
 
+    /**
+     * Seed of independent stream @p index of a family rooted at
+     * @p base. Used by the sweep runner to give every run in a
+     * parameter sweep its own RNG stream from one base seed, so that
+     * results depend only on (base, index) — never on which thread
+     * executed the run.
+     */
+    static std::uint64_t streamSeed(std::uint64_t base,
+                                    std::uint64_t index);
+
   private:
     std::uint64_t s_[4];
     std::uint64_t seed_;

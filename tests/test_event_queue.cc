@@ -5,9 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/rng.hh"
 #include "sim/system.hh"
 
 namespace mdw {
@@ -57,6 +60,66 @@ TEST(EventQueue, NextEventCycleEmpty)
 {
     EventQueue q;
     EXPECT_EQ(q.nextEventCycle(), kNoCycle);
+}
+
+TEST(EventQueue, EqualCycleFifoStress)
+{
+    // Many events crammed into few cycles: the global firing order
+    // must be the schedule order stable-sorted by cycle, i.e. FIFO
+    // within every cycle, no matter how the heap rebalances.
+    EventQueue q;
+    Rng rng(12345);
+    std::vector<std::pair<Cycle, int>> scheduled;
+    std::vector<int> fired;
+    constexpr int kEvents = 2000;
+    for (int i = 0; i < kEvents; ++i) {
+        const Cycle when = rng.below(40);
+        scheduled.emplace_back(when, i);
+        q.schedule(when, [&fired, i] { fired.push_back(i); });
+    }
+    q.runDue(40);
+
+    std::stable_sort(scheduled.begin(), scheduled.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    ASSERT_EQ(fired.size(), scheduled.size());
+    for (std::size_t i = 0; i < fired.size(); ++i)
+        EXPECT_EQ(fired[i], scheduled[i].second) << "position " << i;
+}
+
+TEST(EventQueue, FifoSurvivesInterleavedDraining)
+{
+    // Draining part of the queue must not disturb the FIFO order of
+    // ties between events scheduled before and after the drain.
+    EventQueue q;
+    std::vector<int> fired;
+    q.schedule(10, [&] { fired.push_back(0); });
+    q.schedule(20, [&] { fired.push_back(1); });
+    q.schedule(5, [&] { fired.push_back(2); });
+    q.runDue(10); // fires 2, then 0
+    q.schedule(20, [&] { fired.push_back(3); });
+    q.schedule(15, [&] { fired.push_back(4); });
+    q.runDue(25);
+    EXPECT_EQ(fired, (std::vector<int>{2, 0, 4, 1, 3}));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ReschedulingActionsKeepFifoWithinCycle)
+{
+    // An action that schedules another event for the *same* cycle:
+    // the new event must fire after everything already queued for
+    // that cycle (it has a later sequence number).
+    EventQueue q;
+    std::vector<int> fired;
+    q.schedule(7, [&] {
+        fired.push_back(0);
+        q.schedule(7, [&] { fired.push_back(10); });
+    });
+    q.schedule(7, [&] { fired.push_back(1); });
+    q.schedule(7, [&] { fired.push_back(2); });
+    q.runDue(7);
+    EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 10}));
 }
 
 namespace {

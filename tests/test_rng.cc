@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <set>
 
 #include "sim/rng.hh"
 
@@ -154,6 +155,53 @@ TEST(Rng, ForksWithDifferentTagsDiffer)
     for (int i = 0; i < 1000; ++i)
         same += a.next() == b.next();
     EXPECT_LT(same, 5);
+}
+
+TEST(Rng, StreamSeedIsDeterministic)
+{
+    for (std::uint64_t index : {0ULL, 1ULL, 17ULL, 1000000ULL}) {
+        EXPECT_EQ(Rng::streamSeed(42, index),
+                  Rng::streamSeed(42, index));
+    }
+}
+
+TEST(Rng, StreamSeedsDistinctAcrossIndices)
+{
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        seeds.insert(Rng::streamSeed(42, i));
+    EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(Rng, StreamSeedDependsOnBase)
+{
+    int same = 0;
+    for (std::uint64_t i = 0; i < 100; ++i)
+        same += Rng::streamSeed(1, i) == Rng::streamSeed(2, i);
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, StreamsLookIndependent)
+{
+    // Adjacent run indices — the sweep runner's layout — must give
+    // uncorrelated streams.
+    Rng a(Rng::streamSeed(42, 0));
+    Rng b(Rng::streamSeed(42, 1));
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, StreamSeedsOfNearbyBasesGiveDistinctStreams)
+{
+    // Bases 1 and 2 with interleaved indices must not collide into
+    // the same stream family.
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t base = 1; base <= 8; ++base)
+        for (std::uint64_t i = 0; i < 64; ++i)
+            seeds.insert(Rng::streamSeed(base, i));
+    EXPECT_EQ(seeds.size(), 8u * 64u);
 }
 
 TEST(Rng, ShuffleIsAPermutation)

@@ -77,6 +77,74 @@ TEST(Sampler, MergeWithEmpty)
     EXPECT_DOUBLE_EQ(b.mean(), 5.0);
 }
 
+TEST(Sampler, MergeEmptyIntoEmpty)
+{
+    Sampler a, b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(Sampler, MergeIsOrderIndependentWithinTolerance)
+{
+    Sampler a1, b1, a2, b2;
+    for (int i = 0; i < 40; ++i) {
+        a1.add(3.0 + i * 0.11);
+        a2.add(3.0 + i * 0.11);
+    }
+    for (int i = 0; i < 90; ++i) {
+        b1.add(-2.0 + i * 0.43);
+        b2.add(-2.0 + i * 0.43);
+    }
+    a1.merge(b1); // A then B
+    b2.merge(a2); // B then A
+    EXPECT_EQ(a1.count(), b2.count());
+    // Welford merging is not associative in exact FP arithmetic, so
+    // mean/variance agree to tolerance, not bitwise.
+    EXPECT_NEAR(a1.mean(), b2.mean(), 1e-9);
+    EXPECT_NEAR(a1.variance(), b2.variance(), 1e-9);
+    // min/max are exact in either order.
+    EXPECT_DOUBLE_EQ(a1.min(), b2.min());
+    EXPECT_DOUBLE_EQ(a1.max(), b2.max());
+}
+
+TEST(Sampler, MergeManyChunksMatchesSingleStream)
+{
+    // Split one stream into per-run chunks the way the sweep runner
+    // does, then merge in submission order.
+    Sampler whole;
+    Sampler chunks[5];
+    for (int i = 0; i < 500; ++i) {
+        const double x = (i % 7) * 1.3 - (i % 3) * 0.7 + i * 0.01;
+        whole.add(x);
+        chunks[i / 100].add(x);
+    }
+    Sampler merged;
+    for (const Sampler &chunk : chunks)
+        merged.merge(chunk);
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_NEAR(merged.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(merged.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+    EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+}
+
+TEST(Sampler, MergeMinMaxFromBothSides)
+{
+    Sampler a, b;
+    a.add(5.0);
+    a.add(9.0);
+    b.add(-4.0);
+    b.add(7.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.min(), -4.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_EQ(a.count(), 4u);
+}
+
 TEST(Histogram, CountsAndOverflow)
 {
     Histogram h(10.0, 5); // bins [0,50), overflow beyond
