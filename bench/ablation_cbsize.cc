@@ -31,6 +31,7 @@ main(int argc, char **argv)
         quick ? std::vector<int>{28, 64, 192}
               : std::vector<int>{28, 32, 48, 64, 96, 128, 192, 256};
     SweepRunner runner(sc.options);
+    armFatalReport(sc, runner);
     int chunkFlits = 0;
     for (int chunks : sizes) {
         NetworkConfig net = networkFor(Scheme::CbHw);

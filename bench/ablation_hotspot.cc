@@ -37,6 +37,7 @@ main(int argc, char **argv)
         quick ? std::vector<double>{0.0, 0.08}
               : std::vector<double>{0.0, 0.02, 0.04, 0.08, 0.12};
     SweepRunner runner(sc.options);
+    armFatalReport(sc, runner);
     for (double fraction : fractions) {
         for (SwitchArch arch : archs) {
             NetworkConfig net = defaultNetwork();

@@ -36,6 +36,7 @@ main(int argc, char **argv)
         quick ? std::vector<int>{73, 292}
               : std::vector<int>{73, 146, 292, 438, 584};
     SweepRunner runner(sc.options);
+    armFatalReport(sc, runner);
     for (int flits : sizes) {
         NetworkConfig net = networkFor(Scheme::IbHw);
         TrafficParams traffic = defaultTraffic();

@@ -33,6 +33,7 @@ main(int argc, char **argv)
     const ReplicationMode modes[] = {ReplicationMode::Asynchronous,
                                      ReplicationMode::Synchronous};
     SweepRunner runner(sc.options);
+    armFatalReport(sc, runner);
     for (double load : loadGrid(quick)) {
         for (ReplicationMode mode : modes) {
             NetworkConfig net = networkFor(Scheme::IbHw);

@@ -31,6 +31,7 @@ main(int argc, char **argv)
         RoutingVariant::ReplicateAfterLca,
         RoutingVariant::ReplicateOnUpPath};
     SweepRunner runner(sc.options);
+    armFatalReport(sc, runner);
     for (double load : loadGrid(quick)) {
         for (RoutingVariant variant : variants) {
             NetworkConfig net = networkFor(Scheme::CbHw);

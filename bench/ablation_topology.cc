@@ -33,6 +33,7 @@ main(int argc, char **argv)
     const TopologyKind topos[] = {TopologyKind::FatTree,
                                   TopologyKind::UniMin};
     SweepRunner runner(sc.options);
+    armFatalReport(sc, runner);
     for (double load : loadGrid(quick)) {
         for (TopologyKind topo : topos) {
             NetworkConfig net = networkFor(Scheme::CbHw);

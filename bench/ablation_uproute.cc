@@ -30,6 +30,7 @@ main(int argc, char **argv)
     const UpPortPolicy policies[] = {UpPortPolicy::Adaptive,
                                      UpPortPolicy::Deterministic};
     SweepRunner runner(sc.options);
+    armFatalReport(sc, runner);
     for (double load : loadGrid(quick)) {
         for (UpPortPolicy policy : policies) {
             NetworkConfig net = networkFor(Scheme::CbHw);

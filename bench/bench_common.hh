@@ -15,6 +15,7 @@
 
 #include "core/presets.hh"
 #include "core/sweep.hh"
+#include "sim/logging.hh"
 
 namespace mdw::bench {
 
@@ -82,12 +83,36 @@ parseSweepCli(const Config &cli)
     return sc;
 }
 
-/** Emit the audit trail when report=1 was given. */
+/**
+ * Arm a fatal() hook that flushes the partial audit trail before the
+ * process exits, so a run that dies mid-sweep (bad config, impossible
+ * parameter combination) still leaves an inspectable record. Only
+ * active on the report=1 path; ends with a machine-readable
+ * `"status":"fatal"` marker so scripts can tell a truncated trail
+ * from a completed one. @p runner must outlive the sweep.
+ */
+inline void
+armFatalReport(const SweepCli &sc, const SweepRunner &runner)
+{
+    if (!sc.report)
+        return;
+    setFatalHook([&runner] {
+        std::fputs(runner.report().summary().c_str(), stderr);
+        std::fputs("# {\"status\":\"fatal\"}\n", stderr);
+        std::fflush(stderr);
+    });
+}
+
+/** Emit the audit trail when report=1 was given (disarms the fatal
+ *  hook: the sweep completed). */
 inline void
 maybeReport(const SweepCli &sc, const SweepRunner &runner)
 {
-    if (sc.report)
+    setFatalHook(nullptr);
+    if (sc.report) {
         std::fputs(runner.report().summary().c_str(), stderr);
+        std::fputs("# {\"status\":\"ok\"}\n", stderr);
+    }
 }
 
 /** "n/a" or a fixed-point number (for latencies of absent classes). */

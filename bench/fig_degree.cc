@@ -35,6 +35,7 @@ main(int argc, char **argv)
         quick ? std::vector<int>{4, 16, 63}
               : std::vector<int>{2, 4, 8, 16, 32, 48, 63};
     SweepRunner runner(sc.options);
+    armFatalReport(sc, runner);
     for (int degree : degrees) {
         for (Scheme scheme : kAllSchemes) {
             NetworkConfig net = networkFor(scheme);

@@ -31,6 +31,7 @@ main(int argc, char **argv)
         quick ? std::vector<int>{16, 64, 256}
               : std::vector<int>{8, 16, 32, 64, 128, 256};
     SweepRunner runner(sc.options);
+    armFatalReport(sc, runner);
     for (int length : lengths) {
         for (Scheme scheme : kAllSchemes) {
             NetworkConfig net = networkFor(scheme);

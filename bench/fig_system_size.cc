@@ -31,6 +31,7 @@ main(int argc, char **argv)
     const std::vector<int> stages =
         quick ? std::vector<int>{2, 3} : std::vector<int>{2, 3, 4};
     SweepRunner runner(sc.options);
+    armFatalReport(sc, runner);
     for (int n : stages) {
         for (Scheme scheme : kAllSchemes) {
             NetworkConfig net = networkFor(scheme);

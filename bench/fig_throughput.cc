@@ -28,6 +28,7 @@ main(int argc, char **argv)
     std::fflush(stdout);
 
     SweepRunner runner(sc.options);
+    armFatalReport(sc, runner);
     for (double load : loadGrid(quick)) {
         for (Scheme scheme : kAllSchemes) {
             NetworkConfig net = networkFor(scheme);

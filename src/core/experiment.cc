@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "core/resilience.hh"
 #include "core/sweep.hh"
+#include "sim/logging.hh"
 
 namespace mdw {
 
@@ -104,6 +106,33 @@ Experiment::run()
     result.replications = totals.replications;
     result.reservationStallCycles = totals.reservationStallCycles;
     result.avgCqChunks = net.avgCqChunks();
+
+    if (net.resilience())
+        result.faultsApplied = net.resilience()->faultsApplied();
+    for (std::size_t h = 0; h < net.numHosts(); ++h) {
+        const NicStats &ns = net.nic(static_cast<NodeId>(h)).stats();
+        result.retransmits += ns.retransmits.value();
+        result.poisonedDrops += ns.poisonedDrops.value();
+    }
+    result.duplicateDeliveries = tracker.duplicateDeliveries();
+    result.partialCompleted = tracker.partialCompleted();
+    result.unreachableDests = tracker.unreachableDests();
+
+    // Quiescence audit, *after* every measurement above is captured:
+    // the settle cycles it may add must not perturb any statistic
+    // (a fault-free run must stay bit-identical with this in place).
+    if (result.drained && !result.deadlocked) {
+        // A drained network can still have credits on the wire at the
+        // cycle idleness was detected; give them a moment to land.
+        net.sim().runUntil(
+            [&net] { return net.checkQuiescent(nullptr); }, 4096);
+        std::string why;
+        result.quiescent = net.checkQuiescent(&why);
+        if (!result.quiescent)
+            warn("network not quiescent after drain: %s", why.c_str());
+    } else {
+        result.quiescent = false;
+    }
     return result;
 }
 
@@ -140,6 +169,13 @@ identicalResults(const ExperimentResult &a, const ExperimentResult &b)
            a.reservationStallCycles == b.reservationStallCycles &&
            a.avgCqChunks == b.avgCqChunks &&
            a.endBacklogPackets == b.endBacklogPackets &&
+           a.quiescent == b.quiescent &&
+           a.faultsApplied == b.faultsApplied &&
+           a.retransmits == b.retransmits &&
+           a.poisonedDrops == b.poisonedDrops &&
+           a.duplicateDeliveries == b.duplicateDeliveries &&
+           a.partialCompleted == b.partialCompleted &&
+           a.unreachableDests == b.unreachableDests &&
            sameSampler(a.unicastLatency, b.unicastLatency) &&
            sameSampler(a.mcastLastLatency, b.mcastLastLatency) &&
            sameSampler(a.mcastAvgLatency, b.mcastAvgLatency);

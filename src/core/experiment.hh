@@ -63,6 +63,16 @@ struct ExperimentResult
     double avgCqChunks = 0.0;
     std::size_t endBacklogPackets = 0;
 
+    /** Post-drain invariant: every buffer empty, credits home. */
+    bool quiescent = true;
+    /** Fault-recovery activity (all zero on a fault-free run). */
+    std::size_t faultsApplied = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t poisonedDrops = 0;
+    std::uint64_t duplicateDeliveries = 0;
+    std::uint64_t partialCompleted = 0;
+    std::uint64_t unreachableDests = 0;
+
     /**
      * Full latency samplers from the measurement window, so sweep
      * aggregates can be built with Sampler::merge instead of

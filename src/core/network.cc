@@ -1,6 +1,9 @@
 #include "core/network.hh"
 
 #include <algorithm>
+#include <cstdlib>
+
+#include "core/resilience.hh"
 
 namespace mdw {
 
@@ -35,6 +38,44 @@ Network::Network(const NetworkConfig &config)
 {
     build();
     wire();
+    installFaults();
+}
+
+Network::~Network() = default;
+
+void
+Network::installFaults()
+{
+    FaultPlan plan = cfg_.faultPlan;
+    if (plan.empty() && !cfg_.faultSpec.empty()) {
+        const PortGraph &graph = topo_->graph();
+        std::vector<std::pair<SwitchId, int>> links;
+        std::vector<SwitchId> candidates;
+        for (std::size_t s = 0; s < graph.numSwitches(); ++s) {
+            const SwitchId a = static_cast<SwitchId>(s);
+            candidates.push_back(a);
+            for (PortId p = 0; p < graph.radix(a); ++p) {
+                const PortPeer &peer = graph.peer(a, p);
+                if (peer.isSwitch() &&
+                    std::make_pair(a, p) <=
+                        std::make_pair(peer.sw, peer.port)) {
+                    links.emplace_back(a, p);
+                }
+            }
+        }
+        plan = FaultPlan::random(cfg_.faultSpec, links, candidates);
+    }
+    plan.finalize();
+
+    // Retransmission needs delivery-dedup even when no fault ever
+    // fires (e.g. a spuriously aggressive timeout).
+    if (!plan.empty() || cfg_.nic.retransmitTimeout > 0)
+        tracker_.enableResilience();
+    if (plan.empty())
+        return;
+    resilience_ = std::make_unique<ResilienceManager>(*this,
+                                                      std::move(plan));
+    resilience_->install();
 }
 
 void
@@ -268,7 +309,60 @@ Network::totalTxBacklog() const
 void
 Network::armWatchdog(Cycle quietLimit)
 {
-    sim_.setWatchdog(quietLimit, [this] { return !idle(); });
+    sim_.setWatchdog(quietLimit, [this] { return !idle(); },
+                     [this] { onWatchdogTrip(); });
+}
+
+void
+Network::onWatchdogTrip()
+{
+    auto diag = std::make_unique<WatchdogDiagnosis>();
+    diag->cycle = sim_.now();
+    diag->messagesInFlight = tracker_.inFlight();
+    diag->nicBacklogPackets = totalTxBacklog();
+    char *buf = nullptr;
+    std::size_t len = 0;
+    if (FILE *mem = open_memstream(&buf, &len)) {
+        dumpState(mem);
+        std::fclose(mem);
+        diag->stateDump.assign(buf, len);
+        std::free(buf);
+    }
+    warn("watchdog: no progress; %zu messages in flight, %zu packets "
+         "queued at NICs (diagnosis recorded)",
+         diag->messagesInFlight, diag->nicBacklogPackets);
+    diagnosis_ = std::move(diag);
+}
+
+bool
+Network::checkQuiescent(std::string *why) const
+{
+    bool ok = true;
+    auto complain = [&](const std::string &reason) {
+        ok = false;
+        if (why) {
+            if (!why->empty())
+                *why += "; ";
+            *why += reason;
+        }
+    };
+    for (const auto &ch : flitChannels_) {
+        if (ch->inFlight() != 0)
+            complain(ch->name() + ": flits in flight");
+    }
+    for (const auto &ch : creditChannels_) {
+        if (ch->inFlight() != 0)
+            complain(ch->name() + ": credits in flight");
+    }
+    for (const auto &sw : switches_) {
+        if (!sw->quiescent(why))
+            ok = false;
+    }
+    for (const auto &nic : nics_) {
+        if (!nic->quiescent(why))
+            ok = false;
+    }
+    return ok;
 }
 
 NetworkTotals

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "host/nic.hh"
+#include "sim/fault.hh"
 #include "sim/system.hh"
 #include "switch/central_buffer_switch.hh"
 #include "switch/input_buffer_switch.hh"
@@ -23,6 +24,8 @@
 #include "topology/uni_min.hh"
 
 namespace mdw {
+
+class ResilienceManager;
 
 /** Which topology family to instantiate. */
 enum class TopologyKind { FatTree, Irregular, UniMin };
@@ -53,6 +56,12 @@ struct NetworkConfig
     /** Link latency in cycles. */
     Cycle linkDelay = 1;
     std::uint64_t seed = 1;
+
+    /** Explicit fault schedule (takes precedence over faultSpec). */
+    FaultPlan faultPlan;
+    /** Randomized fault schedule, drawn over this network's links and
+     *  switches when faultPlan is empty. */
+    FaultSpec faultSpec;
 };
 
 /** Aggregate of all switches' counters. */
@@ -65,11 +74,26 @@ struct NetworkTotals
     std::uint64_t reservationStallCycles = 0;
 };
 
+/**
+ * Structured record of a watchdog trip: instead of aborting the
+ * process, the network captures what was stuck and lets the caller
+ * (experiment loop, test) inspect and report it.
+ */
+struct WatchdogDiagnosis
+{
+    Cycle cycle = 0;
+    std::size_t messagesInFlight = 0;
+    std::size_t nicBacklogPackets = 0;
+    /** Full dumpState() output at the moment of the trip. */
+    std::string stateDump;
+};
+
 /** A fully wired simulated system. */
 class Network
 {
   public:
     explicit Network(const NetworkConfig &config);
+    ~Network();
 
     Network(const Network &) = delete;
     Network &operator=(const Network &) = delete;
@@ -101,8 +125,27 @@ class Network
     /** Sum of NIC injection backlogs, in packets. */
     std::size_t totalTxBacklog() const;
 
-    /** Arm the simulator's deadlock watchdog with sane hooks. */
+    /** Arm the simulator's deadlock watchdog with sane hooks. A trip
+     *  records a WatchdogDiagnosis (with a state dump) and stops the
+     *  run instead of aborting the process. */
     void armWatchdog(Cycle quietLimit);
+
+    /** Diagnosis recorded by the last watchdog trip, if any. */
+    const WatchdogDiagnosis *watchdogDiagnosis() const
+    {
+        return diagnosis_.get();
+    }
+
+    /** The fault/recovery layer, present iff faults are configured. */
+    ResilienceManager *resilience() { return resilience_.get(); }
+
+    /**
+     * End-of-run invariant: no flit or credit in flight on any
+     * channel, every switch's buffers empty with all credits home,
+     * and every NIC drained. Appends reasons to @p why (if non-null)
+     * on failure.
+     */
+    bool checkQuiescent(std::string *why) const;
 
     /** Sum all switches' counters. */
     NetworkTotals totals() const;
@@ -122,6 +165,8 @@ class Network
   private:
     void build();
     void wire();
+    void installFaults();
+    void onWatchdogTrip();
 
     NetworkConfig cfg_;
     std::unique_ptr<Topology> topo_;
@@ -135,6 +180,9 @@ class Network
     std::vector<std::unique_ptr<Nic>> nics_;
     std::vector<std::unique_ptr<Channel<Flit>>> flitChannels_;
     std::vector<std::unique_ptr<CreditChannel>> creditChannels_;
+
+    std::unique_ptr<ResilienceManager> resilience_;
+    std::unique_ptr<WatchdogDiagnosis> diagnosis_;
 };
 
 } // namespace mdw

@@ -213,6 +213,22 @@ applyOverrides(const Config &config, NetworkConfig &network,
         config.getInt("hotNode", traffic.hotNode));
     traffic.seed = config.getU64("traffic.seed", traffic.seed);
 
+    // Faults and recovery.
+    network.faultSpec.links = static_cast<int>(
+        config.getInt("fault.links", network.faultSpec.links));
+    network.faultSpec.switches = static_cast<int>(
+        config.getInt("fault.switches", network.faultSpec.switches));
+    network.faultSpec.start =
+        config.getU64("fault.start", network.faultSpec.start);
+    network.faultSpec.end =
+        config.getU64("fault.end", network.faultSpec.end);
+    network.faultSpec.seed =
+        config.getU64("fault.seed", network.faultSpec.seed);
+    network.nic.retransmitTimeout = config.getU64(
+        "nic.retransmitTimeout", network.nic.retransmitTimeout);
+    network.nic.maxRetransmits = static_cast<int>(config.getInt(
+        "nic.maxRetransmits", network.nic.maxRetransmits));
+
     // Experiment phases.
     params.warmup = config.getU64("warmup", params.warmup);
     params.measure = config.getU64("measure", params.measure);

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Recovery machinery that interprets a FaultPlan against a live
+ * Network (the tentpole of the robustness work). Three layers:
+ *
+ *  - topology: after every structural fault, up*-down* routing is
+ *    recomputed over the surviving links (as a *tolerant* table that
+ *    reports unroutable destinations instead of panicking) and
+ *    swapped into every switch; the pruned up-link orientation is
+ *    re-verified acyclic, so the rerouted network is deadlock-free by
+ *    the same argument as the intact one;
+ *  - switch: failed ports were already flagged by the time this layer
+ *    swaps tables — the architectures drain in-flight flits into
+ *    tombstone sinks and phantom-complete truncated packets, whose
+ *    ids land in the shared poison registry owned here;
+ *  - host: every NIC is given the poison registry (end-to-end CRC
+ *    discard) and a live per-host reachable-destination set, so its
+ *    retransmission path stops retrying hosts that no longer have a
+ *    route and writes them off in the McastTracker instead.
+ */
+
+#ifndef MDW_CORE_RESILIENCE_HH
+#define MDW_CORE_RESILIENCE_HH
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "message/dest_set.hh"
+#include "sim/fault.hh"
+#include "topology/routing.hh"
+
+namespace mdw {
+
+class Network;
+
+/** Applies a fault plan to a Network and owns the recovery state. */
+class ResilienceManager
+{
+  public:
+    /** @param net The network to protect (must outlive this). */
+    ResilienceManager(Network &net, FaultPlan plan);
+
+    /**
+     * Wire the poison registry and reachability sets into every
+     * switch and NIC, enable resilient tracking, and schedule the
+     * plan's events on the simulator. Call once, before running.
+     */
+    void install();
+
+    /** Apply one fault now (scheduled events funnel through here). */
+    void apply(const FaultEvent &event);
+
+    const FaultPlan &plan() const { return plan_; }
+    std::size_t faultsApplied() const { return applied_; }
+    /** Packets truncated by faults so far (poison registry size). */
+    std::size_t poisonedPackets() const { return poisoned_.size(); }
+
+    /** Hosts currently reachable from @p host (live, updated in
+     *  place; NICs hold a pointer to this set). */
+    const DestSet &reachableFrom(NodeId host) const;
+
+    bool switchDead(SwitchId sw) const;
+
+  private:
+    void applyLinkDown(const FaultEvent &event);
+    void applySwitchDown(const FaultEvent &event);
+    void applyLinkDegrade(const FaultEvent &event);
+    /** Fail both endpoints of one switch-switch link and prune it
+     *  from the direction table. */
+    void killLink(SwitchId sw, PortId port);
+    /** Rebuild a tolerant routing over dirs_ and swap it in. */
+    void rebuildRouting();
+    /** Recompute every host's reachable-destination set in place. */
+    void recomputeReachability();
+    /** Panic if the pruned up-link orientation has a cycle. */
+    void verifyUpDagAcyclic() const;
+
+    Network &net_;
+    FaultPlan plan_;
+    /** Ids of packets truncated by a fault; shared with switches
+     *  (writers) and NICs (readers). */
+    std::unordered_set<PacketId> poisoned_;
+    /** Mutable copy of the topology's port directions; dead ports
+     *  become Unused. */
+    std::vector<std::vector<PortDir>> dirs_;
+    /**
+     * Every routing generation ever installed, oldest first. Old
+     * tables stay alive because packets decoded before a swap may
+     * still hold branch decisions derived from them.
+     */
+    std::vector<std::unique_ptr<NetworkRouting>> routings_;
+    /** Per host: reachable destinations (stable addresses). */
+    std::vector<DestSet> reachable_;
+    std::vector<bool> deadSwitch_;
+    std::size_t applied_ = 0;
+};
+
+} // namespace mdw
+
+#endif // MDW_CORE_RESILIENCE_HH

@@ -30,11 +30,27 @@ McastTracker::onDelivered(MsgId msg, NodeId dest, Cycle now,
                           int payloadFlits)
 {
     auto it = live_.find(msg);
-    MDW_ASSERT(it != live_.end(),
-               "delivery at node %d for unknown message %llu", dest,
-               static_cast<unsigned long long>(msg));
+    if (resilient_) {
+        if (it == live_.end()) {
+            // A redundant copy of an already-completed message (a
+            // retransmission raced the original): swallow it.
+            MDW_ASSERT(completedIds_.count(msg) != 0,
+                       "delivery at node %d for unknown message %llu",
+                       dest, static_cast<unsigned long long>(msg));
+            ++duplicates_;
+            return;
+        }
+        if (!it->second.resolved.insert(dest).second) {
+            ++duplicates_;
+            return;
+        }
+    } else {
+        MDW_ASSERT(it != live_.end(),
+                   "delivery at node %d for unknown message %llu", dest,
+                   static_cast<unsigned long long>(msg));
+    }
     Record &rec = it->second;
-    MDW_ASSERT(rec.arrived < rec.expected,
+    MDW_ASSERT(rec.arrived + rec.unreachable < rec.expected,
                "message %llu over-delivered at node %d",
                static_cast<unsigned long long>(msg), dest);
     ++rec.arrived;
@@ -44,8 +60,51 @@ McastTracker::onDelivered(MsgId msg, NodeId dest, Cycle now,
     if (now >= windowStart_ && now < windowEnd_)
         windowFlits_ += static_cast<std::uint64_t>(payloadFlits);
 
-    if (rec.arrived == rec.expected) {
-        if (rec.measured) {
+    if (rec.arrived + rec.unreachable == rec.expected)
+        finish(it);
+}
+
+bool
+McastTracker::markUnreachable(MsgId msg, NodeId dest)
+{
+    MDW_ASSERT(resilient_, "markUnreachable on a strict tracker");
+    auto it = live_.find(msg);
+    if (it == live_.end())
+        return false; // already completed
+    Record &rec = it->second;
+    if (!rec.resolved.insert(dest).second)
+        return false; // delivered or already written off
+    ++rec.unreachable;
+    ++unreachableDests_;
+    if (rec.arrived + rec.unreachable == rec.expected)
+        finish(it);
+    return true;
+}
+
+bool
+McastTracker::isDelivered(MsgId msg, NodeId dest) const
+{
+    MDW_ASSERT(resilient_, "isDelivered on a strict tracker");
+    auto it = live_.find(msg);
+    if (it == live_.end()) {
+        MDW_ASSERT(completedIds_.count(msg) != 0,
+                   "isDelivered for unknown message %llu",
+                   static_cast<unsigned long long>(msg));
+        return true;
+    }
+    return it->second.resolved.count(dest) != 0;
+}
+
+void
+McastTracker::finish(std::unordered_map<MsgId, Record>::iterator it)
+{
+    Record &rec = it->second;
+    const bool partial = rec.unreachable > 0;
+    if (rec.measured) {
+        // Partially-delivered messages never feed the latency
+        // samplers: a last-copy latency over a shrunken destination
+        // set would not be comparable across fault rates.
+        if (!partial) {
             const double last =
                 static_cast<double>(rec.lastArrival - rec.created);
             const double avg =
@@ -58,11 +117,16 @@ McastTracker::onDelivered(MsgId msg, NodeId dest, Cycle now,
                 unicast_.add(last);
                 unicastHist_.add(last);
             }
-            --measuredLive_;
         }
-        ++completed_;
-        live_.erase(it);
+        --measuredLive_;
     }
+    if (partial)
+        ++partialCompleted_;
+    else
+        ++completed_;
+    if (resilient_)
+        completedIds_.insert(it->first);
+    live_.erase(it);
 }
 
 void
@@ -84,6 +148,9 @@ McastTracker::resetStats()
     windowFlits_ = 0;
     deliveries_ = 0;
     completed_ = 0;
+    duplicates_ = 0;
+    partialCompleted_ = 0;
+    unreachableDests_ = 0;
 }
 
 } // namespace mdw

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -32,6 +33,39 @@ class McastTracker
     /** Record the delivery of one copy at node @p dest. */
     void onDelivered(MsgId msg, NodeId dest, Cycle now,
                      int payloadFlits);
+
+    /**
+     * Switch to resilient accounting (fault injection / NIC
+     * retransmission): redundant copies at a destination are
+     * deduplicated instead of panicking, copies of already-completed
+     * messages are swallowed, and destinations can be written off as
+     * unreachable. Without this call, behaviour is byte-identical to
+     * the strict tracker. Enable before any traffic flows.
+     */
+    void enableResilience() { resilient_ = true; }
+    bool resilient() const { return resilient_; }
+
+    /**
+     * Give up on one destination of @p msg (no surviving route).
+     * Counts toward completion so the message can retire partially
+     * delivered. Returns false if the message already completed or
+     * the destination was already delivered/marked.
+     */
+    bool markUnreachable(MsgId msg, NodeId dest);
+
+    /**
+     * Has @p dest's copy of @p msg been delivered (or the destination
+     * written off)? True for completed messages. Resilient mode only;
+     * used by the NIC to skip satisfied destinations on retransmit.
+     */
+    bool isDelivered(MsgId msg, NodeId dest) const;
+
+    /** Redundant copies swallowed by deduplication (resilient). */
+    std::uint64_t duplicateDeliveries() const { return duplicates_; }
+    /** Messages retired with at least one unreachable destination. */
+    std::uint64_t partialCompleted() const { return partialCompleted_; }
+    /** Destination copies written off as unreachable. */
+    std::uint64_t unreachableDests() const { return unreachableDests_; }
 
     /**
      * Set the measurement window: messages *created* in
@@ -78,12 +112,19 @@ class McastTracker
         NodeId src = kInvalidNode;
         std::size_t expected = 0;
         std::size_t arrived = 0;
+        /** Destinations written off as unreachable (resilient). */
+        std::size_t unreachable = 0;
         Cycle created = 0;
         Cycle lastArrival = 0;
         double latencySum = 0.0;
         bool isMulticast = false;
         bool measured = false;
+        /** Destinations delivered or written off (resilient only). */
+        std::unordered_set<NodeId> resolved;
     };
+
+    /** Retire a record whose destinations are all accounted for. */
+    void finish(std::unordered_map<MsgId, Record>::iterator it);
 
     std::unordered_map<MsgId, Record> live_;
     std::size_t measuredLive_ = 0;
@@ -99,6 +140,13 @@ class McastTracker
     std::uint64_t windowFlits_ = 0;
     std::uint64_t deliveries_ = 0;
     std::uint64_t completed_ = 0;
+
+    bool resilient_ = false;
+    /** Messages fully retired; swallows late redundant copies. */
+    std::unordered_set<MsgId> completedIds_;
+    std::uint64_t duplicates_ = 0;
+    std::uint64_t partialCompleted_ = 0;
+    std::uint64_t unreachableDests_ = 0;
 };
 
 } // namespace mdw

@@ -1,5 +1,6 @@
 #include "host/nic.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "host/sw_mcast.hh"
@@ -57,16 +58,9 @@ Nic::postUnicast(NodeId dest, int payloadFlits, Cycle now)
     tracker_->expectMessage(msg, id_, 1, now, false);
     stats_.messagesPosted.inc();
 
-    PacketDesc proto;
-    proto.msg = msg;
-    proto.src = id_;
-    proto.dests = DestSet(numHosts_);
-    proto.dests.set(dest);
-    proto.kind = PacketKind::Unicast;
-    proto.headerFlits = params_.enc.unicastHeaderFlits;
-    proto.payloadFlits = payloadFlits;
-    proto.created = now;
-    enqueueSegmented(std::move(proto));
+    DestSet dests(numHosts_);
+    dests.set(dest);
+    launch(msg, dests, false, payloadFlits, now);
     return msg;
 }
 
@@ -79,6 +73,72 @@ Nic::postMulticast(const DestSet &dests, int payloadFlits, Cycle now)
     const MsgId msg = factory_->newMsgId();
     tracker_->expectMessage(msg, id_, dests.count(), now, true);
     stats_.messagesPosted.inc();
+    launch(msg, dests, true, payloadFlits, now);
+    return msg;
+}
+
+void
+Nic::launch(MsgId msg, const DestSet &dests, bool multicast,
+            int payloadFlits, Cycle now)
+{
+    const DestSet remaining = pruneUnreachable(msg, dests);
+    if (remaining.empty())
+        return;
+    if (params_.retransmitTimeout > 0) {
+        MDW_ASSERT(tracker_->resilient(),
+                   "NIC %d: retransmission needs a resilient tracker",
+                   id_);
+        Pending pending;
+        pending.dests = remaining;
+        pending.payloadFlits = payloadFlits;
+        pending.multicast = multicast;
+        pending.interval = params_.retransmitTimeout;
+        pending.deadline = now + pending.interval;
+        nextRetx_ = std::min(nextRetx_, pending.deadline);
+        pending_.emplace(msg, std::move(pending));
+    }
+    sendCopies(msg, remaining, multicast, payloadFlits, now);
+}
+
+DestSet
+Nic::pruneUnreachable(MsgId msg, const DestSet &dests)
+{
+    if (!txFailed_ && !reachable_)
+        return dests;
+    DestSet remaining(numHosts_);
+    for (NodeId dest : dests.toVector()) {
+        if (!txFailed_ && reachable_->test(dest)) {
+            remaining.set(dest);
+        } else {
+            MDW_ASSERT(tracker_->resilient(),
+                       "NIC %d: unreachable destination %d without a "
+                       "resilient tracker",
+                       id_, dest);
+            tracker_->markUnreachable(msg, dest);
+        }
+    }
+    return remaining;
+}
+
+void
+Nic::sendCopies(MsgId msg, const DestSet &dests, bool multicast,
+                int payloadFlits, Cycle now)
+{
+    if (!multicast) {
+        for (NodeId dest : dests.toVector()) {
+            PacketDesc proto;
+            proto.msg = msg;
+            proto.src = id_;
+            proto.dests = DestSet(numHosts_);
+            proto.dests.set(dest);
+            proto.kind = PacketKind::Unicast;
+            proto.headerFlits = params_.enc.unicastHeaderFlits;
+            proto.payloadFlits = payloadFlits;
+            proto.created = now;
+            enqueueSegmented(std::move(proto));
+        }
+        return;
+    }
 
     if (params_.scheme == McastScheme::Hardware) {
         if (params_.encoding == McastEncoding::BitString) {
@@ -92,7 +152,7 @@ Nic::postMulticast(const DestSet &dests, int payloadFlits, Cycle now)
             proto.payloadFlits = payloadFlits;
             proto.created = now;
             enqueueSegmented(std::move(proto));
-            return msg;
+            return;
         } else {
             const auto groups =
                 planMultiportPhases(static_cast<std::size_t>(
@@ -111,7 +171,7 @@ Nic::postMulticast(const DestSet &dests, int payloadFlits, Cycle now)
                 enqueueSegmented(std::move(proto));
             }
         }
-        return msg;
+        return;
     }
 
     // Software scheme: U-Min binomial unicast tree.
@@ -131,7 +191,6 @@ Nic::postMulticast(const DestSet &dests, int payloadFlits, Cycle now)
         proto.swPhase = 0;
         enqueueSegmented(std::move(proto));
     }
-    return msg;
 }
 
 void
@@ -166,6 +225,8 @@ Nic::swCarrierHeaderFlits(std::size_t delegated) const
 void
 Nic::enqueueJob(PacketDesc proto)
 {
+    if (txFailed_)
+        return; // dead up-link: nothing can leave this host
     SendJob job;
     job.proto = std::move(proto);
     txQueue_.push_back(std::move(job));
@@ -203,6 +264,56 @@ Nic::step(Cycle now)
     pollSource(now);
     stepTx(now);
     stepRx(now);
+    if (params_.retransmitTimeout > 0)
+        checkRetransmits(now);
+}
+
+void
+Nic::checkRetransmits(Cycle now)
+{
+    if (pending_.empty() || now < nextRetx_)
+        return;
+    nextRetx_ = kNoCycle;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        Pending &p = it->second;
+        const MsgId msg = it->first;
+        if (tracker_->isComplete(msg)) {
+            it = pending_.erase(it);
+            continue;
+        }
+        if (now < p.deadline) {
+            nextRetx_ = std::min(nextRetx_, p.deadline);
+            ++it;
+            continue;
+        }
+        // Deadline passed with destinations still owing a copy:
+        // write off the ones with no surviving route (or with the
+        // retry budget exhausted), resend to the rest.
+        DestSet resend(numHosts_);
+        for (NodeId dest : p.dests.toVector()) {
+            if (tracker_->isDelivered(msg, dest))
+                continue;
+            const bool routable =
+                !txFailed_ && (!reachable_ || reachable_->test(dest));
+            if (!routable || p.attempts >= params_.maxRetransmits)
+                tracker_->markUnreachable(msg, dest);
+            else
+                resend.set(dest);
+        }
+        if (resend.empty()) {
+            it = pending_.erase(it);
+            continue;
+        }
+        ++p.attempts;
+        stats_.retransmits.inc();
+        p.dests = resend;
+        sendCopies(msg, resend, p.multicast, p.payloadFlits, now);
+        p.interval = std::min(p.interval * 2,
+                              params_.retransmitTimeout * 8);
+        p.deadline = now + p.interval;
+        nextRetx_ = std::min(nextRetx_, p.deadline);
+        ++it;
+    }
 }
 
 void
@@ -223,7 +334,7 @@ Nic::pollSource(Cycle now)
 void
 Nic::stepTx(Cycle now)
 {
-    if (txQueue_.empty() || !txOut_)
+    if (txFailed_ || txQueue_.empty() || !txOut_)
         return;
     SendJob &job = txQueue_.front();
     if (!job.prepared) {
@@ -259,6 +370,12 @@ Nic::stepRx(Cycle now)
 {
     if (!rxIn_ || !rxIn_->peek(now))
         return;
+    if (rxFailed_) {
+        // Dead down-link: drain and discard so the channel empties
+        // (the failed switch port discards credits anyway).
+        rxIn_->receive(now);
+        return;
+    }
     const Flit flit = rxIn_->receive(now);
     if (rxCreditOut_)
         rxCreditOut_->send(1, now); // the NIC always sinks traffic
@@ -284,7 +401,14 @@ Nic::stepRx(Cycle now)
         MDW_ASSERT(rxArrived_ == flit.pkt->totalFlits(),
                    "NIC %d: tail after %d of %d flits", id_, rxArrived_,
                    flit.pkt->totalFlits());
-        deliver(rxCurrent_, now);
+        if (poisoned_ && poisoned_->count(flit.pkt->id) != 0) {
+            // A fault truncated this packet in flight and the network
+            // phantom-completed it; the end-to-end check discards it
+            // here. Retransmission re-covers the destination.
+            stats_.poisonedDrops.inc();
+        } else {
+            deliver(rxCurrent_, now);
+        }
         rxCurrent_ = nullptr;
         rxArrived_ = 0;
     }
@@ -299,14 +423,23 @@ Nic::deliver(const PacketPtr &pkt, Cycle now)
                id_, pkt->dests.count());
     stats_.packetsDelivered.inc();
 
+    if (tracker_->resilient() && tracker_->isDelivered(pkt->msg, id_)) {
+        // A redundant copy (retransmission raced the original): let
+        // the tracker count the duplicate, but do not forward
+        // carriers or disturb reassembly state again.
+        tracker_->onDelivered(pkt->msg, id_, now, 0);
+        return;
+    }
+
     int message_payload = pkt->payloadFlits;
     if (pkt->msgPackets > 1) {
         // Reassemble: the message is delivered at this node once all
         // of its segments have landed.
         RxMessage &rx = rxMessages_[pkt->msg];
-        ++rx.packets;
+        if (!rx.seen.insert(pkt->msgSeq).second)
+            return; // retransmitted segment already held
         rx.payload += pkt->payloadFlits;
-        if (rx.packets < pkt->msgPackets)
+        if (static_cast<int>(rx.seen.size()) < pkt->msgPackets)
             return;
         message_payload = rx.payload;
         rxMessages_.erase(pkt->msg);
@@ -352,6 +485,52 @@ Nic::forwardSwCarrier(PacketPtr pkt, int payloadFlits)
         proto.swPhase = pkt->swPhase + 1;
         enqueueSegmented(std::move(proto));
     }
+}
+
+void
+Nic::failTx()
+{
+    MDW_ASSERT(tracker_->resilient(),
+               "NIC %d: failTx without a resilient tracker", id_);
+    txFailed_ = true;
+    // Whatever was queued can no longer leave; the flits of a packet
+    // already part-way onto the wire are phantom-completed by the
+    // switch's failed input port. Undelivered destinations are
+    // written off by the retransmission timeout (or immediately, for
+    // messages posted from now on).
+    txQueue_.clear();
+}
+
+void
+Nic::failRx()
+{
+    rxFailed_ = true;
+    rxCurrent_ = nullptr;
+    rxArrived_ = 0;
+}
+
+bool
+Nic::quiescent(std::string *why) const
+{
+    const auto complain = [&](const std::string &what) {
+        if (why)
+            *why += name() + ": " + what + "; ";
+        return false;
+    };
+    if (!txFailed_ && !txQueue_.empty())
+        return complain(std::to_string(txQueue_.size()) +
+                        " packet(s) still queued for injection");
+    if (rxCurrent_)
+        return complain("packet mid-reassembly at ejection");
+    for (const auto &[msg, rx] : rxMessages_) {
+        // A segment of a written-off message may legitimately never
+        // arrive; only messages the tracker still considers live
+        // count as stranded state.
+        if (!tracker_->isComplete(msg))
+            return complain("message " + std::to_string(msg) +
+                            " partially reassembled");
+    }
+    return true;
 }
 
 } // namespace mdw

@@ -20,7 +20,9 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "host/mcast_tracker.hh"
@@ -95,6 +97,19 @@ struct NicParams
      * the piggy-backed delegated-destination list.
      */
     bool swListOverhead = false;
+    /**
+     * Cycles to wait for a message's deliveries before retransmitting
+     * to the destinations that still owe a copy (fault recovery).
+     * 0 disables retransmission entirely. Requires the tracker's
+     * resilient mode.
+     */
+    Cycle retransmitTimeout = 0;
+    /**
+     * Retransmission attempts per message before the remaining
+     * destinations are written off as unreachable. The retry interval
+     * doubles per attempt, capped at 8x retransmitTimeout.
+     */
+    int maxRetransmits = 4;
 };
 
 /** Per-NIC activity counters. */
@@ -106,6 +121,10 @@ struct NicStats
     Counter flitsEjected;
     Counter packetsDelivered;
     Counter swForwards;
+    /** Whole-message retransmission rounds issued (fault recovery). */
+    Counter retransmits;
+    /** Packets discarded at ejection because a fault mangled them. */
+    Counter poisonedDrops;
 };
 
 /** One processing node's network interface. */
@@ -181,6 +200,48 @@ class Nic : public Component
     /** Packets waiting to be injected (saturation indicator). */
     std::size_t txBacklog() const { return txQueue_.size(); }
 
+    // --- Fault-injection hooks (resilience layer) ------------------
+
+    /**
+     * Attach the shared poison registry: a packet whose id appears
+     * there was truncated by a fault and phantom-completed in the
+     * network; this NIC silently discards such deliveries (modeling
+     * an end-to-end CRC check).
+     */
+    void setPoisonRegistry(const std::unordered_set<PacketId> *poisoned)
+    {
+        poisoned_ = poisoned;
+    }
+
+    /**
+     * Attach this host's reachable-destination set (maintained by the
+     * resilience layer; updated in place as faults land). Posts and
+     * retransmissions write unreachable destinations off immediately
+     * instead of burning retries.
+     */
+    void setReachable(const DestSet *reachable)
+    {
+        reachable_ = reachable;
+    }
+
+    /**
+     * Kill the injection side (the host's up-link died): queued
+     * packets are dropped and every future post is written off as
+     * undeliverable. Requires the tracker's resilient mode.
+     */
+    void failTx();
+
+    /** Kill the ejection side: arriving flits are drained and
+     *  discarded. */
+    void failRx();
+
+    /**
+     * End-of-run invariant: nothing queued for injection, no packet
+     * mid-reassembly, and (strict mode) no partially reassembled
+     * message. Appends a reason to @p why on failure.
+     */
+    bool quiescent(std::string *why) const;
+
   private:
     struct SendJob
     {
@@ -194,6 +255,21 @@ class Nic : public Component
     void pollSource(Cycle now);
     void stepTx(Cycle now);
     void stepRx(Cycle now);
+    /**
+     * Expand one (re)transmission of @p msg toward @p dests per the
+     * configured scheme/encoding and queue the packets. Shared by the
+     * post* entry points and the retransmission path (which must not
+     * allocate a new message id).
+     */
+    void sendCopies(MsgId msg, const DestSet &dests, bool multicast,
+                    int payloadFlits, Cycle now);
+    /** Filter dests through reachability, writing the rest off. */
+    DestSet pruneUnreachable(MsgId msg, const DestSet &dests);
+    /** First transmission: prune, arm the retry timer, send. */
+    void launch(MsgId msg, const DestSet &dests, bool multicast,
+                int payloadFlits, Cycle now);
+    /** Fire retransmissions whose delivery deadline has passed. */
+    void checkRetransmits(Cycle now);
     void enqueueJob(PacketDesc proto);
     /** Split @p proto into maxPayloadFlits-sized packets and queue. */
     void enqueueSegmented(PacketDesc proto);
@@ -226,10 +302,30 @@ class Nic : public Component
     /** Reassembly of multi-packet messages. */
     struct RxMessage
     {
-        int packets = 0;
+        /** Segment sequence numbers seen (dedups retransmissions). */
+        std::unordered_set<int> seen;
         int payload = 0;
     };
     std::unordered_map<MsgId, RxMessage> rxMessages_;
+
+    /** One message awaiting delivery confirmation (retransmission). */
+    struct Pending
+    {
+        DestSet dests{0};
+        int payloadFlits = 0;
+        bool multicast = false;
+        int attempts = 0;
+        Cycle interval = 0;
+        Cycle deadline = 0;
+    };
+    /** Ordered by message id so retry bursts are deterministic. */
+    std::map<MsgId, Pending> pending_;
+    Cycle nextRetx_ = kNoCycle;
+
+    const std::unordered_set<PacketId> *poisoned_ = nullptr;
+    const DestSet *reachable_ = nullptr;
+    bool txFailed_ = false;
+    bool rxFailed_ = false;
 
     NicStats stats_;
 };

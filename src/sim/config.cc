@@ -1,10 +1,33 @@
 #include "sim/config.hh"
 
 #include <cstdlib>
+#include <set>
 
 #include "sim/logging.hh"
 
 namespace mdw {
+
+namespace {
+
+/** Warn about an unread CLI key at most once per process. */
+void
+warnUnreadOnce(const std::string &key)
+{
+    static std::set<std::string> warned;
+    if (!warned.insert(key).second)
+        return;
+    warn("config key '%s' was set on the command line but never read "
+         "(unknown key?)",
+         key.c_str());
+}
+
+} // namespace
+
+Config::~Config()
+{
+    for (const std::string &key : unreadParsedKeys())
+        warnUnreadOnce(key);
+}
 
 void
 Config::set(const std::string &key, const std::string &value)
@@ -20,6 +43,7 @@ Config::parseToken(const std::string &token)
     if (eq == std::string::npos || eq == 0)
         fatal("config token '%s' is not key=value", token.c_str());
     set(token.substr(0, eq), token.substr(eq + 1));
+    parsed_[token.substr(0, eq)] = true;
 }
 
 int
@@ -115,6 +139,17 @@ Config::unreadKeys() const
     std::vector<std::string> out;
     for (const auto &[key, was_read] : read_) {
         if (!was_read)
+            out.push_back(key);
+    }
+    return out;
+}
+
+std::vector<std::string>
+Config::unreadParsedKeys() const
+{
+    std::vector<std::string> out;
+    for (const auto &[key, was_read] : read_) {
+        if (!was_read && parsed_.count(key))
             out.push_back(key);
     }
     return out;

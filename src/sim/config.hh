@@ -21,6 +21,19 @@ namespace mdw {
 class Config
 {
   public:
+    Config() = default;
+
+    /**
+     * Warns (once per key per process, on stderr) about tokens that
+     * were parsed from the command line but never read by anyone — a
+     * typo like `thread=4` would otherwise be silently ignored.
+     * Programmatic set() does not arm the warning.
+     */
+    ~Config();
+
+    Config(const Config &) = default;
+    Config &operator=(const Config &) = default;
+
     /** Set (or overwrite) a key. */
     void set(const std::string &key, const std::string &value);
 
@@ -46,6 +59,9 @@ class Config
     /** Keys that were set but never read (catches typos). */
     std::vector<std::string> unreadKeys() const;
 
+    /** Unread keys that came from parseToken/parseArgs (user typos). */
+    std::vector<std::string> unreadParsedKeys() const;
+
     /** All keys in sorted order. */
     std::vector<std::string> keys() const;
 
@@ -54,6 +70,8 @@ class Config
 
     std::map<std::string, std::string> values_;
     mutable std::map<std::string, bool> read_;
+    /** Keys that arrived via parseToken (vs programmatic set()). */
+    std::map<std::string, bool> parsed_;
 };
 
 } // namespace mdw

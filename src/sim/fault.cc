@@ -1,0 +1,129 @@
+#include "sim/fault.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace mdw {
+
+const char *
+toString(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::LinkDown:
+        return "link-down";
+    case FaultKind::SwitchDown:
+        return "switch-down";
+    case FaultKind::LinkDegrade:
+        return "link-degrade";
+    }
+    return "?";
+}
+
+std::string
+FaultEvent::describe() const
+{
+    char buf[96];
+    if (kind == FaultKind::SwitchDown) {
+        std::snprintf(buf, sizeof(buf), "%s sw%d @%llu", toString(kind),
+                      sw, static_cast<unsigned long long>(when));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%s sw%d.p%d @%llu",
+                      toString(kind), sw, port,
+                      static_cast<unsigned long long>(when));
+    }
+    return buf;
+}
+
+void
+FaultPlan::finalize()
+{
+    std::stable_sort(events.begin(), events.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.when < b.when;
+                     });
+}
+
+namespace {
+
+/** Uniform cycle in [start, end] (inclusive; start if degenerate). */
+Cycle
+drawCycle(Rng &rng, Cycle start, Cycle end)
+{
+    if (end <= start)
+        return start;
+    return start + rng.below(end - start + 1);
+}
+
+} // namespace
+
+FaultPlan
+FaultPlan::random(const FaultSpec &spec,
+                  const std::vector<std::pair<SwitchId, int>>
+                      &candidateLinks,
+                  const std::vector<SwitchId> &candidateSwitches)
+{
+    FaultPlan plan;
+    if (spec.empty())
+        return plan;
+
+    // Distinct derived streams so adding switch faults never perturbs
+    // which links die (and vice versa).
+    Rng linkRng(Rng::streamSeed(spec.seed, 0x11));
+    Rng swRng(Rng::streamSeed(spec.seed, 0x22));
+
+    // Partial Fisher-Yates over an index vector: draw without
+    // replacement, deterministically.
+    std::vector<std::size_t> idx(candidateLinks.size());
+    for (std::size_t i = 0; i < idx.size(); ++i)
+        idx[i] = i;
+    const std::size_t nLinks =
+        std::min<std::size_t>(spec.links > 0 ? spec.links : 0,
+                              idx.size());
+    if (spec.links > 0 &&
+        static_cast<std::size_t>(spec.links) > idx.size()) {
+        warn("fault plan: only %zu candidate links for %d requested "
+             "link faults",
+             idx.size(), spec.links);
+    }
+    for (std::size_t i = 0; i < nLinks; ++i) {
+        const std::size_t j =
+            i + linkRng.below(idx.size() - i);
+        std::swap(idx[i], idx[j]);
+        FaultEvent ev;
+        ev.kind = FaultKind::LinkDown;
+        ev.sw = candidateLinks[idx[i]].first;
+        ev.port = candidateLinks[idx[i]].second;
+        ev.when = drawCycle(linkRng, spec.start, spec.end);
+        plan.add(ev);
+    }
+
+    std::vector<std::size_t> sidx(candidateSwitches.size());
+    for (std::size_t i = 0; i < sidx.size(); ++i)
+        sidx[i] = i;
+    const std::size_t nSw =
+        std::min<std::size_t>(spec.switches > 0 ? spec.switches : 0,
+                              sidx.size());
+    if (spec.switches > 0 &&
+        static_cast<std::size_t>(spec.switches) > sidx.size()) {
+        warn("fault plan: only %zu candidate switches for %d requested "
+             "switch faults",
+             sidx.size(), spec.switches);
+    }
+    for (std::size_t i = 0; i < nSw; ++i) {
+        const std::size_t j = i + swRng.below(sidx.size() - i);
+        std::swap(sidx[i], sidx[j]);
+        FaultEvent ev;
+        ev.kind = FaultKind::SwitchDown;
+        ev.sw = candidateSwitches[sidx[i]];
+        ev.when = drawCycle(swRng, spec.start, spec.end);
+        plan.add(ev);
+    }
+
+    plan.finalize();
+    return plan;
+}
+
+} // namespace mdw

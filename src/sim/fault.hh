@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Deterministic fault injection: descriptions of link and switch
+ * failures to be applied at scheduled cycles.
+ *
+ * A FaultPlan is pure data — it names components and cycles but knows
+ * nothing about recovery. The resilience layer (core/resilience.hh)
+ * interprets the plan against a live network: draining failed ports,
+ * recomputing routing, and arming the host-level retransmission path.
+ *
+ * Random plans are derived from Rng::streamSeed so a faulted sweep
+ * stays bit-identical at any thread count, exactly like the traffic
+ * streams (see core/sweep.hh).
+ */
+
+#ifndef MDW_SIM_FAULT_HH
+#define MDW_SIM_FAULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mdw {
+
+/** What breaks. */
+enum class FaultKind
+{
+    /** Both directions of one switch-switch link stop working. */
+    LinkDown,
+    /** A whole switch (all its ports and attached hosts) dies. */
+    SwitchDown,
+    /** A link stays up but forwards at most one flit every @c factor
+     *  cycles in each direction. */
+    LinkDegrade,
+};
+
+const char *toString(FaultKind kind);
+
+/** One scheduled failure. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::LinkDown;
+    /** Cycle at which the fault takes effect (applied at cycle start,
+     *  before any component steps). */
+    Cycle when = 0;
+    /** The failing switch (SwitchDown), or the lower-id endpoint of
+     *  the failing link. */
+    SwitchId sw = kInvalidSwitch;
+    /** Port on @c sw identifying the link (LinkDown / LinkDegrade). */
+    int port = -1;
+    /** LinkDegrade: forward at most one flit per this many cycles. */
+    int factor = 1;
+
+    std::string describe() const;
+};
+
+/**
+ * Shape parameters for a randomly drawn plan (the config-facing
+ * knobs: fault.links=, fault.switches=, fault.start=, fault.end=,
+ * fault.seed=).
+ */
+struct FaultSpec
+{
+    /** Number of distinct switch-switch links to kill. */
+    int links = 0;
+    /** Number of switches to kill. */
+    int switches = 0;
+    /** Fault cycles are drawn uniformly from [start, end]. */
+    Cycle start = 0;
+    Cycle end = 0;
+    /** Stream seed for the draw (independent of traffic RNG). */
+    std::uint64_t seed = 1;
+
+    bool empty() const { return links <= 0 && switches <= 0; }
+};
+
+/** An ordered (by cycle) list of scheduled failures. */
+struct FaultPlan
+{
+    std::vector<FaultEvent> events;
+
+    bool empty() const { return events.empty(); }
+
+    /** Append one event (kept unsorted until finalize()). */
+    void add(FaultEvent event) { events.push_back(event); }
+
+    /** Sort events by cycle (stable: ties keep insertion order). */
+    void finalize();
+
+    /**
+     * Draw a random plan: @p spec.links distinct entries from
+     * @p candidateLinks and @p spec.switches distinct entries from
+     * @p candidateSwitches, each at a uniform cycle in
+     * [spec.start, spec.end]. Candidate links are (switch, port)
+     * pairs; pass each physical link once (e.g. from its lower-id
+     * endpoint). Deterministic in @p spec alone.
+     */
+    static FaultPlan random(const FaultSpec &spec,
+                            const std::vector<std::pair<SwitchId, int>>
+                                &candidateLinks,
+                            const std::vector<SwitchId>
+                                &candidateSwitches);
+};
+
+} // namespace mdw
+
+#endif // MDW_SIM_FAULT_HH

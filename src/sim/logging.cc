@@ -10,6 +10,8 @@ namespace {
 
 LogLevel gLevel = LogLevel::Warn;
 
+std::function<void()> gFatalHook;
+
 void
 vreport(const char *tag, const char *fmt, va_list args)
 {
@@ -34,12 +36,23 @@ logLevel()
 }
 
 void
+setFatalHook(std::function<void()> hook)
+{
+    gFatalHook = std::move(hook);
+}
+
+void
 fatal(const char *fmt, ...)
 {
     va_list args;
     va_start(args, fmt);
     vreport("fatal", fmt, args);
     va_end(args);
+    if (gFatalHook) {
+        const std::function<void()> hook = std::move(gFatalHook);
+        gFatalHook = nullptr;
+        hook();
+    }
     std::exit(1);
 }
 

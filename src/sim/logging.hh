@@ -16,6 +16,7 @@
 #define MDW_SIM_LOGGING_HH
 
 #include <cstdarg>
+#include <functional>
 #include <string>
 
 namespace mdw {
@@ -35,6 +36,14 @@ LogLevel logLevel();
  */
 [[noreturn]] void fatal(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/**
+ * Install a hook run by fatal() after the message but before exit(1),
+ * so long-running drivers can flush a partial audit trail instead of
+ * losing it. The hook is cleared before it runs (a fatal() inside the
+ * hook exits directly); pass nullptr to disarm.
+ */
+void setFatalHook(std::function<void()> hook);
 
 /**
  * Report a violated internal invariant and abort().

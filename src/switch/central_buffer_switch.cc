@@ -71,6 +71,11 @@ CentralBufferSwitch::step(Cycle now)
 {
     collectCredits(now);
     intake(now);
+    if (poisoned_) {
+        // Fault paths, inert (never entered) without fault injection.
+        fabricateFailedArrivals(now);
+        drainTombstones(now);
+    }
     decide(now);
     processBarrierEmissions(now);
     bypassTransmit(now);
@@ -116,11 +121,51 @@ CentralBufferSwitch::dumpState(FILE *out) const
     }
 }
 
+bool
+CentralBufferSwitch::quiescent(std::string *why) const
+{
+    bool ok = SwitchBase::quiescent(why);
+    auto complain = [&](const std::string &what) {
+        if (why)
+            *why += name() + ": " + what + "; ";
+        ok = false;
+    };
+    if (cq_.entryCount() != 0)
+        complain("central queue holds " +
+                 std::to_string(cq_.entryCount()) + " entries");
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+        const InputState &in = inputs_[i];
+        if (!in.packets.empty())
+            complain("input " + std::to_string(i) + " buffers " +
+                     std::to_string(in.packets.size()) + " packets");
+        else if (in.freeSlots != cbParams_.inputFifoFlits)
+            complain("input " + std::to_string(i) + " leaked " +
+                     std::to_string(cbParams_.inputFifoFlits -
+                                    in.freeSlots) +
+                     " FIFO slots");
+    }
+    for (std::size_t o = 0; o < outputs_.size(); ++o) {
+        const OutputState &out = outputs_[o];
+        if (!out.idle() || !out.queue.empty() || out.fifoFlits != 0)
+            complain("output " + std::to_string(o) +
+                     " still streaming");
+    }
+    return ok;
+}
+
 void
 CentralBufferSwitch::intake(Cycle now)
 {
     for (std::size_t i = 0; i < inputs_.size(); ++i) {
         InputState &input = inputs_[i];
+        if (ins_[i].failed) {
+            // Dead link: whatever was still in flight is lost.
+            if (ins_[i].connected() && ins_[i].in->peek(now)) {
+                (void)ins_[i].in->receive(now);
+                noteTombstone();
+            }
+            continue;
+        }
         if (!ins_[i].connected() || !ins_[i].in->peek(now))
             continue;
         MDW_ASSERT(input.freeSlots > 0,
@@ -140,6 +185,59 @@ CentralBufferSwitch::intake(Cycle now)
         }
         if (sim_)
             sim_->noteProgress();
+    }
+}
+
+void
+CentralBufferSwitch::fabricateFailedArrivals(Cycle now)
+{
+    (void)now;
+    // A packet caught mid-reception on a now-dead link would leave
+    // its buffer slot (and, transitively, a central-queue entry and
+    // replication readers) occupied forever. Fabricate the missing
+    // flits at wire speed — the packet then flows through the normal
+    // pipeline and the poisoned id makes every NIC discard it on
+    // arrival (end-to-end CRC model); retransmission re-covers the
+    // destinations.
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+        InputState &input = inputs_[i];
+        if (!ins_[i].failed || input.packets.empty())
+            continue;
+        PacketRecord &rec = input.packets.back();
+        if (rec.arrived >= rec.pkt->totalFlits())
+            continue;
+        if (input.freeSlots <= 0)
+            continue; // normal backpressure; retry next cycle
+        poisonPacket(*rec.pkt);
+        --input.freeSlots;
+        ++rec.arrived;
+        stats_.flitsIn.inc();
+        if (sim_)
+            sim_->noteProgress();
+    }
+}
+
+void
+CentralBufferSwitch::drainTombstones(Cycle now)
+{
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+        InputState &input = inputs_[i];
+        if (input.mode != InMode::Tombstone)
+            continue;
+        const PacketRecord &rec = input.packets.front();
+        const int staged = rec.arrived - input.consumed;
+        const int n = std::min(staged, cbParams_.chunkFlits);
+        if (n <= 0)
+            continue;
+        input.consumed += n;
+        input.freeSlots += n;
+        if (ins_[i].creditOut)
+            ins_[i].creditOut->send(n, now);
+        stats_.tombstonedFlits.inc(static_cast<std::uint64_t>(n));
+        if (sim_)
+            sim_->noteProgress();
+        if (input.consumed == rec.pkt->totalFlits())
+            finishHeadPacket(input);
     }
 }
 
@@ -170,6 +268,16 @@ CentralBufferSwitch::decide(Cycle now)
 
         const RouteDecision route =
             routing_->decode(rec.pkt->dests, params_.variant);
+        noteUnroutable(route);
+        if (route.downBranches.empty() && !route.needsUp()) {
+            // Every destination lost its path (post-fault tolerant
+            // table): swallow the worm here and let the source's
+            // retransmission logic classify the destinations.
+            poisonPacket(*rec.pkt);
+            input.mode = InMode::Tombstone;
+            input.consumed = 0;
+            continue;
+        }
         if (rec.pkt->kind == PacketKind::HwMulticast) {
             decideMulticast(i, route);
         } else {
@@ -369,7 +477,26 @@ CentralBufferSwitch::bypassTransmit(Cycle now)
 
         if (input.consumed >= rec.arrived)
             continue;
-        if (port.credits < 1 || port.out->busy(now))
+        if (port.failed) {
+            // Tombstone sink: swallow the flit, free the input slot.
+            ++output.sentSeq;
+            ++input.consumed;
+            ++input.freeSlots;
+            if (ins_[output.bypassInput].creditOut)
+                ins_[output.bypassInput].creditOut->send(1, now);
+            noteTombstone();
+            if (sim_)
+                sim_->noteProgress();
+            if (output.sentSeq == input.bypassPkt->totalFlits()) {
+                output.mode = OutputState::Mode::Idle;
+                output.bypassInput = -1;
+                output.sentSeq = 0;
+                finishHeadPacket(input);
+            }
+            continue;
+        }
+        if (port.credits < 1 || port.out->busy(now) ||
+            portThrottled(port, now))
             continue;
         if (output.sentSeq == 0 &&
             !canStartPacket(port, *input.bypassPkt))
@@ -519,7 +646,26 @@ CentralBufferSwitch::streamTransmit(Cycle now)
         if (output.fifoFlits <= 0)
             continue;
         OutPort &port = outs_[o];
-        if (port.credits < 1 || port.out->busy(now))
+        if (port.failed) {
+            // Tombstone sink: consume at wire speed so the central
+            // queue's reader advances and chunks recycle.
+            const PacketPtr &dead = output.current.branchPkt;
+            ++output.sentSeq;
+            --output.fifoFlits;
+            noteTombstone();
+            if (sim_)
+                sim_->noteProgress();
+            if (output.sentSeq == dead->totalFlits()) {
+                output.mode = OutputState::Mode::Idle;
+                output.fifoFlits = 0;
+                output.readSeq = 0;
+                output.sentSeq = 0;
+                output.current = QueueItem{};
+            }
+            continue;
+        }
+        if (port.credits < 1 || port.out->busy(now) ||
+            portThrottled(port, now))
             continue;
         const PacketPtr &pkt = output.current.branchPkt;
         if (output.sentSeq == 0 && !canStartPacket(port, *pkt)) {

@@ -88,6 +88,8 @@ class CentralBufferSwitch : public SwitchBase
     /** Print the full internal state (deadlock diagnosis). */
     void dumpState(FILE *out) const;
 
+    bool quiescent(std::string *why) const override;
+
     // --- Hardware barrier support (companion IPPS'97 scheme) -------
 
     /** Builds an id-stamped packet from a descriptor (manager hook). */
@@ -110,7 +112,7 @@ class CentralBufferSwitch : public SwitchBase
 
   private:
     /** How the head packet of an input is being served. */
-    enum class InMode { Deciding, Bypass, CentralQueue };
+    enum class InMode { Deciding, Bypass, CentralQueue, Tombstone };
 
     struct PacketRecord
     {
@@ -157,6 +159,10 @@ class CentralBufferSwitch : public SwitchBase
     };
 
     void intake(Cycle now);
+    /** Complete packets cut off by a failed input link (fault). */
+    void fabricateFailedArrivals(Cycle now);
+    /** Drain inputs whose head packet has nowhere to go (fault). */
+    void drainTombstones(Cycle now);
     void decide(Cycle now);
     /** Consume an arrival token at input @p i and maybe emit. */
     void consumeBarrierToken(std::size_t i, Cycle now);

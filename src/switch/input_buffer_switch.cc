@@ -84,6 +84,8 @@ InputBufferSwitch::step(Cycle now)
 {
     collectCredits(now);
     intake(now);
+    if (poisoned_)
+        fabricateFailedArrivals();
     decodeHeads();
     if (params_.replication == ReplicationMode::Synchronous) {
         arbitrateSync();
@@ -102,6 +104,13 @@ InputBufferSwitch::intake(Cycle now)
         InputState &input = inputs_[i];
         if (!ins_[i].connected() || !ins_[i].in->peek(now))
             continue;
+        if (ins_[i].failed) {
+            // Dead link: discard whatever still trickles in (the
+            // fabrication path completes any cut-off packet instead).
+            ins_[i].in->receive(now);
+            noteTombstone();
+            continue;
+        }
         MDW_ASSERT(input.freeSlots > 0,
                    "switch %d input %zu: flit arrived with full buffer "
                    "(credit protocol violated)",
@@ -130,6 +139,30 @@ InputBufferSwitch::intake(Cycle now)
 }
 
 void
+InputBufferSwitch::fabricateFailedArrivals()
+{
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+        if (!ins_[i].failed)
+            continue;
+        InputState &input = inputs_[i];
+        if (input.packets.empty())
+            continue;
+        PacketRecord &rec = input.packets.back();
+        if (rec.arrived >= rec.pkt->totalFlits() || input.freeSlots <= 0)
+            continue;
+        // The link died mid-packet: materialize the missing flits
+        // locally (one per cycle, as the wire would have) and poison
+        // the id so NICs discard the mangled delivery end-to-end.
+        poisonPacket(*rec.pkt);
+        --input.freeSlots;
+        ++rec.arrived;
+        stats_.flitsIn.inc();
+        if (sim_)
+            sim_->noteProgress();
+    }
+}
+
+void
 InputBufferSwitch::decodeHeads()
 {
     for (auto &input : inputs_) {
@@ -141,6 +174,19 @@ InputBufferSwitch::decodeHeads()
 
         const RouteDecision route =
             routing_->decode(rec.pkt->dests, params_.variant);
+        noteUnroutable(route);
+        if (route.downBranches.empty() && !route.needsUp()) {
+            // Every destination lost its route to the faults: poison
+            // the packet and drain it branchless (release() consumes
+            // it at arrival speed).
+            poisonPacket(*rec.pkt);
+            input.branches.clear();
+            input.upPending = false;
+            input.decoded = true;
+            input.released = 0;
+            stats_.packetsRouted.inc();
+            continue;
+        }
         input.branches.clear();
         input.branches.reserve(route.downBranches.size() + 1);
         for (const auto &[port, sub] : route.downBranches)
@@ -241,7 +287,21 @@ InputBufferSwitch::transmit(Cycle now)
 
         if (branch.sent >= rec.arrived)
             continue; // flit not yet in the buffer
-        if (port.credits < 1 || port.out->busy(now))
+        if (port.failed) {
+            // Tombstone sink: swallow the flit at wire speed so the
+            // buffer slot recycles and sibling branches keep going.
+            ++branch.sent;
+            noteTombstone();
+            if (sim_)
+                sim_->noteProgress();
+            if (branch.done()) {
+                output.boundInput = -1;
+                output.boundBranch = -1;
+            }
+            continue;
+        }
+        if (port.credits < 1 || port.out->busy(now) ||
+            portThrottled(port, now))
             continue;
         if (branch.sent == 0 && !canStartPacket(port, *branch.pkt)) {
             stats_.reservationStallCycles.inc();
@@ -358,7 +418,10 @@ InputBufferSwitch::transmitSync(Cycle now)
                        branch.sent, sent);
             OutPort &port =
                 outs_[static_cast<std::size_t>(branch.port)];
+            if (port.failed)
+                continue; // tombstone sink always accepts
             if (port.credits < 1 || port.out->busy(now) ||
+                portThrottled(port, now) ||
                 (sent == 0 && !canStartPacket(port, *branch.pkt))) {
                 all_can = false;
                 break;
@@ -374,6 +437,12 @@ InputBufferSwitch::transmitSync(Cycle now)
         for (Branch &branch : input.branches) {
             OutPort &port =
                 outs_[static_cast<std::size_t>(branch.port)];
+            if (port.failed) {
+                ++branch.sent;
+                noteTombstone();
+                done = branch.done();
+                continue;
+            }
             port.out->send(Flit{branch.pkt, branch.sent}, now);
             ++branch.sent;
             --port.credits;
@@ -406,6 +475,8 @@ InputBufferSwitch::release(Cycle now)
         int min_sent = total;
         if (input.upPending)
             min_sent = 0;
+        else if (input.branches.empty())
+            min_sent = rec.arrived; // tombstoned head: drain on arrival
         for (const Branch &branch : input.branches)
             min_sent = std::min(min_sent, branch.sent);
 
@@ -427,6 +498,34 @@ InputBufferSwitch::release(Cycle now)
             input.released = 0;
         }
     }
+}
+
+bool
+InputBufferSwitch::quiescent(std::string *why) const
+{
+    if (!SwitchBase::quiescent(why))
+        return false;
+    const auto complain = [&](const std::string &what) {
+        if (why)
+            *why += name() + ": " + what + "; ";
+        return false;
+    };
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+        const InputState &input = inputs_[i];
+        if (!input.packets.empty())
+            return complain("input " + std::to_string(i) + " holds " +
+                            std::to_string(input.packets.size()) +
+                            " packet(s)");
+        if (input.freeSlots != ibParams_.bufferFlits)
+            return complain("input " + std::to_string(i) +
+                            " buffer not fully drained");
+    }
+    for (std::size_t o = 0; o < outputs_.size(); ++o) {
+        if (outputs_[o].busy())
+            return complain("output " + std::to_string(o) +
+                            " still bound to a branch");
+    }
+    return true;
 }
 
 } // namespace mdw

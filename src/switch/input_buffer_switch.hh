@@ -71,6 +71,8 @@ class InputBufferSwitch : public SwitchBase
     /** Print the full internal state (deadlock diagnosis). */
     void dumpState(FILE *out) const;
 
+    bool quiescent(std::string *why) const override;
+
   private:
     /** One replication branch of the head packet of an input. */
     struct Branch
@@ -113,6 +115,8 @@ class InputBufferSwitch : public SwitchBase
     };
 
     void intake(Cycle now);
+    /** Complete packets cut off by a failed input link (fault). */
+    void fabricateFailedArrivals();
     void decodeHeads();
     void arbitrate();
     void transmit(Cycle now);

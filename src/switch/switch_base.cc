@@ -51,7 +51,68 @@ SwitchBase::connectOut(PortId port, Channel<Flit> *out,
     p.out = out;
     p.creditIn = creditIn;
     p.credits = policy.window;
+    p.initialCredits = policy.window;
     p.mcastWholePacket = policy.mcastWholePacket;
+}
+
+void
+SwitchBase::setRouting(const SwitchRouting *routing)
+{
+    MDW_ASSERT(routing != nullptr, "switch %d rerouted to null", id_);
+    MDW_ASSERT(routing->radix() == routing_->radix(),
+               "switch %d rerouted to a different radix", id_);
+    routing_ = routing;
+}
+
+void
+SwitchBase::failInPort(PortId port)
+{
+    ins_.at(static_cast<std::size_t>(port)).failed = true;
+}
+
+void
+SwitchBase::failOutPort(PortId port)
+{
+    outs_.at(static_cast<std::size_t>(port)).failed = true;
+}
+
+void
+SwitchBase::degradeOutPort(PortId port, int factor)
+{
+    MDW_ASSERT(factor >= 1, "degrade factor %d < 1", factor);
+    outs_.at(static_cast<std::size_t>(port)).degrade = factor;
+}
+
+void
+SwitchBase::noteUnroutable(const RouteDecision &route)
+{
+    if (route.unroutable.empty())
+        return;
+    MDW_ASSERT(poisoned_ != nullptr,
+               "switch %d: unroutable destinations on an intact "
+               "network",
+               id_);
+    stats_.unroutableDests.inc(route.unroutable.count());
+}
+
+bool
+SwitchBase::quiescent(std::string *why) const
+{
+    for (std::size_t p = 0; p < outs_.size(); ++p) {
+        const OutPort &out = outs_[p];
+        if (!out.connected() || out.failed)
+            continue;
+        if (out.credits != out.initialCredits) {
+            if (why) {
+                *why += "switch " + std::to_string(id_) + " output " +
+                        std::to_string(p) + " holds " +
+                        std::to_string(out.initialCredits - out.credits) +
+                        " outstanding credits; ";
+            }
+            return false;
+        }
+    }
+    return true;
 }
 
 std::uint64_t
@@ -77,8 +138,14 @@ void
 SwitchBase::collectCredits(Cycle now)
 {
     for (auto &p : outs_) {
-        if (p.creditIn)
-            p.credits += p.creditIn->receive(now);
+        if (!p.creditIn)
+            continue;
+        const int arrived = p.creditIn->receive(now);
+        // A failed output's credits are meaningless (the tombstone
+        // sink never spends them); discard so the channel drains and
+        // the quiescence check sees every credit channel empty.
+        if (!p.failed)
+            p.credits += arrived;
     }
 }
 
@@ -86,6 +153,8 @@ bool
 SwitchBase::canStartPacket(const OutPort &port,
                            const PacketDesc &pkt) const
 {
+    if (port.failed)
+        return true; // Tombstone sink: accepts anything, instantly.
     if (port.mcastWholePacket && pkt.kind == PacketKind::HwMulticast)
         return port.credits >= pkt.totalFlits();
     return port.credits >= 1;

@@ -9,6 +9,8 @@
 #define MDW_SWITCH_SWITCH_BASE_HH
 
 #include <functional>
+#include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "message/flit.hh"
@@ -83,6 +85,10 @@ struct SwitchStats
     Counter replications;
     /** Cycles a multidestination head waited for buffer reservation. */
     Counter reservationStallCycles;
+    /** Flits swallowed by failed ports (fault injection). */
+    Counter tombstonedFlits;
+    /** Destinations dropped because no route survived the faults. */
+    Counter unroutableDests;
 };
 
 /**
@@ -126,11 +132,66 @@ class SwitchBase : public Component
     /** True if output @p port has a link attached. */
     bool outConnected(PortId port) const;
 
+    /**
+     * Swap in a replacement routing table (not owned; must outlive
+     * the switch). Used by fault-aware rerouting: packets decoded
+     * after the swap follow the new table, packets already branched
+     * keep their decisions (failed ports swallow those flits).
+     */
+    void setRouting(const SwitchRouting *routing);
+
+    /**
+     * Fail input @p port: flits still arriving on the dead link are
+     * discarded, and the architecture phantom-completes any packet
+     * caught mid-reception (fabricating its missing flits internally
+     * and poisoning its id) so no buffer is left half-filled forever.
+     */
+    void failInPort(PortId port);
+
+    /**
+     * Fail output @p port: it becomes a tombstone sink that consumes
+     * flits at wire speed without sending, so upstream replication
+     * state and shared buffers drain instead of wedging.
+     */
+    void failOutPort(PortId port);
+
+    bool inFailed(PortId port) const
+    {
+        return ins_.at(static_cast<std::size_t>(port)).failed;
+    }
+    bool outFailed(PortId port) const
+    {
+        return outs_.at(static_cast<std::size_t>(port)).failed;
+    }
+
+    /** Throttle output @p port to one flit per @p factor cycles. */
+    void degradeOutPort(PortId port, int factor);
+
+    /**
+     * Attach the shared poison registry (owned by the resilience
+     * layer). Packets truncated by a fault register their id here;
+     * NICs drop poisoned deliveries end-to-end (modeling CRC
+     * discard) and retransmission re-covers the destinations.
+     */
+    void setPoisonRegistry(std::unordered_set<PacketId> *poisoned)
+    {
+        poisoned_ = poisoned;
+    }
+
+    /**
+     * End-of-run invariant: no buffered flits, no active streams, and
+     * every non-failed output's credits returned to their initial
+     * value. On failure returns false and appends a reason to @p why
+     * (if given). Architectures extend this with their buffer checks.
+     */
+    virtual bool quiescent(std::string *why) const;
+
   protected:
     struct InPort
     {
         Channel<Flit> *in = nullptr;
         CreditChannel *creditOut = nullptr;
+        bool failed = false;
         bool connected() const { return in != nullptr; }
     };
 
@@ -139,7 +200,12 @@ class SwitchBase : public Component
         Channel<Flit> *out = nullptr;
         CreditChannel *creditIn = nullptr;
         int credits = 0;
+        int initialCredits = 0;
         bool mcastWholePacket = false;
+        bool failed = false;
+        /** Forward at most one flit per this many cycles (>1 only on
+         *  degraded links). */
+        int degrade = 1;
         bool connected() const { return out != nullptr; }
     };
 
@@ -168,6 +234,32 @@ class SwitchBase : public Component
     /** Count one flit leaving through @p port. */
     void notePortSend(std::size_t port);
 
+    /**
+     * True if @p port must skip sending this cycle: failed ports are
+     * handled by the tombstone paths, degraded ports pace themselves.
+     */
+    bool portThrottled(const OutPort &port, Cycle now) const
+    {
+        return port.degrade > 1 && now % static_cast<Cycle>(port.degrade);
+    }
+
+    /** Swallow one flit at a failed port and count it. */
+    void noteTombstone() { stats_.tombstonedFlits.inc(); }
+
+    /** Register a truncated packet with the poison registry. */
+    void poisonPacket(const PacketDesc &pkt)
+    {
+        if (poisoned_)
+            poisoned_->insert(pkt.id);
+    }
+
+    /**
+     * Drop any destinations the (tolerant, post-fault) routing table
+     * reported unroutable; panics if unroutable destinations appear
+     * without fault tolerance (an intact network must route all).
+     */
+    void noteUnroutable(const RouteDecision &route);
+
     SwitchId id_;
     const SwitchRouting *routing_;
     SwitchParams params_;
@@ -176,6 +268,8 @@ class SwitchBase : public Component
     std::vector<Counter> portTx_;
     Rng rng_;
     SwitchStats stats_;
+    /** Shared poison registry; null while fault injection is off. */
+    std::unordered_set<PacketId> *poisoned_ = nullptr;
 };
 
 } // namespace mdw

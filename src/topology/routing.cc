@@ -45,7 +45,7 @@ toString(UpPortPolicy policy)
 
 SwitchRouting::SwitchRouting(int radix, std::size_t num_hosts)
     : ports_(static_cast<std::size_t>(radix)), allDown_(num_hosts),
-      numHosts_(num_hosts)
+      allUp_(num_hosts), numHosts_(num_hosts)
 {
     for (auto &p : ports_)
         p.reach = DestSet(num_hosts);
@@ -81,16 +81,34 @@ SwitchRouting::downReach(PortId port) const
 }
 
 void
+SwitchRouting::setUpReach(PortId port, DestSet reach)
+{
+    MDW_ASSERT(!frozen_, "routing modified after freeze");
+    auto &state = ports_.at(static_cast<std::size_t>(port));
+    MDW_ASSERT(state.dir == PortDir::Up,
+               "up-reach set on non-up port %d", port);
+    state.reach = std::move(reach);
+}
+
+const DestSet &
+SwitchRouting::upReach(PortId port) const
+{
+    return ports_.at(static_cast<std::size_t>(port)).reach;
+}
+
+void
 SwitchRouting::freeze()
 {
     MDW_ASSERT(!frozen_, "double freeze");
     upPorts_.clear();
     downPorts_.clear();
     allDown_ = DestSet(numHosts_);
+    allUp_ = DestSet(numHosts_);
     for (std::size_t p = 0; p < ports_.size(); ++p) {
         switch (ports_[p].dir) {
           case PortDir::Up:
             upPorts_.push_back(static_cast<PortId>(p));
+            allUp_ |= ports_[p].reach;
             break;
           case PortDir::Down:
             downPorts_.push_back(static_cast<PortId>(p));
@@ -111,6 +129,7 @@ SwitchRouting::decode(const DestSet &dests, RoutingVariant variant) const
 
     RouteDecision out;
     out.upDests = DestSet(dests.size());
+    out.unroutable = DestSet(dests.size());
 
     DestSet remaining = dests;
     for (PortId p : downPorts_) {
@@ -124,25 +143,67 @@ SwitchRouting::decode(const DestSet &dests, RoutingVariant variant) const
     }
 
     if (!remaining.empty()) {
+        if (tolerant_) {
+            // Rebuilt-around-faults table: destinations no up port
+            // can serve are reported unroutable here instead of
+            // riding the worm to a dead end; whatever down branches
+            // exist keep serving the reachable destinations.
+            out.unroutable = remaining - allUp_;
+            remaining -= out.unroutable;
+            if (remaining.empty())
+                return out;
+        }
         MDW_ASSERT(!upPorts_.empty(),
                    "destinations unreachable and no up port");
         if (variant == RoutingVariant::ReplicateAfterLca) {
             // Below the LCA the worm does not branch: the whole set
             // rides up and all replication happens on the way down.
             out.downBranches.clear();
-            out.upDests = dests;
+            out.upDests = tolerant_ ? dests - out.unroutable : dests;
         } else {
             out.upDests = std::move(remaining);
         }
         out.upCandidates = upPorts_;
+        if (tolerant_)
+            filterUpCandidates(out);
     }
 
     return out;
 }
 
+void
+SwitchRouting::filterUpCandidates(RouteDecision &out) const
+{
+    // Fault-aware ascent: prefer up ports whose surviving reach
+    // covers the whole up-set, so the worm heads for a root that can
+    // still replicate to everyone. When faults fragment the network
+    // so that no single port covers the set, fall back to maximal
+    // coverage — the stragglers surface as unroutable higher up and
+    // the source's retransmission re-covers them.
+    std::vector<PortId> full, best;
+    std::size_t best_count = 0;
+    for (PortId p : upPorts_) {
+        if (out.upDests.subsetOf(upReach(p))) {
+            full.push_back(p);
+            continue;
+        }
+        const std::size_t n = (out.upDests & upReach(p)).count();
+        if (n > best_count) {
+            best_count = n;
+            best.clear();
+        }
+        if (n == best_count && n > 0)
+            best.push_back(p);
+    }
+    if (!full.empty())
+        out.upCandidates = std::move(full);
+    else if (!best.empty())
+        out.upCandidates = std::move(best);
+}
+
 NetworkRouting::NetworkRouting(
     const PortGraph &graph,
-    const std::vector<std::vector<PortDir>> &dirs)
+    const std::vector<std::vector<PortDir>> &dirs, bool tolerant)
 {
     const std::size_t num_switches = graph.numSwitches();
     const std::size_t num_hosts = graph.numHosts();
@@ -156,6 +217,7 @@ NetworkRouting::NetworkRouting(
                        static_cast<std::size_t>(graph.radix(sw)),
                    "direction table radix mismatch at switch %zu", s);
         switches_.emplace_back(graph.radix(sw), num_hosts);
+        switches_[s].setTolerant(tolerant);
         for (std::size_t p = 0; p < dirs[s].size(); ++p)
             switches_[s].setDir(static_cast<PortId>(p), dirs[s][p]);
     }
@@ -220,11 +282,72 @@ NetworkRouting::NetworkRouting(
     for (std::size_t s = 0; s < num_switches; ++s)
         compute(static_cast<SwitchId>(s));
 
+    // Tolerant tables additionally carry up-reach masks: the hosts a
+    // worm can still reach after ascending a given up port, i.e. the
+    // union of down-reach over the up-closure of the port's peer.
+    // Memoized over the (acyclic) up-link orientation, mirroring the
+    // down-reach traversal above.
+    std::vector<DestSet> up_reach;
+    if (tolerant) {
+        up_reach = down_reach;
+        std::vector<int> ucolor(num_switches, 0);
+        auto computeUp = [&](SwitchId root) {
+            if (ucolor[root] == 2)
+                return;
+            std::vector<Frame> stack;
+            stack.push_back(Frame{root, 0});
+            ucolor[root] = 1;
+            while (!stack.empty()) {
+                Frame &frame = stack.back();
+                const SwitchId sw = frame.sw;
+                const int radix = graph.radix(sw);
+                bool ascended = false;
+                while (frame.next_port < radix) {
+                    const PortId p = frame.next_port++;
+                    if (dirs[sw][p] != PortDir::Up)
+                        continue;
+                    const PortPeer &peer = graph.peer(sw, p);
+                    MDW_ASSERT(peer.isSwitch(),
+                               "up port %d of switch %d leads to a host",
+                               p, sw);
+                    if (ucolor[peer.sw] == 1) {
+                        panic("up-link cycle through switches %d "
+                              "and %d: up*-down* orientation invalid",
+                              sw, peer.sw);
+                    }
+                    if (ucolor[peer.sw] == 0) {
+                        ucolor[peer.sw] = 1;
+                        stack.push_back(Frame{peer.sw, 0});
+                        ascended = true;
+                        break;
+                    }
+                    up_reach[sw] |= up_reach[peer.sw];
+                }
+                if (ascended)
+                    continue;
+                if (frame.next_port >= radix) {
+                    ucolor[sw] = 2;
+                    stack.pop_back();
+                    if (!stack.empty())
+                        up_reach[stack.back().sw] |= up_reach[sw];
+                }
+            }
+        };
+        for (std::size_t s = 0; s < num_switches; ++s)
+            computeUp(static_cast<SwitchId>(s));
+    }
+
     // Fill per-port reachability masks.
     for (std::size_t s = 0; s < num_switches; ++s) {
         const SwitchId sw = static_cast<SwitchId>(s);
         for (PortId p = 0; p < graph.radix(sw); ++p) {
-            if (dirs[s][static_cast<std::size_t>(p)] != PortDir::Down)
+            const PortDir dir = dirs[s][static_cast<std::size_t>(p)];
+            if (dir == PortDir::Up && tolerant) {
+                switches_[s].setUpReach(
+                    p, up_reach[graph.peer(sw, p).sw]);
+                continue;
+            }
+            if (dir != PortDir::Down)
                 continue;
             const PortPeer &peer = graph.peer(sw, p);
             if (peer.isHost()) {

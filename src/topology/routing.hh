@@ -61,6 +61,13 @@ struct RouteDecision
     std::vector<PortId> upCandidates;
     /** Destination subset that continues upward (may be empty). */
     DestSet upDests;
+    /**
+     * Destinations with no legal path from this switch. Always empty
+     * on an intact network (decode panics instead); only a tolerant
+     * routing table — rebuilt around faults — reports them, and the
+     * switch drops the corresponding branch so the worm keeps moving.
+     */
+    DestSet unroutable;
 
     bool needsUp() const { return !upDests.empty(); }
     std::size_t branchCount() const
@@ -83,6 +90,15 @@ class SwitchRouting
     void setDownReach(PortId port, DestSet reach);
     const DestSet &downReach(PortId port) const;
 
+    /**
+     * Up-reachability mask of a port (up ports only): the hosts still
+     * reachable by going up this port and then routing freely. Only
+     * tolerant tables carry these — on an intact network every up
+     * port reaches everything, so the masks would be dead weight.
+     */
+    void setUpReach(PortId port, DestSet reach);
+    const DestSet &upReach(PortId port) const;
+
     /** Union of all down ports' reachability. */
     const DestSet &allDownReach() const { return allDown_; }
 
@@ -99,6 +115,14 @@ class SwitchRouting
     RouteDecision decode(const DestSet &dests,
                          RoutingVariant variant) const;
 
+    /**
+     * Tolerant tables report uncoverable destinations in
+     * RouteDecision::unroutable instead of panicking (used for tables
+     * rebuilt around failed components).
+     */
+    void setTolerant(bool tolerant) { tolerant_ = tolerant; }
+    bool tolerant() const { return tolerant_; }
+
     /** Finalize internal caches once all ports are configured. */
     void freeze();
 
@@ -109,12 +133,18 @@ class SwitchRouting
         DestSet reach;
     };
 
+    /** Keep only up candidates that serve the decision's up-set. */
+    void filterUpCandidates(RouteDecision &out) const;
+
     std::vector<PortState> ports_;
     std::vector<PortId> upPorts_;
     std::vector<PortId> downPorts_;
     DestSet allDown_;
+    /** Union of all up ports' reachability (tolerant tables only). */
+    DestSet allUp_;
     std::size_t numHosts_;
     bool frozen_ = false;
+    bool tolerant_ = false;
 };
 
 /**
@@ -130,9 +160,13 @@ class NetworkRouting
     /**
      * @param graph Validated network structure.
      * @param dirs dirs[s][p] is the direction of switch s port p.
+     * @param tolerant Build tolerant per-switch tables (see
+     *        SwitchRouting::setTolerant); used when rerouting around
+     *        faults, where some hosts may genuinely be unreachable.
      */
     NetworkRouting(const PortGraph &graph,
-                   const std::vector<std::vector<PortDir>> &dirs);
+                   const std::vector<std::vector<PortDir>> &dirs,
+                   bool tolerant = false);
 
     const SwitchRouting &at(SwitchId sw) const;
     std::size_t numSwitches() const { return switches_.size(); }

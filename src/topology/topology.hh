@@ -31,6 +31,13 @@ class Topology
     const PortGraph &graph() const { return graph_; }
     const NetworkRouting &routing() const { return *routing_; }
 
+    /** Per-port direction table (dirs()[sw][port]); the resilience
+     *  layer prunes a copy of this to reroute around dead links. */
+    const std::vector<std::vector<PortDir>> &dirs() const
+    {
+        return dirs_;
+    }
+
     std::size_t numHosts() const { return graph_.numHosts(); }
     std::size_t numSwitches() const { return graph_.numSwitches(); }
 

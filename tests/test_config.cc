@@ -92,6 +92,38 @@ TEST(Config, KeysSorted)
     EXPECT_EQ(keys[1], "b");
 }
 
+TEST(Config, WarnsOnStderrForUnreadParsedKeysOncePerProcess)
+{
+    testing::internal::CaptureStderr();
+    {
+        Config c;
+        c.parseToken("definitely.a.typo=1");
+        c.set("programmatic", "2"); // set() never arms the warning
+    }
+    {
+        Config c; // same typo again: already warned, stays silent
+        c.parseToken("definitely.a.typo=1");
+    }
+    const std::string err = testing::internal::GetCapturedStderr();
+    ASSERT_NE(err.find("definitely.a.typo"), std::string::npos) << err;
+    EXPECT_NE(err.find("never read"), std::string::npos) << err;
+    EXPECT_EQ(err.find("programmatic"), std::string::npos) << err;
+    EXPECT_EQ(err.find("definitely.a.typo"),
+              err.rfind("definitely.a.typo"))
+        << "warned more than once: " << err;
+}
+
+TEST(Config, ReadKeysDoNotWarn)
+{
+    testing::internal::CaptureStderr();
+    {
+        Config c;
+        c.parseToken("quick=1");
+        EXPECT_TRUE(c.getBool("quick", false));
+    }
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
 TEST(ConfigDeath, MalformedTokenIsFatal)
 {
     Config c;

@@ -72,6 +72,13 @@ TEST_P(E2eMatrix, RandomTrafficDrainsWithoutDeadlock)
     EXPECT_EQ(net.tracker().inFlight(), 0u);
     // Every generated message completed (tracker erases completed).
     EXPECT_EQ(net.tracker().totalCompleted(), source.generated());
+
+    // Nothing stranded anywhere: buffers empty, all credits home
+    // (idle() is message-level; this audits flits and credits too).
+    std::string why;
+    net.sim().runUntil([&net] { return net.checkQuiescent(nullptr); },
+                       4096);
+    EXPECT_TRUE(net.checkQuiescent(&why)) << why;
 }
 
 std::vector<E2eCase>
@@ -214,6 +221,11 @@ TEST(E2eStress, HighLoadBroadcastStormStaysCorrect)
     EXPECT_FALSE(net.sim().deadlockDetected());
     EXPECT_EQ(net.tracker().totalCompleted(), source.generated());
     EXPECT_EQ(net.tracker().totalDeliveries(), source.generated() * 15);
+
+    std::string why;
+    net.sim().runUntil([&net] { return net.checkQuiescent(nullptr); },
+                       4096);
+    EXPECT_TRUE(net.checkQuiescent(&why)) << why;
 }
 
 TEST(E2eStress, TinyCentralQueueStillDeadlockFree)

@@ -79,6 +79,76 @@ TEST(Tracker, ResetStatsKeepsLiveMessages)
     EXPECT_EQ(t.inFlight(), 0u);
 }
 
+TEST(TrackerResilient, DuplicateDeliveriesAreSwallowed)
+{
+    McastTracker t;
+    t.enableResilience();
+    t.expectMessage(1, 0, 2, 0, true);
+    t.onDelivered(1, 4, 10, 8);
+    t.onDelivered(1, 4, 12, 8); // redundant copy at the same dest
+    EXPECT_FALSE(t.isComplete(1));
+    EXPECT_EQ(t.duplicateDeliveries(), 1u);
+    EXPECT_TRUE(t.isDelivered(1, 4));
+    EXPECT_FALSE(t.isDelivered(1, 5));
+    t.onDelivered(1, 5, 20, 8);
+    EXPECT_TRUE(t.isComplete(1));
+    // Post-completion stragglers (a retransmission raced the
+    // original) are also swallowed, not a panic.
+    t.onDelivered(1, 5, 25, 8);
+    EXPECT_EQ(t.duplicateDeliveries(), 2u);
+    EXPECT_EQ(t.totalDeliveries(), 2u);
+    EXPECT_EQ(t.totalCompleted(), 1u);
+}
+
+TEST(TrackerResilient, PartialCompletionUnderUnreachableDests)
+{
+    McastTracker t;
+    t.enableResilience();
+    t.expectMessage(3, 0, 3, 100, true);
+    t.onDelivered(3, 1, 200, 8);
+    EXPECT_TRUE(t.markUnreachable(3, 2));
+    EXPECT_FALSE(t.markUnreachable(3, 2)) << "already written off";
+    EXPECT_FALSE(t.markUnreachable(3, 1)) << "already delivered";
+    EXPECT_FALSE(t.isComplete(3));
+    t.onDelivered(3, 4, 300, 8);
+    EXPECT_TRUE(t.isComplete(3));
+    EXPECT_EQ(t.partialCompleted(), 1u);
+    EXPECT_EQ(t.totalCompleted(), 0u);
+    EXPECT_EQ(t.unreachableDests(), 1u);
+    // Partial completions never feed the latency samplers.
+    EXPECT_EQ(t.mcastLastLatency().count(), 0u);
+    // markUnreachable after completion reports "no record".
+    EXPECT_FALSE(t.markUnreachable(3, 5));
+}
+
+TEST(TrackerResilient, FullyUnreachableMessageCompletesPartially)
+{
+    McastTracker t;
+    t.enableResilience();
+    t.expectMessage(9, 2, 2, 0, true);
+    EXPECT_TRUE(t.markUnreachable(9, 5));
+    EXPECT_TRUE(t.markUnreachable(9, 6));
+    EXPECT_TRUE(t.isComplete(9));
+    EXPECT_EQ(t.inFlight(), 0u);
+    EXPECT_EQ(t.partialCompleted(), 1u);
+    EXPECT_EQ(t.unreachableDests(), 2u);
+}
+
+TEST(TrackerResilient, ResetStatsClearsRecoveryCounters)
+{
+    McastTracker t;
+    t.enableResilience();
+    t.expectMessage(1, 0, 2, 0, true);
+    t.onDelivered(1, 1, 5, 8);
+    t.onDelivered(1, 1, 6, 8);
+    t.markUnreachable(1, 2);
+    EXPECT_EQ(t.duplicateDeliveries(), 1u);
+    t.resetStats();
+    EXPECT_EQ(t.duplicateDeliveries(), 0u);
+    EXPECT_EQ(t.partialCompleted(), 0u);
+    EXPECT_EQ(t.unreachableDests(), 0u);
+}
+
 TEST(TrackerDeath, DoubleRegisterPanics)
 {
     McastTracker t;
