@@ -17,7 +17,7 @@ main(int argc, char **argv)
 
     Config cli;
     const bool quick = parseCli(argc, argv, cli);
-    const SweepCli sc = parseSweepCli(cli);
+    const SweepCli sc = parseSweepCli(cli, "A2");
 
     banner("A2", "central-buffer size ablation (CB-HW)",
            "64 nodes, degree 8, 64-flit payload, load 0.10");
@@ -54,11 +54,11 @@ main(int argc, char **argv)
         const ExperimentResult &r = runner.results()[idx++];
         std::printf("%8d %9d | %s %s %9.3f %10llu%s\n", chunks,
                     chunks * chunkFlits,
-                    cell(r.mcastAvgAvg, r.mcastCount).c_str(),
-                    cell(r.mcastLastAvg, r.mcastCount).c_str(),
-                    r.deliveredLoad,
+                    cell(r.mcastAvgAvg(), r.mcastCount()).c_str(),
+                    cell(r.mcastLastAvg(), r.mcastCount()).c_str(),
+                    r.deliveredLoad(),
                     static_cast<unsigned long long>(
-                        r.reservationStallCycles),
+                        r.reservationStallCycles()),
                     satMark(r));
     }
     maybeReport(sc, runner);

@@ -18,7 +18,7 @@ main(int argc, char **argv)
 
     Config cli;
     const bool quick = parseCli(argc, argv, cli);
-    const SweepCli sc = parseSweepCli(cli);
+    const SweepCli sc = parseSweepCli(cli, "A3");
 
     banner("A3", "header encoding ablation (CB-HW)",
            "64 nodes, load 0.05, 64-flit payload");
@@ -59,8 +59,8 @@ main(int argc, char **argv)
             (void)encoding;
             const ExperimentResult &r = runner.results()[idx++];
             std::printf(" | %s %s%s",
-                        cell(r.mcastAvgAvg, r.mcastCount).c_str(),
-                        cell(r.mcastLastAvg, r.mcastCount).c_str(),
+                        cell(r.mcastAvgAvg(), r.mcastCount()).c_str(),
+                        cell(r.mcastLastAvg(), r.mcastCount()).c_str(),
                         satMark(r));
         }
         std::printf("\n");

@@ -18,7 +18,7 @@ main(int argc, char **argv)
 
     Config cli;
     const bool quick = parseCli(argc, argv, cli);
-    const SweepCli sc = parseSweepCli(cli);
+    const SweepCli sc = parseSweepCli(cli, "A7");
 
     banner("A7", "hot-spot unicast traffic",
            "64 nodes, load 0.10, 64-flit payload, hot node 0");
@@ -63,9 +63,9 @@ main(int argc, char **argv)
             (void)arch;
             const ExperimentResult &r = runner.results()[idx++];
             std::printf(" | %s %s %9.3f",
-                        cell(r.unicastAvg, r.unicastCount).c_str(),
-                        cell(r.unicastP95, r.unicastCount).c_str(),
-                        r.deliveredLoad);
+                        cell(r.unicastAvg(), r.unicastCount()).c_str(),
+                        cell(r.unicastP95(), r.unicastCount()).c_str(),
+                        r.deliveredLoad());
             std::printf("%s", satMark(r));
         }
         std::printf("\n");

@@ -23,7 +23,7 @@ main(int argc, char **argv)
 
     Config cli;
     const bool quick = parseCli(argc, argv, cli);
-    const SweepCli sc = parseSweepCli(cli);
+    const SweepCli sc = parseSweepCli(cli, "A10");
 
     banner("A10", "input-buffer depth ablation (IB-HW)",
            "64 nodes, degree 8, 64-flit payload, load 0.05");
@@ -65,17 +65,17 @@ main(int argc, char **argv)
         const ExperimentResult &r = runner.results()[idx++];
         std::printf("%8d %9.1f | %s %s %9.3f%s\n", flits,
                     static_cast<double>(flits) / 73.0,
-                    cell(r.mcastAvgAvg, r.mcastCount).c_str(),
-                    cell(r.mcastLastAvg, r.mcastCount).c_str(),
-                    r.deliveredLoad, satMark(r));
+                    cell(r.mcastAvgAvg(), r.mcastCount()).c_str(),
+                    cell(r.mcastLastAvg(), r.mcastCount()).c_str(),
+                    r.deliveredLoad(), satMark(r));
     }
     const ExperimentResult &r = runner.results()[idx];
     std::printf("%8s %9s | %s %s %9.3f%s   (central buffer, 1024 "
                 "shared flits)\n",
                 "cb-ref", "-",
-                cell(r.mcastAvgAvg, r.mcastCount).c_str(),
-                cell(r.mcastLastAvg, r.mcastCount).c_str(),
-                r.deliveredLoad, satMark(r));
+                cell(r.mcastAvgAvg(), r.mcastCount()).c_str(),
+                cell(r.mcastLastAvg(), r.mcastCount()).c_str(),
+                r.deliveredLoad(), satMark(r));
     maybeReport(sc, runner);
     return 0;
 }

@@ -20,7 +20,7 @@ main(int argc, char **argv)
 
     Config cli;
     const bool quick = parseCli(argc, argv, cli);
-    const SweepCli sc = parseSweepCli(cli);
+    const SweepCli sc = parseSweepCli(cli, "A8");
 
     banner("A8", "replication-mechanism ablation (IB-HW)",
            "64 nodes, degree 8, 64-flit payload");
@@ -57,9 +57,9 @@ main(int argc, char **argv)
             (void)mode;
             const ExperimentResult &r = runner.results()[idx++];
             std::printf(" | %s %s %9.3f%s",
-                        cell(r.mcastAvgAvg, r.mcastCount).c_str(),
-                        cell(r.mcastLastAvg, r.mcastCount).c_str(),
-                        r.deliveredLoad, satMark(r));
+                        cell(r.mcastAvgAvg(), r.mcastCount()).c_str(),
+                        cell(r.mcastLastAvg(), r.mcastCount()).c_str(),
+                        r.deliveredLoad(), satMark(r));
         }
         std::printf("\n");
     }

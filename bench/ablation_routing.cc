@@ -17,7 +17,7 @@ main(int argc, char **argv)
 
     Config cli;
     const bool quick = parseCli(argc, argv, cli);
-    const SweepCli sc = parseSweepCli(cli);
+    const SweepCli sc = parseSweepCli(cli, "A1");
 
     banner("A1", "routing variant ablation (CB-HW)",
            "64 nodes, degree 8, 64-flit payload");
@@ -55,8 +55,8 @@ main(int argc, char **argv)
             (void)variant;
             const ExperimentResult &r = runner.results()[idx++];
             std::printf(" | %s %s%s",
-                        cell(r.mcastAvgAvg, r.mcastCount).c_str(),
-                        cell(r.mcastLastAvg, r.mcastCount).c_str(),
+                        cell(r.mcastAvgAvg(), r.mcastCount()).c_str(),
+                        cell(r.mcastLastAvg(), r.mcastCount()).c_str(),
                         satMark(r));
         }
         std::printf("\n");

@@ -17,7 +17,7 @@ main(int argc, char **argv)
 
     Config cli;
     const bool quick = parseCli(argc, argv, cli);
-    const SweepCli sc = parseSweepCli(cli);
+    const SweepCli sc = parseSweepCli(cli, "A4");
 
     banner("A4", "up-port selection ablation (CB-HW)",
            "64 nodes, degree 8, 64-flit payload");
@@ -54,8 +54,8 @@ main(int argc, char **argv)
             (void)policy;
             const ExperimentResult &r = runner.results()[idx++];
             std::printf(" | %s %9.3f%s",
-                        cell(r.mcastLastAvg, r.mcastCount).c_str(),
-                        r.deliveredLoad, satMark(r));
+                        cell(r.mcastLastAvg(), r.mcastCount()).c_str(),
+                        r.deliveredLoad(), satMark(r));
         }
         std::printf("\n");
     }

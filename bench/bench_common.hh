@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/presets.hh"
+#include "core/report.hh"
 #include "core/sweep.hh"
 #include "sim/logging.hh"
 
@@ -61,25 +62,31 @@ parseCli(int argc, char **argv, Config &cli)
 struct SweepCli
 {
     SweepOptions options;
-    /** Print the per-run audit trail to stderr after the sweep. */
+    /** Experiment id stamped into the report stream (e.g. "E3"). */
+    std::string experiment = "?";
+    /** Print the audit/report stream to stderr after the sweep. */
     bool report = false;
+    /** Path prefix for exported worm traces (telemetry.trace=1). */
+    std::string traceOut = "trace";
 };
 
 /**
- * Read the sweep keys (threads=, baseSeed=, report=). Must be called
- * before the first applyOverrides(), which rejects unread keys.
- * Without baseSeed the per-run seeds stay at their preset values (the
- * historical serial behavior); with it every run gets its own RNG
- * stream derived from (baseSeed, run index).
+ * Read the sweep keys (threads=, baseSeed=, report=, traceOut=).
+ * Must be called before the first applyOverrides(), which rejects
+ * unread keys. Without baseSeed the per-run seeds stay at their
+ * preset values (the historical serial behavior); with it every run
+ * gets its own RNG stream derived from (baseSeed, run index).
  */
 inline SweepCli
-parseSweepCli(const Config &cli)
+parseSweepCli(const Config &cli, std::string experiment)
 {
     SweepCli sc;
+    sc.experiment = std::move(experiment);
     sc.options.threads = static_cast<int>(cli.getInt("threads", 1));
     sc.options.deriveSeeds = cli.has("baseSeed");
     sc.options.baseSeed = cli.getU64("baseSeed", 0);
     sc.report = cli.getBool("report", false);
+    sc.traceOut = cli.getString("traceOut", sc.traceOut);
     return sc;
 }
 
@@ -87,32 +94,68 @@ parseSweepCli(const Config &cli)
  * Arm a fatal() hook that flushes the partial audit trail before the
  * process exits, so a run that dies mid-sweep (bad config, impossible
  * parameter combination) still leaves an inspectable record. Only
- * active on the report=1 path; ends with a machine-readable
- * `"status":"fatal"` marker so scripts can tell a truncated trail
- * from a completed one. @p runner must outlive the sweep.
+ * active on the report=1 path; ends with the writer's machine-
+ * readable `"status":"fatal"` marker so scripts can tell a truncated
+ * stream from a completed one. @p runner must outlive the sweep.
  */
 inline void
 armFatalReport(const SweepCli &sc, const SweepRunner &runner)
 {
     if (!sc.report)
         return;
-    setFatalHook([&runner] {
-        std::fputs(runner.report().summary().c_str(), stderr);
-        std::fputs("# {\"status\":\"fatal\"}\n", stderr);
-        std::fflush(stderr);
+    setFatalHook([&sc, &runner] {
+        ReportWriter writer(stderr, sc.experiment);
+        writer.summary(runner.report());
+        writer.status("fatal");
     });
 }
 
-/** Emit the audit trail when report=1 was given (disarms the fatal
- *  hook: the sweep completed). */
+/**
+ * Export every run's worm trace (telemetry.trace=1 runs only) as
+ * "<traceOut>-run<N>.trace.json" / ".trace.jsonl", announcing each
+ * prefix — or the failure — on stderr.
+ */
+inline void
+exportTraces(const SweepCli &sc, const SweepRunner &runner)
+{
+    for (std::size_t i = 0; i < runner.results().size(); ++i) {
+        const ExperimentResult &result = runner.results()[i];
+        if (!result.trace)
+            continue;
+        char prefix[256];
+        std::snprintf(prefix, sizeof(prefix), "%s-run%zu",
+                      sc.traceOut.c_str(), i);
+        std::string failed;
+        if (writeTraceFiles(*result.trace, prefix, &failed))
+            std::fprintf(stderr, "# trace: %s.trace.json\n", prefix);
+        else
+            warn("cannot write trace file %s", failed.c_str());
+    }
+}
+
+/** Emit the report stream when report=1 was given (disarms the
+ *  fatal hook: the sweep completed), then export any worm traces. */
 inline void
 maybeReport(const SweepCli &sc, const SweepRunner &runner)
 {
     setFatalHook(nullptr);
     if (sc.report) {
-        std::fputs(runner.report().summary().c_str(), stderr);
-        std::fputs("# {\"status\":\"ok\"}\n", stderr);
+        ReportWriter writer(stderr, sc.experiment);
+        writer.sweep(runner.report());
     }
+    exportTraces(sc, runner);
+}
+
+/** Report epilogue for benches that run Networks directly instead of
+ *  a sweep (fig_barrier, tab_params): header + status only. */
+inline void
+maybeReportSimple(const SweepCli &sc)
+{
+    if (!sc.report)
+        return;
+    ReportWriter writer(stderr, sc.experiment);
+    writer.header(0, 1, 0, false);
+    writer.status("ok");
 }
 
 /** "n/a" or a fixed-point number (for latencies of absent classes). */

@@ -100,6 +100,7 @@ main(int argc, char **argv)
 {
     Config cli;
     const bool quick = parseCli(argc, argv, cli);
+    const SweepCli sc = parseSweepCli(cli, "E10");
     const int rounds = quick ? 3 : 10;
 
     banner("E10", "64-node full barrier: latency and background impact",
@@ -131,5 +132,6 @@ main(int argc, char **argv)
         std::printf("\n");
         std::fflush(stdout);
     }
+    maybeReportSimple(sc);
     return 0;
 }

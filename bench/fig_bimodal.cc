@@ -21,7 +21,7 @@ main(int argc, char **argv)
 
     Config cli;
     const bool quick = parseCli(argc, argv, cli);
-    const SweepCli sc = parseSweepCli(cli);
+    const SweepCli sc = parseSweepCli(cli, "E4+E5");
 
     banner("E4+E5", "bimodal traffic: unicast + multicast latency",
            "64 nodes, 10% multicast of degree 8, 64-flit payload");
@@ -57,8 +57,8 @@ main(int argc, char **argv)
             (void)scheme;
             const ExperimentResult &r = runner.results()[idx++];
             std::printf(" | %s %s%s",
-                        cell(r.unicastAvg, r.unicastCount).c_str(),
-                        cell(r.mcastLastAvg, r.mcastCount).c_str(),
+                        cell(r.unicastAvg(), r.unicastCount()).c_str(),
+                        cell(r.mcastLastAvg(), r.mcastCount()).c_str(),
                         satMark(r));
         }
         std::printf("\n");

@@ -19,7 +19,7 @@ main(int argc, char **argv)
 
     Config cli;
     const bool quick = parseCli(argc, argv, cli);
-    const SweepCli sc = parseSweepCli(cli);
+    const SweepCli sc = parseSweepCli(cli, "E6");
 
     // Delivered load (payload flits/node/cycle at the receivers) is
     // held constant across degrees — offered load is 0.32/d — so the
@@ -61,7 +61,7 @@ main(int argc, char **argv)
             (void)scheme;
             const ExperimentResult &r = runner.results()[idx++];
             std::printf(" %s%s",
-                        cell(r.mcastLastAvg, r.mcastCount).c_str(),
+                        cell(r.mcastLastAvg(), r.mcastCount()).c_str(),
                         satMark(r));
         }
         std::printf("\n");

@@ -19,7 +19,7 @@ main(int argc, char **argv)
 
     Config cli;
     const bool quick = parseCli(argc, argv, cli);
-    const SweepCli sc = parseSweepCli(cli);
+    const SweepCli sc = parseSweepCli(cli, "E7");
 
     banner("E7", "multicast latency vs message length",
            "64 nodes, load 0.05, degree 8");
@@ -55,7 +55,7 @@ main(int argc, char **argv)
             (void)scheme;
             const ExperimentResult &r = runner.results()[idx++];
             std::printf(" %s%s",
-                        cell(r.mcastLastAvg, r.mcastCount).c_str(),
+                        cell(r.mcastLastAvg(), r.mcastCount()).c_str(),
                         satMark(r));
         }
         std::printf("\n");

@@ -19,7 +19,7 @@ main(int argc, char **argv)
 
     Config cli;
     const bool quick = parseCli(argc, argv, cli);
-    const SweepCli sc = parseSweepCli(cli);
+    const SweepCli sc = parseSweepCli(cli, "E1+E2");
 
     banner("E1+E2", "multiple multicast latency vs offered load",
            "64 nodes, degree 8, 64-flit payload");
@@ -53,8 +53,8 @@ main(int argc, char **argv)
             (void)scheme;
             const ExperimentResult &r = runner.results()[idx++];
             std::printf(" | %s %s%s",
-                        cell(r.mcastAvgAvg, r.mcastCount).c_str(),
-                        cell(r.mcastLastAvg, r.mcastCount).c_str(),
+                        cell(r.mcastAvgAvg(), r.mcastCount()).c_str(),
+                        cell(r.mcastLastAvg(), r.mcastCount()).c_str(),
                         satMark(r));
         }
         std::printf("\n");

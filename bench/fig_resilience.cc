@@ -22,7 +22,7 @@ main(int argc, char **argv)
 
     Config cli;
     const bool quick = parseCli(argc, argv, cli);
-    const SweepCli sc = parseSweepCli(cli);
+    const SweepCli sc = parseSweepCli(cli, "E11");
 
     static const int kFaultCounts[] = {0, 1, 2, 4, 8};
     static const Scheme kSchemes[] = {Scheme::CbHw, Scheme::SwUmin};
@@ -61,12 +61,12 @@ main(int argc, char **argv)
             (void)scheme;
             const ExperimentResult &r = runner.results()[idx++];
             std::printf("%10s %7llu %7llu %8llu %s",
-                        cell(r.mcastLastAvg, r.mcastCount).c_str(),
-                        static_cast<unsigned long long>(r.retransmits),
+                        cell(r.mcastLastAvg(), r.mcastCount()).c_str(),
+                        static_cast<unsigned long long>(r.retransmits()),
                         static_cast<unsigned long long>(
-                            r.partialCompleted),
+                            r.partialCompleted()),
                         static_cast<unsigned long long>(
-                            r.unreachableDests),
+                            r.unreachableDests()),
                         scheme == Scheme::CbHw ? "|" : "");
         }
         std::printf("\n");

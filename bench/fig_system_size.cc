@@ -20,7 +20,7 @@ main(int argc, char **argv)
 
     Config cli;
     const bool quick = parseCli(argc, argv, cli);
-    const SweepCli sc = parseSweepCli(cli);
+    const SweepCli sc = parseSweepCli(cli, "E8");
 
     banner("E8", "multicast latency vs system size",
            "4-ary n-tree, load 0.05, degree 8, 64-flit payload");
@@ -60,7 +60,7 @@ main(int argc, char **argv)
             (void)scheme;
             const ExperimentResult &r = runner.results()[idx++];
             std::printf(" %s%s",
-                        cell(r.mcastLastAvg, r.mcastCount).c_str(),
+                        cell(r.mcastLastAvg(), r.mcastCount()).c_str(),
                         satMark(r));
         }
         std::printf("\n");

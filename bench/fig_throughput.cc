@@ -19,7 +19,7 @@ main(int argc, char **argv)
 
     Config cli;
     const bool quick = parseCli(argc, argv, cli);
-    const SweepCli sc = parseSweepCli(cli);
+    const SweepCli sc = parseSweepCli(cli, "E3");
 
     banner("E3", "delivered throughput vs offered load",
            "64 nodes, degree 8, 64-flit payload");
@@ -50,7 +50,7 @@ main(int argc, char **argv)
         for (Scheme scheme : kAllSchemes) {
             (void)scheme;
             const ExperimentResult &r = runner.results()[idx++];
-            std::printf(" %9.3f%s", r.deliveredLoad, satMark(r));
+            std::printf(" %9.3f%s", r.deliveredLoad(), satMark(r));
         }
         std::printf("\n");
     }

@@ -15,6 +15,7 @@ main(int argc, char **argv)
 
     Config cli;
     (void)parseCli(argc, argv, cli);
+    const SweepCli sc = parseSweepCli(cli, "E9");
 
     NetworkConfig net = defaultNetwork();
     TrafficParams traffic = defaultTraffic();
@@ -63,5 +64,6 @@ main(int argc, char **argv)
                 "measurement",
                 static_cast<unsigned long long>(params.warmup),
                 static_cast<unsigned long long>(params.measure));
+    maybeReportSimple(sc);
     return 0;
 }

@@ -51,7 +51,7 @@ main(int argc, char **argv)
         const ExperimentResult r =
             Experiment(net, traffic, params).run();
         std::printf("%-10s %14.1f %14.1f %14.1f%s\n", toString(scheme),
-                    r.mcastLastAvg, r.mcastAvgAvg, r.unicastAvg,
+                    r.mcastLastAvg(), r.mcastAvgAvg(), r.unicastAvg(),
                     r.saturated ? "  (saturated)" : "");
     }
 

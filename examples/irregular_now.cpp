@@ -62,8 +62,8 @@ main(int argc, char **argv)
         const ExperimentResult r =
             Experiment(net, traffic, params).run();
         std::printf("%-10s %10.1f %10.1f %10.3f %6s\n",
-                    toString(scheme), r.mcastAvgAvg, r.mcastLastAvg,
-                    r.deliveredLoad, r.saturated ? "yes" : "no");
+                    toString(scheme), r.mcastAvgAvg(), r.mcastLastAvg(),
+                    r.deliveredLoad(), r.saturated ? "yes" : "no");
     }
 
     std::printf("\nup*-down* orientation keeps down-links acyclic, so "

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Validate a bench report stream and exported worm traces.
+
+Usage:
+    validate_report.py --report <stderr-capture> [--trace <file.json>...]
+
+The report capture is the stderr of a bench run with report=1: machine
+lines start with "# {" and must parse as JSON. The stream must open
+with a schema header (mdw-report/1), contain exactly one metrics
+section, and end in status "ok". Trace files must be Chrome-trace JSON
+(Perfetto-loadable): a traceEvents array of instant events with
+cycle timestamps plus process-name metadata.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "mdw-report/1"
+WORM_EVENTS = {
+    "inject",
+    "header_decode",
+    "replicate",
+    "reserve_stall",
+    "tail_drain",
+    "deliver",
+    "poison_drop",
+    "retransmit",
+}
+
+
+def fail(msg):
+    print(f"validate_report: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def machine_lines(path):
+    out = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            if line.startswith("# {"):
+                try:
+                    out.append(json.loads(line[2:]))
+                except json.JSONDecodeError as err:
+                    fail(f"{path}: unparseable machine line {line!r}: {err}")
+    return out
+
+
+def check_report(path):
+    objs = machine_lines(path)
+    if not objs:
+        fail(f"{path}: no machine-readable lines")
+
+    header = objs[0]
+    if header.get("schema") != SCHEMA:
+        fail(f"{path}: first machine line is not a {SCHEMA} header: {header}")
+    for key in ("experiment", "runs", "threads", "baseSeed", "seedsDerived"):
+        if key not in header:
+            fail(f"{path}: header is missing '{key}'")
+
+    metrics = [o for o in objs if "metrics" in o]
+    if len(metrics) != 1:
+        fail(f"{path}: expected exactly one metrics line, got {len(metrics)}")
+    if not isinstance(metrics[0]["metrics"], dict) or not metrics[0]["metrics"]:
+        fail(f"{path}: metrics section is empty or not an object")
+    for name, value in metrics[0]["metrics"].items():
+        if isinstance(value, dict):
+            missing = {"count", "mean", "stddev", "min", "max"} - value.keys()
+            if missing:
+                fail(f"{path}: sampler '{name}' is missing {sorted(missing)}")
+        elif not isinstance(value, (int, float)):
+            fail(f"{path}: metric '{name}' has non-numeric value {value!r}")
+
+    statuses = [o["status"] for o in objs if "status" in o]
+    if statuses != ["ok"]:
+        fail(f"{path}: expected one final status 'ok', got {statuses}")
+    if "status" not in objs[-1]:
+        fail(f"{path}: status marker is not the last machine line")
+    print(f"validate_report: OK report {path} "
+          f"({len(metrics[0]['metrics'])} metrics)")
+
+
+def check_trace(path):
+    with open(path, encoding="utf-8") as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as err:
+            fail(f"{path}: not valid JSON: {err}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents missing or empty")
+    other = doc.get("otherData", {})
+    if other.get("clock") != "cycles":
+        fail(f"{path}: otherData.clock is not 'cycles'")
+
+    instants = [e for e in events if e.get("ph") == "i"]
+    metadata = [e for e in events if e.get("ph") == "M"]
+    if not instants:
+        fail(f"{path}: no instant events")
+    if not any(e.get("name") == "process_name" for e in metadata):
+        fail(f"{path}: no process_name metadata (Perfetto grouping)")
+    for event in instants:
+        for key in ("name", "ts", "pid", "tid"):
+            if key not in event:
+                fail(f"{path}: instant event missing '{key}': {event}")
+        if event["name"] not in WORM_EVENTS:
+            fail(f"{path}: unknown worm event '{event['name']}'")
+        if not isinstance(event["ts"], int) or event["ts"] < 0:
+            fail(f"{path}: non-cycle timestamp {event['ts']!r}")
+    kinds = {e["name"] for e in instants}
+    print(f"validate_report: OK trace {path} "
+          f"({len(instants)} events, kinds: {', '.join(sorted(kinds))})")
+    return kinds
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--report", help="stderr capture of a report=1 run")
+    parser.add_argument("--trace", nargs="*", default=[],
+                        help="exported .trace.json files")
+    parser.add_argument("--expect-events", nargs="*", default=[],
+                        help="worm event names that must appear in traces")
+    args = parser.parse_args()
+    if not args.report and not args.trace:
+        fail("nothing to validate (pass --report and/or --trace)")
+
+    if args.report:
+        check_report(args.report)
+    seen = set()
+    for path in args.trace:
+        seen |= check_trace(path)
+    missing = set(args.expect_events) - seen
+    if missing:
+        fail(f"expected worm events never seen: {sorted(missing)}")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "core/resilience.hh"
 #include "core/sweep.hh"
 #include "sim/logging.hh"
 
@@ -63,60 +62,50 @@ Experiment::run()
 
     result.deadlocked = net.sim().deadlockDetected();
     result.cyclesRun = net.sim().now();
-    result.endBacklogPackets = net.totalTxBacklog();
+
+    // Every measurement is captured here, *before* the quiescence
+    // settle below advances the clock: the snapshot reads live gauges
+    // (time averages, event totals) whose values depend on `now`.
+    result.metrics = net.metricsSnapshot();
+    result.metrics.setCounter("experiment.end_backlog_packets",
+                              net.totalTxBacklog());
 
     const McastTracker &tracker = net.tracker();
-    result.unicastAvg = tracker.unicastLatency().mean();
-    result.unicastP95 = tracker.unicastHist().percentile(0.95);
-    result.unicastCount =
-        static_cast<double>(tracker.unicastLatency().count());
-    result.mcastLastAvg = tracker.mcastLastLatency().mean();
-    result.mcastLastP95 = tracker.mcastLastHist().percentile(0.95);
-    result.mcastAvgAvg = tracker.mcastAvgLatency().mean();
-    result.mcastCount =
-        static_cast<double>(tracker.mcastLastLatency().count());
-    result.unicastLatency = tracker.unicastLatency();
-    result.mcastLastLatency = tracker.mcastLastLatency();
-    result.mcastAvgLatency = tracker.mcastAvgLatency();
+    result.metrics.setGauge("experiment.latency.unicast.p95",
+                            tracker.unicastHist().percentile(0.95));
+    result.metrics.setGauge("experiment.latency.mcast_last.p95",
+                            tracker.mcastLastHist().percentile(0.95));
 
     const double node_cycles = static_cast<double>(net.numHosts()) *
                                static_cast<double>(params_.measure);
-    result.deliveredLoad =
+    const double delivered_load =
         static_cast<double>(tracker.windowDeliveredFlits()) /
         node_cycles;
+    result.metrics.setGauge("experiment.delivered_load",
+                            delivered_load);
     result.saturated =
         result.deadlocked || !result.drained ||
-        result.deliveredLoad <
+        delivered_load <
             params_.saturationRatio * result.expectedDelivered;
 
+    double mean_util = 0.0, peak_util = 0.0;
     if (!tx_before.empty() && params_.measure > 0) {
-        double sum = 0.0, peak = 0.0;
+        double sum = 0.0;
         for (std::size_t i = 0; i < tx_before.size(); ++i) {
             const double util =
                 static_cast<double>(tx_after[i] - tx_before[i]) /
                 static_cast<double>(params_.measure);
             sum += util;
-            peak = std::max(peak, util);
+            peak_util = std::max(peak_util, util);
         }
-        result.meanLinkUtil = sum / static_cast<double>(tx_before.size());
-        result.maxLinkUtil = peak;
+        mean_util = sum / static_cast<double>(tx_before.size());
     }
+    result.metrics.setGauge("experiment.link_util.mean", mean_util);
+    result.metrics.setGauge("experiment.link_util.max", peak_util);
 
-    const NetworkTotals totals = net.totals();
-    result.replications = totals.replications;
-    result.reservationStallCycles = totals.reservationStallCycles;
-    result.avgCqChunks = net.avgCqChunks();
-
-    if (net.resilience())
-        result.faultsApplied = net.resilience()->faultsApplied();
-    for (std::size_t h = 0; h < net.numHosts(); ++h) {
-        const NicStats &ns = net.nic(static_cast<NodeId>(h)).stats();
-        result.retransmits += ns.retransmits.value();
-        result.poisonedDrops += ns.poisonedDrops.value();
-    }
-    result.duplicateDeliveries = tracker.duplicateDeliveries();
-    result.partialCompleted = tracker.partialCompleted();
-    result.unreachableDests = tracker.unreachableDests();
+    if (net.telemetry().tracer())
+        result.trace =
+            std::make_shared<const WormTrace>(net.traceSnapshot());
 
     // Quiescence audit, *after* every measurement above is captured:
     // the settle cycles it may add must not perturb any statistic
@@ -136,49 +125,15 @@ Experiment::run()
     return result;
 }
 
-namespace {
-
-bool
-sameSampler(const Sampler &a, const Sampler &b)
-{
-    return a.count() == b.count() && a.mean() == b.mean() &&
-           a.variance() == b.variance() && a.min() == b.min() &&
-           a.max() == b.max();
-}
-
-} // namespace
-
 bool
 identicalResults(const ExperimentResult &a, const ExperimentResult &b)
 {
     return a.offeredLoad == b.offeredLoad &&
-           a.deliveredLoad == b.deliveredLoad &&
            a.expectedDelivered == b.expectedDelivered &&
-           a.unicastAvg == b.unicastAvg &&
-           a.unicastP95 == b.unicastP95 &&
-           a.unicastCount == b.unicastCount &&
-           a.mcastLastAvg == b.mcastLastAvg &&
-           a.mcastLastP95 == b.mcastLastP95 &&
-           a.mcastAvgAvg == b.mcastAvgAvg &&
-           a.mcastCount == b.mcastCount &&
            a.saturated == b.saturated && a.drained == b.drained &&
            a.deadlocked == b.deadlocked && a.cyclesRun == b.cyclesRun &&
-           a.meanLinkUtil == b.meanLinkUtil &&
-           a.maxLinkUtil == b.maxLinkUtil &&
-           a.replications == b.replications &&
-           a.reservationStallCycles == b.reservationStallCycles &&
-           a.avgCqChunks == b.avgCqChunks &&
-           a.endBacklogPackets == b.endBacklogPackets &&
            a.quiescent == b.quiescent &&
-           a.faultsApplied == b.faultsApplied &&
-           a.retransmits == b.retransmits &&
-           a.poisonedDrops == b.poisonedDrops &&
-           a.duplicateDeliveries == b.duplicateDeliveries &&
-           a.partialCompleted == b.partialCompleted &&
-           a.unreachableDests == b.unreachableDests &&
-           sameSampler(a.unicastLatency, b.unicastLatency) &&
-           sameSampler(a.mcastLastLatency, b.mcastLastLatency) &&
-           sameSampler(a.mcastAvgLatency, b.mcastAvgLatency);
+           a.metrics.identical(b.metrics);
 }
 
 std::vector<ExperimentResult>
@@ -215,8 +170,8 @@ formatResultRow(const std::string &label, const ExperimentResult &r)
     char buf[200];
     std::snprintf(buf, sizeof(buf),
                   "%-22s %8.4f %8.4f %9.1f %9.1f %9.1f %6s",
-                  label.c_str(), r.offeredLoad, r.deliveredLoad,
-                  r.unicastAvg, r.mcastAvgAvg, r.mcastLastAvg,
+                  label.c_str(), r.offeredLoad, r.deliveredLoad(),
+                  r.unicastAvg(), r.mcastAvgAvg(), r.mcastLastAvg(),
                   r.saturated ? "yes" : "no");
     return buf;
 }

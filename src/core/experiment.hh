@@ -7,11 +7,13 @@
 #ifndef MDW_CORE_EXPERIMENT_HH
 #define MDW_CORE_EXPERIMENT_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/network.hh"
 #include "sim/stats.hh"
+#include "sim/telemetry.hh"
 #include "workload/traffic.hh"
 
 namespace mdw {
@@ -33,54 +35,140 @@ struct ExperimentParams
     double saturationRatio = 0.85;
 };
 
-/** Everything a run measures. */
+/**
+ * Everything a run measures.
+ *
+ * Run identity and pass/fail verdicts are plain fields; every
+ * numeric measurement lives in `metrics`, a MetricsSnapshot of the
+ * network's registry (plus derived "experiment.*" entries) captured
+ * before the quiescence settle. The former scalar fields remain
+ * available as thin accessors over the snapshot, so call sites read
+ * `r.deliveredLoad()` where they used to read `r.deliveredLoad`.
+ */
 struct ExperimentResult
 {
     double offeredLoad = 0.0; ///< payload flits/node/cycle, at source
-    double deliveredLoad = 0.0; ///< payload flits/node/cycle delivered
     double expectedDelivered = 0.0; ///< offered x fan-out multiplier
-
-    double unicastAvg = 0.0;
-    double unicastP95 = 0.0;
-    double unicastCount = 0.0;
-    double mcastLastAvg = 0.0;
-    double mcastLastP95 = 0.0;
-    double mcastAvgAvg = 0.0;
-    double mcastCount = 0.0;
 
     bool saturated = false;
     bool drained = true;
     bool deadlocked = false;
-    Cycle cyclesRun = 0;
-
-    /** Mean utilization of switch output links in the window. */
-    double meanLinkUtil = 0.0;
-    /** Utilization of the busiest switch output link. */
-    double maxLinkUtil = 0.0;
-
-    std::uint64_t replications = 0;
-    std::uint64_t reservationStallCycles = 0;
-    double avgCqChunks = 0.0;
-    std::size_t endBacklogPackets = 0;
-
     /** Post-drain invariant: every buffer empty, credits home. */
     bool quiescent = true;
-    /** Fault-recovery activity (all zero on a fault-free run). */
-    std::size_t faultsApplied = 0;
-    std::uint64_t retransmits = 0;
-    std::uint64_t poisonedDrops = 0;
-    std::uint64_t duplicateDeliveries = 0;
-    std::uint64_t partialCompleted = 0;
-    std::uint64_t unreachableDests = 0;
+    Cycle cyclesRun = 0;
 
     /**
-     * Full latency samplers from the measurement window, so sweep
-     * aggregates can be built with Sampler::merge instead of
-     * re-deriving moments from the scalar summaries above.
+     * Every registered metric of the run, keyed by hierarchical name
+     * ("tracker.latency.unicast", "switch.3.port.2.tx_flits", ...),
+     * including the full latency samplers — sweep aggregates merge
+     * these snapshots in submission order instead of re-deriving
+     * moments from scalar summaries.
      */
-    Sampler unicastLatency;
-    Sampler mcastLastLatency;
-    Sampler mcastAvgLatency;
+    MetricsSnapshot metrics;
+
+    /**
+     * Worm-lifecycle trace of the run; null unless the network was
+     * configured with telemetry.trace. Shared (immutable) so copying
+     * results in sweeps stays cheap.
+     */
+    std::shared_ptr<const WormTrace> trace;
+
+    // --- Accessors: the pre-snapshot scalar API ---------------------
+
+    /** Payload flits/node/cycle delivered in the window. */
+    double deliveredLoad() const
+    {
+        return metrics.gauge("experiment.delivered_load");
+    }
+
+    const Sampler &unicastLatency() const
+    {
+        return metrics.sampler("tracker.latency.unicast");
+    }
+    const Sampler &mcastLastLatency() const
+    {
+        return metrics.sampler("tracker.latency.mcast_last");
+    }
+    const Sampler &mcastAvgLatency() const
+    {
+        return metrics.sampler("tracker.latency.mcast_avg");
+    }
+
+    double unicastAvg() const { return unicastLatency().mean(); }
+    double unicastP95() const
+    {
+        return metrics.gauge("experiment.latency.unicast.p95");
+    }
+    double unicastCount() const
+    {
+        return static_cast<double>(unicastLatency().count());
+    }
+    double mcastLastAvg() const { return mcastLastLatency().mean(); }
+    double mcastLastP95() const
+    {
+        return metrics.gauge("experiment.latency.mcast_last.p95");
+    }
+    double mcastAvgAvg() const { return mcastAvgLatency().mean(); }
+    double mcastCount() const
+    {
+        return static_cast<double>(mcastLastLatency().count());
+    }
+
+    /** Mean utilization of switch output links in the window. */
+    double meanLinkUtil() const
+    {
+        return metrics.gauge("experiment.link_util.mean");
+    }
+    /** Utilization of the busiest switch output link. */
+    double maxLinkUtil() const
+    {
+        return metrics.gauge("experiment.link_util.max");
+    }
+
+    std::uint64_t replications() const
+    {
+        return metrics.counter("network.replications");
+    }
+    std::uint64_t reservationStallCycles() const
+    {
+        return metrics.counter("network.reservation_stall_cycles");
+    }
+    double avgCqChunks() const
+    {
+        return metrics.gauge("network.cq.avg_chunks");
+    }
+    std::size_t endBacklogPackets() const
+    {
+        return static_cast<std::size_t>(
+            metrics.counter("experiment.end_backlog_packets"));
+    }
+
+    /** Fault-recovery activity (all zero on a fault-free run). */
+    std::size_t faultsApplied() const
+    {
+        return static_cast<std::size_t>(
+            metrics.counter("fault.applied"));
+    }
+    std::uint64_t retransmits() const
+    {
+        return metrics.counter("host.retransmits");
+    }
+    std::uint64_t poisonedDrops() const
+    {
+        return metrics.counter("host.poisoned_drops");
+    }
+    std::uint64_t duplicateDeliveries() const
+    {
+        return metrics.counter("tracker.duplicate_deliveries");
+    }
+    std::uint64_t partialCompleted() const
+    {
+        return metrics.counter("tracker.partial_completed");
+    }
+    std::uint64_t unreachableDests() const
+    {
+        return metrics.counter("tracker.unreachable_dests");
+    }
 };
 
 /**

@@ -34,10 +34,11 @@ toString(SwitchArch arch)
 }
 
 Network::Network(const NetworkConfig &config)
-    : cfg_(config)
+    : cfg_(config), telemetry_(config.telemetry)
 {
     build();
     wire();
+    registerTelemetry();
     installFaults();
 }
 
@@ -261,6 +262,103 @@ Network::wire()
     }
 }
 
+void
+Network::registerTelemetry()
+{
+    // Components register their own stats under hierarchical names
+    // ("switch.3.port.2.tx_flits", "nic.7.retransmits") and pick up
+    // the shared worm tracer. Called after wire() so per-port
+    // registration covers exactly the connected ports.
+    for (auto &sw : switches_)
+        sw->attachTelemetry(telemetry_);
+    for (auto &nic : nics_)
+        nic->attachTelemetry(telemetry_);
+
+    MetricsRegistry &reg = telemetry_.registry();
+
+    // End-to-end tracker: the paper's latency metrics plus delivery
+    // accounting.
+    reg.registerSampler("tracker.latency.unicast",
+                        &tracker_.unicastLatency());
+    reg.registerSampler("tracker.latency.mcast_last",
+                        &tracker_.mcastLastLatency());
+    reg.registerSampler("tracker.latency.mcast_avg",
+                        &tracker_.mcastAvgLatency());
+    reg.registerIntGauge("tracker.deliveries", [this] {
+        return tracker_.totalDeliveries();
+    });
+    reg.registerIntGauge("tracker.completed", [this] {
+        return tracker_.totalCompleted();
+    });
+    reg.registerIntGauge("tracker.window_delivered_flits", [this] {
+        return tracker_.windowDeliveredFlits();
+    });
+    reg.registerIntGauge("tracker.duplicate_deliveries", [this] {
+        return tracker_.duplicateDeliveries();
+    });
+    reg.registerIntGauge("tracker.partial_completed", [this] {
+        return tracker_.partialCompleted();
+    });
+    reg.registerIntGauge("tracker.unreachable_dests", [this] {
+        return tracker_.unreachableDests();
+    });
+
+    // Fabric-wide rollups of the per-switch counters.
+    reg.registerIntGauge("network.flits_in",
+                         [this] { return totals().flitsIn; });
+    reg.registerIntGauge("network.flits_out",
+                         [this] { return totals().flitsOut; });
+    reg.registerIntGauge("network.packets_routed",
+                         [this] { return totals().packetsRouted; });
+    reg.registerIntGauge("network.replications",
+                         [this] { return totals().replications; });
+    reg.registerIntGauge("network.reservation_stall_cycles", [this] {
+        return totals().reservationStallCycles;
+    });
+    reg.registerGauge("network.cq.avg_chunks",
+                      [this] { return avgCqChunks(); });
+
+    // Host-side rollups (fault recovery activity).
+    reg.registerIntGauge("host.retransmits", [this] {
+        std::uint64_t total = 0;
+        for (const auto &nic : nics_)
+            total += nic->stats().retransmits.value();
+        return total;
+    });
+    reg.registerIntGauge("host.poisoned_drops", [this] {
+        std::uint64_t total = 0;
+        for (const auto &nic : nics_)
+            total += nic->stats().poisonedDrops.value();
+        return total;
+    });
+    reg.registerIntGauge("fault.applied", [this] {
+        return resilience_
+                   ? static_cast<std::uint64_t>(
+                         resilience_->faultsApplied())
+                   : 0;
+    });
+
+    // Simulation-kernel activity.
+    reg.registerIntGauge("sim.events.scheduled", [this] {
+        return sim_.events().totalScheduled();
+    });
+    reg.registerIntGauge("sim.events.fired", [this] {
+        return sim_.events().totalFired();
+    });
+    reg.registerIntGauge("sim.channels.flit_sends", [this] {
+        std::uint64_t total = 0;
+        for (const auto &ch : flitChannels_)
+            total += ch->totalSends();
+        return total;
+    });
+    reg.registerIntGauge("sim.channels.credit_sends", [this] {
+        std::uint64_t total = 0;
+        for (const auto &ch : creditChannels_)
+            total += ch->totalSends();
+        return total;
+    });
+}
+
 Nic &
 Network::nic(NodeId id)
 {
@@ -327,6 +425,11 @@ Network::onWatchdogTrip()
         std::fclose(mem);
         diag->stateDump.assign(buf, len);
         std::free(buf);
+    }
+    if (telemetry_.tracer()) {
+        // The tracer's ring holds the most recent lifecycle events —
+        // exactly the history that explains what wedged.
+        diag->traceJson = telemetry_.tracer()->snapshot().chromeJson();
     }
     warn("watchdog: no progress; %zu messages in flight, %zu packets "
          "queued at NICs (diagnosis recorded)",

@@ -17,6 +17,7 @@
 #include "host/nic.hh"
 #include "sim/fault.hh"
 #include "sim/system.hh"
+#include "sim/telemetry.hh"
 #include "switch/central_buffer_switch.hh"
 #include "switch/input_buffer_switch.hh"
 #include "topology/fat_tree.hh"
@@ -62,6 +63,10 @@ struct NetworkConfig
     /** Randomized fault schedule, drawn over this network's links and
      *  switches when faultPlan is empty. */
     FaultSpec faultSpec;
+
+    /** Observability: metrics registry is always on; worm-lifecycle
+     *  tracing is opt-in via telemetry.trace. */
+    TelemetryParams telemetry;
 };
 
 /** Aggregate of all switches' counters. */
@@ -86,6 +91,9 @@ struct WatchdogDiagnosis
     std::size_t nicBacklogPackets = 0;
     /** Full dumpState() output at the moment of the trip. */
     std::string stateDump;
+    /** Chrome-trace JSON of the worm tracer's recent history at the
+     *  moment of the trip (empty unless telemetry.trace was on). */
+    std::string traceJson;
 };
 
 /** A fully wired simulated system. */
@@ -139,6 +147,24 @@ class Network
     /** The fault/recovery layer, present iff faults are configured. */
     ResilienceManager *resilience() { return resilience_.get(); }
 
+    /** Observability context: every component's stats live in its
+     *  registry; the tracer (if enabled) records worm lifecycles. */
+    Telemetry &telemetry() { return telemetry_; }
+    const Telemetry &telemetry() const { return telemetry_; }
+
+    /** Snapshot every registered metric (cheap; read-only). */
+    MetricsSnapshot metricsSnapshot() const
+    {
+        return telemetry_.registry().snapshot();
+    }
+
+    /** Snapshot the worm tracer, or an empty trace when disabled. */
+    WormTrace traceSnapshot() const
+    {
+        return telemetry_.tracer() ? telemetry_.tracer()->snapshot()
+                                   : WormTrace{};
+    }
+
     /**
      * End-of-run invariant: no flit or credit in flight on any
      * channel, every switch's buffers empty with all credits home,
@@ -166,6 +192,7 @@ class Network
     void build();
     void wire();
     void installFaults();
+    void registerTelemetry();
     void onWatchdogTrip();
 
     NetworkConfig cfg_;
@@ -180,6 +207,8 @@ class Network
     std::vector<std::unique_ptr<Nic>> nics_;
     std::vector<std::unique_ptr<Channel<Flit>>> flitChannels_;
     std::vector<std::unique_ptr<CreditChannel>> creditChannels_;
+
+    Telemetry telemetry_;
 
     std::unique_ptr<ResilienceManager> resilience_;
     std::unique_ptr<WatchdogDiagnosis> diagnosis_;

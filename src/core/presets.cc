@@ -229,6 +229,14 @@ applyOverrides(const Config &config, NetworkConfig &network,
     network.nic.maxRetransmits = static_cast<int>(config.getInt(
         "nic.maxRetransmits", network.nic.maxRetransmits));
 
+    // Telemetry (metrics are always on; tracing is opt-in).
+    network.telemetry.trace =
+        config.getBool("telemetry.trace", network.telemetry.trace);
+    network.telemetry.traceCapacity = static_cast<std::size_t>(
+        config.getInt("telemetry.traceCapacity",
+                      static_cast<std::int64_t>(
+                          network.telemetry.traceCapacity)));
+
     // Experiment phases.
     params.warmup = config.getU64("warmup", params.warmup);
     params.measure = config.getU64("measure", params.measure);

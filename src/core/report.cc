@@ -1,0 +1,124 @@
+#include "core/report.hh"
+
+#include <utility>
+
+namespace mdw {
+
+namespace {
+
+/** Minimal JSON string escaping (quotes, backslashes, control). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+const char *
+ReportWriter::schema()
+{
+    return "mdw-report/1";
+}
+
+ReportWriter::ReportWriter(FILE *out, std::string experiment)
+    : out_(out), experiment_(std::move(experiment))
+{
+}
+
+void
+ReportWriter::header(std::size_t runs, int threads,
+                     std::uint64_t baseSeed, bool seedsDerived)
+{
+    std::fprintf(out_,
+                 "# {\"schema\":\"%s\",\"experiment\":\"%s\","
+                 "\"runs\":%zu,\"threads\":%d,\"baseSeed\":%llu,"
+                 "\"seedsDerived\":%s}\n",
+                 schema(), jsonEscape(experiment_).c_str(), runs,
+                 threads, static_cast<unsigned long long>(baseSeed),
+                 seedsDerived ? "true" : "false");
+}
+
+void
+ReportWriter::summary(const SweepReport &report)
+{
+    std::fputs(report.summary().c_str(), out_);
+}
+
+void
+ReportWriter::metrics(const MetricsSnapshot &snapshot)
+{
+    std::fprintf(out_, "# {\"metrics\":%s}\n",
+                 snapshot.toJson().c_str());
+}
+
+void
+ReportWriter::status(const char *state)
+{
+    std::fprintf(out_, "# {\"status\":\"%s\"}\n", state);
+    std::fflush(out_);
+}
+
+void
+ReportWriter::sweep(const SweepReport &report)
+{
+    header(report.runs.size(), report.threads, report.baseSeed,
+           report.seedsDerived);
+    summary(report);
+    metrics(report.metrics);
+    status("ok");
+}
+
+bool
+writeTraceFiles(const WormTrace &trace, const std::string &prefix,
+                std::string *error)
+{
+    const struct
+    {
+        const char *suffix;
+        std::string content;
+    } files[] = {
+        {".trace.json", trace.chromeJson()},
+        {".trace.jsonl", trace.jsonl()},
+    };
+    for (const auto &file : files) {
+        const std::string path = prefix + file.suffix;
+        FILE *out = std::fopen(path.c_str(), "w");
+        if (out == nullptr) {
+            if (error != nullptr)
+                *error = path;
+            return false;
+        }
+        std::fwrite(file.content.data(), 1, file.content.size(), out);
+        std::fclose(out);
+    }
+    return true;
+}
+
+} // namespace mdw

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Machine-readable report stream shared by every bench.
+ *
+ * Historically each fig_ / ablation_ main hand-rolled its own JSON
+ * status markers; ReportWriter centralizes the format behind one
+ * schema-versioned writer. The stream is JSONL embedded in the
+ * "#"-prefixed audit trail on stderr: every machine-readable line
+ * starts with "# {" and parses as one JSON object, so scripts can
+ * filter them out of the human-readable summary with a prefix match.
+ *
+ * Stream layout (schema "mdw-report/1"):
+ *   1. header  — {"schema","experiment","runs","threads",
+ *                 "baseSeed","seedsDerived"}
+ *   2. summary — human-readable per-run audit lines (not JSON)
+ *   3. metrics — {"metrics":{...}} aggregated MetricsSnapshot
+ *   4. status  — {"status":"ok"} or {"status":"fatal"}
+ * A truncated stream (missing status, or status "fatal") marks a run
+ * that died mid-sweep.
+ */
+
+#ifndef MDW_CORE_REPORT_HH
+#define MDW_CORE_REPORT_HH
+
+#include <cstdio>
+#include <string>
+
+#include "core/sweep.hh"
+#include "sim/telemetry.hh"
+
+namespace mdw {
+
+/** Writes one bench's report stream to a FILE (normally stderr). */
+class ReportWriter
+{
+  public:
+    /** Schema tag stamped into every header line. */
+    static const char *schema();
+
+    /** @param experiment The bench's experiment id (e.g. "E3"). */
+    ReportWriter(FILE *out, std::string experiment);
+
+    /** Schema-versioned first line of the stream. */
+    void header(std::size_t runs, int threads, std::uint64_t baseSeed,
+                bool seedsDerived);
+
+    /** Human-readable audit trail (SweepReport::summary()). */
+    void summary(const SweepReport &report);
+
+    /** Aggregated metrics section, one JSON line. */
+    void metrics(const MetricsSnapshot &snapshot);
+
+    /** Final status marker: "ok" or "fatal". */
+    void status(const char *state);
+
+    /** The full stream, in order, for a completed sweep. */
+    void sweep(const SweepReport &report);
+
+  private:
+    FILE *out_;
+    std::string experiment_;
+};
+
+/**
+ * Write @p trace as "<prefix>.trace.json" (Chrome-trace, loads in
+ * Perfetto / chrome://tracing) and "<prefix>.trace.jsonl" (one event
+ * object per line). Returns false (with the failing path in
+ * @p error, if non-null) when a file cannot be written.
+ */
+bool writeTraceFiles(const WormTrace &trace, const std::string &prefix,
+                     std::string *error = nullptr);
+
+} // namespace mdw
+
+#endif // MDW_CORE_REPORT_HH

@@ -180,11 +180,8 @@ SweepRunner::run()
     // Aggregates are merged serially, in submission order, after the
     // pool has joined — the merge order (and so every aggregate bit)
     // is independent of the thread count.
-    for (const ExperimentResult &result : results_) {
-        report_.unicastLatency.merge(result.unicastLatency);
-        report_.mcastLastLatency.merge(result.mcastLastLatency);
-        report_.mcastAvgLatency.merge(result.mcastAvgLatency);
-    }
+    for (const ExperimentResult &result : results_)
+        report_.metrics.merge(result.metrics);
     report_.wallMs = msSince(start);
     return results_;
 }

@@ -67,12 +67,25 @@ struct SweepReport
     std::vector<SweepRunRecord> runs;
 
     /**
-     * Latency samplers of all runs merged in submission order — the
-     * same numbers at any thread count.
+     * All runs' metric snapshots merged in submission order — the
+     * same numbers at any thread count. Counters sum, samplers merge
+     * (Sampler::merge), per-run gauges collapse into samplers.
      */
-    Sampler unicastLatency;
-    Sampler mcastLastLatency;
-    Sampler mcastAvgLatency;
+    MetricsSnapshot metrics;
+
+    /** Merged latency samplers (from `metrics`). */
+    const Sampler &unicastLatency() const
+    {
+        return metrics.sampler("tracker.latency.unicast");
+    }
+    const Sampler &mcastLastLatency() const
+    {
+        return metrics.sampler("tracker.latency.mcast_last");
+    }
+    const Sampler &mcastAvgLatency() const
+    {
+        return metrics.sampler("tracker.latency.mcast_avg");
+    }
 
     std::size_t saturatedCount() const;
 

@@ -31,6 +31,28 @@ Nic::Nic(std::string name, NodeId id, std::size_t numHosts,
 }
 
 void
+Nic::attachTelemetry(Telemetry &telemetry)
+{
+    tracer_ = telemetry.tracer();
+    MetricsRegistry &reg = telemetry.registry();
+    const std::string prefix = "nic." + std::to_string(id_) + ".";
+    reg.registerCounter(prefix + "messages_posted",
+                        &stats_.messagesPosted);
+    reg.registerCounter(prefix + "packets_injected",
+                        &stats_.packetsInjected);
+    reg.registerCounter(prefix + "flits_injected",
+                        &stats_.flitsInjected);
+    reg.registerCounter(prefix + "flits_ejected",
+                        &stats_.flitsEjected);
+    reg.registerCounter(prefix + "packets_delivered",
+                        &stats_.packetsDelivered);
+    reg.registerCounter(prefix + "sw_forwards", &stats_.swForwards);
+    reg.registerCounter(prefix + "retransmits", &stats_.retransmits);
+    reg.registerCounter(prefix + "poisoned_drops",
+                        &stats_.poisonedDrops);
+}
+
+void
 Nic::connectTx(Channel<Flit> *out, CreditChannel *creditIn,
                const ReceivePolicy &downstream)
 {
@@ -306,6 +328,8 @@ Nic::checkRetransmits(Cycle now)
         }
         ++p.attempts;
         stats_.retransmits.inc();
+        MDW_TRACE_EVENT(tracer_, WormEvent::Retransmit, now, 0, msg,
+                        id_, true, p.attempts);
         p.dests = resend;
         sendCopies(msg, resend, p.multicast, p.payloadFlits, now);
         p.interval = std::min(p.interval * 2,
@@ -347,6 +371,8 @@ Nic::stepTx(Cycle now)
         job.proto.injected = now;
         job.pkt = factory_->make(job.proto);
         stats_.packetsInjected.inc();
+        MDW_TRACE_EVENT(tracer_, WormEvent::Inject, now, job.pkt->id,
+                        job.pkt->msg, id_, true, 0);
     }
     if (txCredits_ < 1)
         return;
@@ -406,6 +432,8 @@ Nic::stepRx(Cycle now)
             // phantom-completed it; the end-to-end check discards it
             // here. Retransmission re-covers the destination.
             stats_.poisonedDrops.inc();
+            MDW_TRACE_EVENT(tracer_, WormEvent::PoisonDrop, now,
+                            flit.pkt->id, flit.pkt->msg, id_, true, 0);
         } else {
             deliver(rxCurrent_, now);
         }
@@ -422,6 +450,8 @@ Nic::deliver(const PacketPtr &pkt, Cycle now)
                "(dest count %zu)",
                id_, pkt->dests.count());
     stats_.packetsDelivered.inc();
+    MDW_TRACE_EVENT(tracer_, WormEvent::Deliver, now, pkt->id,
+                    pkt->msg, id_, true, 0);
 
     if (tracker_->resilient() && tracker_->isDelivered(pkt->msg, id_)) {
         // A redundant copy (retransmission raced the original): let

@@ -197,6 +197,12 @@ class Nic : public Component
     NodeId nodeId() const { return id_; }
     const NicStats &stats() const { return stats_; }
 
+    /**
+     * Register this NIC's stats under "nic.<id>." and pick up the
+     * shared worm tracer. Called once by the network after wiring.
+     */
+    void attachTelemetry(Telemetry &telemetry);
+
     /** Packets waiting to be injected (saturation indicator). */
     std::size_t txBacklog() const { return txQueue_.size(); }
 
@@ -326,6 +332,9 @@ class Nic : public Component
     const DestSet *reachable_ = nullptr;
     bool txFailed_ = false;
     bool rxFailed_ = false;
+
+    /** Shared worm tracer; null while tracing is off. */
+    WormTracer *tracer_ = nullptr;
 
     NicStats stats_;
 };

@@ -21,6 +21,7 @@ CreditChannel::send(int count, Cycle now)
         queue_.push_back(Entry{ready, count});
     }
     inFlight_ += count;
+    totalSends_ += static_cast<std::uint64_t>(count);
 }
 
 int

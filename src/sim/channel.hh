@@ -49,6 +49,7 @@ class Channel
                    static_cast<unsigned long long>(now));
         lastSend_ = now;
         sentYet_ = true;
+        ++totalSends_;
         queue_.push_back(Entry{now + delay_, std::move(item)});
     }
 
@@ -83,6 +84,9 @@ class Channel
     /** Number of items in flight (sent, not yet received). */
     std::size_t inFlight() const { return queue_.size(); }
 
+    /** Items ever sent over the channel's lifetime. */
+    std::uint64_t totalSends() const { return totalSends_; }
+
     /** Diagnostic name. */
     const std::string &name() const { return name_; }
 
@@ -101,6 +105,7 @@ class Channel
     std::deque<Entry> queue_;
     Cycle lastSend_ = 0;
     bool sentYet_ = false;
+    std::uint64_t totalSends_ = 0;
 };
 
 /**
@@ -122,6 +127,9 @@ class CreditChannel
     /** Credits in flight (granted, not yet collected). */
     int inFlight() const { return inFlight_; }
 
+    /** Credits ever granted over the channel's lifetime. */
+    std::uint64_t totalSends() const { return totalSends_; }
+
     const std::string &name() const { return name_; }
 
   private:
@@ -135,6 +143,7 @@ class CreditChannel
     Cycle delay_;
     std::deque<Entry> queue_;
     int inFlight_ = 0;
+    std::uint64_t totalSends_ = 0;
 };
 
 } // namespace mdw

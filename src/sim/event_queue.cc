@@ -65,6 +65,7 @@ EventQueue::schedule(Cycle when, Action action)
     MDW_ASSERT(action != nullptr, "scheduling a null event action");
     heap_.push_back(Event{when, nextSeq_++, std::move(action)});
     siftUp(heap_.size() - 1);
+    ++totalScheduled_;
 }
 
 void
@@ -73,6 +74,7 @@ EventQueue::runDue(Cycle now)
     while (!heap_.empty() && heap_.front().when <= now) {
         // The action may schedule further events, so pop first.
         Event event = popTop();
+        ++totalFired_;
         event.action();
     }
 }

@@ -39,6 +39,12 @@ class EventQueue
 
     bool empty() const { return heap_.empty(); }
 
+    /** Events ever scheduled over the queue's lifetime. */
+    std::uint64_t totalScheduled() const { return totalScheduled_; }
+
+    /** Events ever fired over the queue's lifetime. */
+    std::uint64_t totalFired() const { return totalFired_; }
+
   private:
     struct Event
     {
@@ -58,6 +64,8 @@ class EventQueue
 
     std::vector<Event> heap_;
     std::uint64_t nextSeq_ = 0;
+    std::uint64_t totalScheduled_ = 0;
+    std::uint64_t totalFired_ = 0;
 };
 
 } // namespace mdw

@@ -102,12 +102,52 @@ Histogram::add(double x)
 }
 
 void
+Histogram::coarsen(std::size_t factor)
+{
+    MDW_ASSERT(factor > 0, "histogram coarsening factor must be > 0");
+    if (factor == 1)
+        return;
+    const std::size_t newCount = (bins_.size() + factor - 1) / factor;
+    std::vector<std::uint64_t> coarse(newCount, 0);
+    for (std::size_t i = 0; i < bins_.size(); ++i)
+        coarse[i / factor] += bins_[i];
+    bins_ = std::move(coarse);
+    binWidth_ *= static_cast<double>(factor);
+}
+
+void
 Histogram::merge(const Histogram &other)
 {
-    MDW_ASSERT(other.binWidth_ == binWidth_ &&
-                   other.bins_.size() == bins_.size(),
-               "merging incompatible histograms");
-    for (std::size_t i = 0; i < bins_.size(); ++i)
+    if (other.total_ == 0)
+        return;
+    if (other.binWidth_ != binWidth_) {
+        // Rebin the finer histogram to the coarser width when the
+        // widths are commensurate; anything else would misfile
+        // counts, so reject it outright.
+        const double fine = std::min(binWidth_, other.binWidth_);
+        const double coarse = std::max(binWidth_, other.binWidth_);
+        const double ratio = coarse / fine;
+        const auto factor =
+            static_cast<std::size_t>(std::llround(ratio));
+        if (factor < 1 ||
+            std::abs(ratio - static_cast<double>(factor)) >
+                1e-9 * ratio) {
+            fatal("merging histograms with incommensurate bin "
+                  "widths (%g vs %g)",
+                  binWidth_, other.binWidth_);
+        }
+        if (binWidth_ < other.binWidth_) {
+            coarsen(factor);
+        } else {
+            Histogram rebinned = other;
+            rebinned.coarsen(factor);
+            merge(rebinned);
+            return;
+        }
+    }
+    if (other.bins_.size() > bins_.size())
+        bins_.resize(other.bins_.size(), 0);
+    for (std::size_t i = 0; i < other.bins_.size(); ++i)
         bins_[i] += other.bins_[i];
     overflow_ += other.overflow_;
     total_ += other.total_;

@@ -64,7 +64,17 @@ class Histogram
     Histogram(double binWidth, std::size_t binCount);
 
     void add(double x);
+
+    /**
+     * Merge another histogram's bins into this one. Differing bin
+     * counts are handled by widening; differing bin widths are
+     * handled by rebinning the finer histogram into the coarser
+     * width when one width is an integer multiple of the other, and
+     * rejected (fatal) otherwise — counts are never silently
+     * misfiled into the wrong bins.
+     */
     void merge(const Histogram &other);
+
     void reset();
 
     std::uint64_t count() const { return total_; }
@@ -84,6 +94,9 @@ class Histogram
     double binWidth() const { return binWidth_; }
 
   private:
+    /** Rebin in place to @p factor times the current bin width. */
+    void coarsen(std::size_t factor);
+
     double binWidth_;
     std::vector<std::uint64_t> bins_;
     std::uint64_t overflow_ = 0;

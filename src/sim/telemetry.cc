@@ -1,0 +1,517 @@
+#include "sim/telemetry.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace mdw {
+
+namespace {
+
+/** Shortest round-trippable formatting, stable across runs. */
+std::string
+jsonNumber(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+jsonNumber(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    return buf;
+}
+
+std::string
+samplerJson(const Sampler &s)
+{
+    std::string out = "{\"count\":";
+    out += jsonNumber(s.count());
+    out += ",\"mean\":";
+    out += jsonNumber(s.mean());
+    out += ",\"stddev\":";
+    out += jsonNumber(s.stddev());
+    out += ",\"min\":";
+    out += jsonNumber(s.min());
+    out += ",\"max\":";
+    out += jsonNumber(s.max());
+    out += "}";
+    return out;
+}
+
+bool
+samplerIdentical(const Sampler &a, const Sampler &b)
+{
+    return a.count() == b.count() && a.mean() == b.mean() &&
+           a.variance() == b.variance() && a.min() == b.min() &&
+           a.max() == b.max();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// MetricValue
+// ---------------------------------------------------------------------
+
+MetricValue
+MetricValue::makeCounter(std::uint64_t v)
+{
+    MetricValue m;
+    m.kind = Kind::Counter;
+    m.counter = v;
+    return m;
+}
+
+MetricValue
+MetricValue::makeGauge(double v)
+{
+    MetricValue m;
+    m.kind = Kind::Gauge;
+    m.gauge = v;
+    return m;
+}
+
+MetricValue
+MetricValue::makeSampler(const Sampler &s)
+{
+    MetricValue m;
+    m.kind = Kind::Sampler;
+    m.sampler = s;
+    return m;
+}
+
+void
+MetricValue::merge(const MetricValue &other)
+{
+    // A sum of instantaneous gauges is meaningless, so a gauge
+    // collapses into a distribution on its first merge; later merges
+    // then combine a Sampler with the next run's Gauge. Those are the
+    // only cross-kind pairs allowed.
+    if (kind == Kind::Gauge) {
+        kind = Kind::Sampler;
+        sampler.reset();
+        sampler.add(gauge);
+        gauge = 0.0;
+    }
+    if (kind == Kind::Sampler && other.kind == Kind::Gauge) {
+        sampler.add(other.gauge);
+        return;
+    }
+    MDW_ASSERT(kind == other.kind,
+               "merging metric values of different kinds");
+    switch (kind) {
+      case Kind::Counter:
+        counter += other.counter;
+        return;
+      case Kind::Sampler:
+        sampler.merge(other.sampler);
+        return;
+      case Kind::Gauge:
+        return; // unreachable: converted above
+    }
+}
+
+bool
+MetricValue::identical(const MetricValue &other) const
+{
+    if (kind != other.kind)
+        return false;
+    switch (kind) {
+      case Kind::Counter:
+        return counter == other.counter;
+      case Kind::Gauge:
+        return gauge == other.gauge;
+      case Kind::Sampler:
+        return samplerIdentical(sampler, other.sampler);
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// MetricsSnapshot
+// ---------------------------------------------------------------------
+
+std::uint64_t
+MetricsSnapshot::counter(const std::string &name) const
+{
+    const auto it = entries_.find(name);
+    if (it == entries_.end())
+        return 0;
+    if (it->second.kind == MetricValue::Kind::Gauge)
+        return static_cast<std::uint64_t>(it->second.gauge);
+    return it->second.counter;
+}
+
+double
+MetricsSnapshot::gauge(const std::string &name) const
+{
+    const auto it = entries_.find(name);
+    if (it == entries_.end())
+        return 0.0;
+    switch (it->second.kind) {
+      case MetricValue::Kind::Counter:
+        return static_cast<double>(it->second.counter);
+      case MetricValue::Kind::Gauge:
+        return it->second.gauge;
+      case MetricValue::Kind::Sampler:
+        return it->second.sampler.mean();
+    }
+    return 0.0;
+}
+
+const Sampler &
+MetricsSnapshot::sampler(const std::string &name) const
+{
+    static const Sampler empty;
+    const auto it = entries_.find(name);
+    if (it == entries_.end() ||
+        it->second.kind != MetricValue::Kind::Sampler) {
+        return empty;
+    }
+    return it->second.sampler;
+}
+
+bool
+MetricsSnapshot::has(const std::string &name) const
+{
+    return entries_.count(name) != 0;
+}
+
+void
+MetricsSnapshot::setCounter(const std::string &name, std::uint64_t v)
+{
+    entries_[name] = MetricValue::makeCounter(v);
+}
+
+void
+MetricsSnapshot::setGauge(const std::string &name, double v)
+{
+    entries_[name] = MetricValue::makeGauge(v);
+}
+
+void
+MetricsSnapshot::setSampler(const std::string &name, const Sampler &s)
+{
+    entries_[name] = MetricValue::makeSampler(s);
+}
+
+std::uint64_t
+MetricsSnapshot::sumCounters(const std::string &suffix) const
+{
+    std::uint64_t total = 0;
+    for (const auto &[name, value] : entries_) {
+        if (value.kind != MetricValue::Kind::Counter)
+            continue;
+        if (name.size() < suffix.size())
+            continue;
+        if (name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) != 0) {
+            continue;
+        }
+        total += value.counter;
+    }
+    return total;
+}
+
+void
+MetricsSnapshot::merge(const MetricsSnapshot &other)
+{
+    for (const auto &[name, value] : other.entries_) {
+        const auto it = entries_.find(name);
+        if (it == entries_.end())
+            entries_.emplace(name, value);
+        else
+            it->second.merge(value);
+    }
+}
+
+bool
+MetricsSnapshot::identical(const MetricsSnapshot &other) const
+{
+    if (entries_.size() != other.entries_.size())
+        return false;
+    auto a = entries_.begin();
+    auto b = other.entries_.begin();
+    for (; a != entries_.end(); ++a, ++b) {
+        if (a->first != b->first || !a->second.identical(b->second))
+            return false;
+    }
+    return true;
+}
+
+std::string
+MetricsSnapshot::toJson() const
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[name, value] : entries_) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"";
+        out += name;
+        out += "\":";
+        switch (value.kind) {
+          case MetricValue::Kind::Counter:
+            out += jsonNumber(value.counter);
+            break;
+          case MetricValue::Kind::Gauge:
+            out += jsonNumber(value.gauge);
+            break;
+          case MetricValue::Kind::Sampler:
+            out += samplerJson(value.sampler);
+            break;
+        }
+    }
+    out += "}";
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------
+
+void
+MetricsRegistry::insert(const std::string &name, Entry entry)
+{
+    const auto [it, inserted] =
+        entries_.emplace(name, std::move(entry));
+    (void)it;
+    if (!inserted)
+        fatal("metric '%s' registered twice", name.c_str());
+}
+
+void
+MetricsRegistry::registerCounter(const std::string &name,
+                                 const Counter *c)
+{
+    MDW_ASSERT(c != nullptr, "null counter registered as '%s'",
+               name.c_str());
+    Entry e;
+    e.counter = c;
+    insert(name, std::move(e));
+}
+
+void
+MetricsRegistry::registerSampler(const std::string &name,
+                                 const Sampler *s)
+{
+    MDW_ASSERT(s != nullptr, "null sampler registered as '%s'",
+               name.c_str());
+    Entry e;
+    e.sampler = s;
+    insert(name, std::move(e));
+}
+
+void
+MetricsRegistry::registerGauge(const std::string &name, GaugeFn fn)
+{
+    MDW_ASSERT(fn != nullptr, "null gauge registered as '%s'",
+               name.c_str());
+    Entry e;
+    e.gauge = std::move(fn);
+    insert(name, std::move(e));
+}
+
+void
+MetricsRegistry::registerIntGauge(const std::string &name,
+                                  IntGaugeFn fn)
+{
+    MDW_ASSERT(fn != nullptr, "null gauge registered as '%s'",
+               name.c_str());
+    Entry e;
+    e.intGauge = std::move(fn);
+    insert(name, std::move(e));
+}
+
+void
+MetricsRegistry::registerTimeAverage(const std::string &name,
+                                     const TimeAverage *t, NowFn now)
+{
+    MDW_ASSERT(t != nullptr && now != nullptr,
+               "null time average registered as '%s'", name.c_str());
+    registerGauge(name + ".avg",
+                  [t, now] { return t->average(now()); });
+    registerGauge(name + ".peak", [t] { return t->peak(); });
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    for (const auto &[name, entry] : entries_) {
+        if (entry.counter != nullptr)
+            snap.setCounter(name, entry.counter->value());
+        else if (entry.sampler != nullptr)
+            snap.setSampler(name, *entry.sampler);
+        else if (entry.intGauge)
+            snap.setCounter(name, entry.intGauge());
+        else
+            snap.setGauge(name, entry.gauge());
+    }
+    return snap;
+}
+
+std::vector<std::string>
+MetricsRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &[name, entry] : entries_) {
+        (void)entry;
+        out.push_back(name);
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Tracing
+// ---------------------------------------------------------------------
+
+const char *
+toString(WormEvent event)
+{
+    switch (event) {
+      case WormEvent::Inject:
+        return "inject";
+      case WormEvent::HeaderDecode:
+        return "header_decode";
+      case WormEvent::Replicate:
+        return "replicate";
+      case WormEvent::ReserveStall:
+        return "reserve_stall";
+      case WormEvent::TailDrain:
+        return "tail_drain";
+      case WormEvent::Deliver:
+        return "deliver";
+      case WormEvent::PoisonDrop:
+        return "poison_drop";
+      case WormEvent::Retransmit:
+        return "retransmit";
+    }
+    return "unknown";
+}
+
+namespace {
+
+void
+appendEventJson(std::string &out, const WormTraceEvent &e)
+{
+    out += "{\"cycle\":";
+    out += jsonNumber(e.cycle);
+    out += ",\"event\":\"";
+    out += toString(e.kind);
+    out += "\",\"packet\":";
+    out += jsonNumber(e.packet);
+    out += ",\"msg\":";
+    out += jsonNumber(e.msg);
+    out += ",\"component\":";
+    out += jsonNumber(static_cast<std::uint64_t>(
+        static_cast<std::uint32_t>(e.component)));
+    out += ",\"host\":";
+    out += e.atHost ? "true" : "false";
+    out += ",\"arg\":";
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%d", e.arg);
+    out += buf;
+    out += "}";
+}
+
+} // namespace
+
+std::string
+WormTrace::chromeJson() const
+{
+    // Chrome trace-event format: instant events ("ph":"i") with the
+    // simulation cycle as the timestamp; switches live in pid 1,
+    // hosts in pid 2, component ids map to tids.
+    std::string out = "{\"traceEvents\":[";
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+           "\"tid\":0,\"args\":{\"name\":\"switches\"}},";
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,"
+           "\"tid\":0,\"args\":{\"name\":\"hosts\"}}";
+    for (const WormTraceEvent &e : events) {
+        out += ",{\"name\":\"";
+        out += toString(e.kind);
+        out += "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+        out += jsonNumber(e.cycle);
+        out += ",\"pid\":";
+        out += e.atHost ? "2" : "1";
+        out += ",\"tid\":";
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%d", e.component);
+        out += buf;
+        out += ",\"args\":{\"packet\":";
+        out += jsonNumber(e.packet);
+        out += ",\"msg\":";
+        out += jsonNumber(e.msg);
+        out += ",\"arg\":";
+        std::snprintf(buf, sizeof(buf), "%d", e.arg);
+        out += buf;
+        out += "}}";
+    }
+    out += "],\"displayTimeUnit\":\"ns\",\"otherData\":{"
+           "\"clock\":\"cycles\",\"recorded\":";
+    out += jsonNumber(recorded);
+    out += ",\"dropped\":";
+    out += jsonNumber(dropped);
+    out += "}}";
+    return out;
+}
+
+std::string
+WormTrace::jsonl() const
+{
+    std::string out;
+    for (const WormTraceEvent &e : events) {
+        appendEventJson(out, e);
+        out += "\n";
+    }
+    return out;
+}
+
+WormTracer::WormTracer(std::size_t capacity) : ring_(capacity)
+{
+    MDW_ASSERT(capacity > 0, "tracer needs a non-empty ring");
+}
+
+WormTrace
+WormTracer::snapshot() const
+{
+    WormTrace trace;
+    trace.recorded = recorded_;
+    trace.dropped = dropped();
+    const std::size_t held = size();
+    trace.events.reserve(held);
+    // Oldest surviving event sits at head_ once the ring has wrapped.
+    const std::size_t start =
+        recorded_ < ring_.size() ? 0 : head_;
+    for (std::size_t i = 0; i < held; ++i)
+        trace.events.push_back(ring_[(start + i) % ring_.size()]);
+    return trace;
+}
+
+void
+WormTracer::clear()
+{
+    head_ = 0;
+    recorded_ = 0;
+}
+
+// ---------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------
+
+Telemetry::Telemetry(const TelemetryParams &params) : params_(params)
+{
+    if (params_.trace) {
+        tracer_ = std::make_unique<WormTracer>(
+            params_.traceCapacity == 0 ? 1u : params_.traceCapacity);
+    }
+}
+
+} // namespace mdw

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Observability layer: a hierarchical metrics registry plus an
+ * opt-in worm-lifecycle tracer.
+ *
+ * MetricsRegistry holds *references* to the statistics objects the
+ * components already own (Counters, Samplers, TimeAverages) under
+ * hierarchical dotted names ("switch.3.port.2.tx_flits",
+ * "nic.7.retransmits"); components register once at construction and
+ * keep updating their own objects on the hot path, so registration
+ * adds no per-cycle cost. snapshot() walks the (sorted) registry and
+ * produces a MetricsSnapshot — a self-contained value type that can
+ * be carried in results, looked up by name, merged across runs in
+ * submission order (Sampler::merge semantics), and compared bitwise.
+ *
+ * WormTracer records flit-level lifecycle events (inject,
+ * header-decode, replicate, reserve-stall, tail-drain, deliver,
+ * poison-drop, retransmit) into a preallocated ring buffer and
+ * exports Chrome-trace JSON (loadable in Perfetto / chrome://tracing)
+ * and a JSONL stream. Timestamps are simulation cycles only — never
+ * wall clock — so exports are deterministic. When tracing is
+ * disabled the tracer pointer held by components is null and every
+ * hook is a single predictable branch; defining MDW_TELEMETRY_DISABLED
+ * at compile time removes even that branch (the hooks inline to
+ * nothing).
+ */
+
+#ifndef MDW_SIM_TELEMETRY_HH
+#define MDW_SIM_TELEMETRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace mdw {
+
+// ---------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------
+
+/**
+ * One named measurement inside a MetricsSnapshot: a monotonic
+ * counter, an instantaneous gauge, or a full Sampler. Gauges turn
+ * into per-run Samplers when snapshots are merged (a sum would be
+ * meaningless for e.g. a load average).
+ */
+struct MetricValue
+{
+    enum class Kind : std::uint8_t { Counter, Gauge, Sampler };
+
+    Kind kind = Kind::Counter;
+    std::uint64_t counter = 0;
+    double gauge = 0.0;
+    Sampler sampler;
+
+    static MetricValue makeCounter(std::uint64_t v);
+    static MetricValue makeGauge(double v);
+    static MetricValue makeSampler(const Sampler &s);
+
+    /** Merge @p other in: counters add, samplers Sampler::merge,
+     *  gauges collapse into a Sampler over the merged runs. */
+    void merge(const MetricValue &other);
+
+    /** Exact (bitwise, not tolerance-based) equality. */
+    bool identical(const MetricValue &other) const;
+};
+
+/**
+ * Keyed, self-contained snapshot of every registered metric — the
+ * value type ExperimentResult carries. Lookups on missing names
+ * return zero / an empty sampler so accessors stay total.
+ */
+class MetricsSnapshot
+{
+  public:
+    std::uint64_t counter(const std::string &name) const;
+    double gauge(const std::string &name) const;
+    const Sampler &sampler(const std::string &name) const;
+    bool has(const std::string &name) const;
+
+    void setCounter(const std::string &name, std::uint64_t v);
+    void setGauge(const std::string &name, double v);
+    void setSampler(const std::string &name, const Sampler &s);
+
+    /** Sum of every counter whose name ends with @p suffix (rolls a
+     *  per-component metric up over the hierarchy). */
+    std::uint64_t sumCounters(const std::string &suffix) const;
+
+    /**
+     * Merge @p other into this snapshot. Deterministic given a fixed
+     * merge order: the sweep runner merges per-run snapshots in
+     * submission order, so aggregates are bit-identical at any thread
+     * count.
+     */
+    void merge(const MetricsSnapshot &other);
+
+    bool identical(const MetricsSnapshot &other) const;
+
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+    const std::map<std::string, MetricValue> &entries() const
+    {
+        return entries_;
+    }
+
+    /** One JSON object {"name": value | {sampler fields}, ...},
+     *  sorted by name (deterministic). */
+    std::string toJson() const;
+
+  private:
+    std::map<std::string, MetricValue> entries_;
+};
+
+/**
+ * Registry of live metric sources. Components register their stat
+ * objects (by pointer; the component retains ownership and must
+ * outlive the registry's snapshots) or gauge functions under unique
+ * hierarchical names. snapshot() reads every source once.
+ */
+class MetricsRegistry
+{
+  public:
+    using GaugeFn = std::function<double()>;
+    using IntGaugeFn = std::function<std::uint64_t()>;
+    using NowFn = std::function<Cycle()>;
+
+    void registerCounter(const std::string &name, const Counter *c);
+    void registerSampler(const std::string &name, const Sampler *s);
+    void registerGauge(const std::string &name, GaugeFn fn);
+    void registerIntGauge(const std::string &name, IntGaugeFn fn);
+    /** Registers "<name>.avg" and "<name>.peak" gauges over @p t,
+     *  evaluated at snapshot time via @p now. */
+    void registerTimeAverage(const std::string &name,
+                             const TimeAverage *t, NowFn now);
+
+    MetricsSnapshot snapshot() const;
+
+    std::size_t size() const { return entries_.size(); }
+    std::vector<std::string> names() const;
+
+  private:
+    struct Entry
+    {
+        const Counter *counter = nullptr;
+        const Sampler *sampler = nullptr;
+        GaugeFn gauge;
+        IntGaugeFn intGauge;
+    };
+
+    void insert(const std::string &name, Entry entry);
+
+    std::map<std::string, Entry> entries_;
+};
+
+// ---------------------------------------------------------------------
+// Worm lifecycle tracing
+// ---------------------------------------------------------------------
+
+/** Lifecycle stations of a multidestination worm. */
+enum class WormEvent : std::uint8_t
+{
+    /** First flit put on the injection link at the source NIC. */
+    Inject,
+    /** Routing header fully arrived and decoded at a switch. */
+    HeaderDecode,
+    /** Worm replicated to >1 output branch (arg = extra copies). */
+    Replicate,
+    /** Head stalled waiting for buffer reservation / output grant. */
+    ReserveStall,
+    /** Tail flit left a switch output (branch fully forwarded). */
+    TailDrain,
+    /** Packet delivered (accepted) at a destination NIC. */
+    Deliver,
+    /** Delivery discarded by the end-to-end poison check (fault). */
+    PoisonDrop,
+    /** Whole-message retransmission round issued by a source NIC. */
+    Retransmit,
+};
+
+const char *toString(WormEvent event);
+
+/** One recorded lifecycle event (fixed-size; ring-buffer friendly). */
+struct WormTraceEvent
+{
+    Cycle cycle = 0;
+    PacketId packet = 0;
+    MsgId msg = 0;
+    /** Switch id, or node id when atHost. */
+    std::int32_t component = 0;
+    /** Event-specific detail: port, extra copies, attempt number. */
+    std::int32_t arg = 0;
+    WormEvent kind = WormEvent::Inject;
+    bool atHost = false;
+};
+
+/**
+ * Immutable export of a tracer's contents (events oldest-first plus
+ * drop accounting), shared by results so sweeps stay thread-safe.
+ */
+struct WormTrace
+{
+    std::vector<WormTraceEvent> events;
+    /** Events ever recorded (recorded - events.size() were dropped). */
+    std::uint64_t recorded = 0;
+    std::uint64_t dropped = 0;
+
+    /** Chrome-trace ("traceEvents") JSON; loads in Perfetto. */
+    std::string chromeJson() const;
+    /** One JSON object per line. */
+    std::string jsonl() const;
+};
+
+/**
+ * Preallocated ring buffer of lifecycle events. When full, the
+ * oldest events are overwritten (and counted as dropped) so a
+ * deadlock diagnosis always holds the *most recent* history.
+ */
+class WormTracer
+{
+  public:
+    explicit WormTracer(std::size_t capacity);
+
+    void
+    record(WormEvent kind, Cycle cycle, PacketId packet, MsgId msg,
+           std::int32_t component, bool atHost, std::int32_t arg = 0)
+    {
+        WormTraceEvent &slot = ring_[head_];
+        slot.cycle = cycle;
+        slot.packet = packet;
+        slot.msg = msg;
+        slot.component = component;
+        slot.arg = arg;
+        slot.kind = kind;
+        slot.atHost = atHost;
+        head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+        ++recorded_;
+    }
+
+    std::size_t capacity() const { return ring_.size(); }
+    /** Events ever recorded (including since-overwritten ones). */
+    std::uint64_t recorded() const { return recorded_; }
+    /** Events overwritten by ring wraparound. */
+    std::uint64_t dropped() const
+    {
+        return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+    }
+    /** Events currently held. */
+    std::size_t size() const
+    {
+        return recorded_ < ring_.size()
+                   ? static_cast<std::size_t>(recorded_)
+                   : ring_.size();
+    }
+
+    /** Copy out the surviving events, oldest first. */
+    WormTrace snapshot() const;
+
+    void clear();
+
+  private:
+    std::vector<WormTraceEvent> ring_;
+    std::size_t head_ = 0;
+    std::uint64_t recorded_ = 0;
+};
+
+/**
+ * Telemetry hook used on component hot paths: expands to a plain
+ * null check, or to nothing when MDW_TELEMETRY_DISABLED is defined
+ * (the compile-time-inlined no-op path).
+ */
+#ifndef MDW_TELEMETRY_DISABLED
+#define MDW_TRACE_EVENT(tracer, kind, cycle, pkt, msg, comp, atHost, \
+                        arg)                                         \
+    do {                                                             \
+        if (tracer)                                                  \
+            (tracer)->record((kind), (cycle), (pkt), (msg), (comp),  \
+                             (atHost), (arg));                       \
+    } while (0)
+#else
+#define MDW_TRACE_EVENT(tracer, kind, cycle, pkt, msg, comp, atHost, \
+                        arg)                                         \
+    do {                                                             \
+    } while (0)
+#endif
+
+// ---------------------------------------------------------------------
+// Telemetry context
+// ---------------------------------------------------------------------
+
+/** Observability configuration (part of NetworkConfig). */
+struct TelemetryParams
+{
+    /** Record worm lifecycle events into the ring buffer. */
+    bool trace = false;
+    /** Ring-buffer capacity in events. */
+    std::uint32_t traceCapacity = 1u << 16;
+};
+
+/**
+ * Per-network observability context: the registry every component
+ * registers into plus the (optional) tracer they all share.
+ */
+class Telemetry
+{
+  public:
+    explicit Telemetry(const TelemetryParams &params = {});
+
+    MetricsRegistry &registry() { return registry_; }
+    const MetricsRegistry &registry() const { return registry_; }
+
+    /** Null when tracing is disabled (the zero-overhead path). */
+    WormTracer *tracer() { return tracer_.get(); }
+    const WormTracer *tracer() const { return tracer_.get(); }
+
+    const TelemetryParams &params() const { return params_; }
+
+  private:
+    TelemetryParams params_;
+    MetricsRegistry registry_;
+    std::unique_ptr<WormTracer> tracer_;
+};
+
+} // namespace mdw
+
+#endif // MDW_SIM_TELEMETRY_HH

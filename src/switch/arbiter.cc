@@ -28,6 +28,7 @@ RoundRobinArbiter::grant(const std::vector<bool> &request)
         const int idx = (last_ + i) % size_;
         if (request[static_cast<std::size_t>(idx)]) {
             last_ = idx;
+            ++grants_;
             return idx;
         }
     }
@@ -49,8 +50,10 @@ RoundRobinArbiter::grantFrom(const std::vector<int> &requesters)
             best = r;
         }
     }
-    if (best >= 0)
+    if (best >= 0) {
         last_ = best;
+        ++grants_;
+    }
     return best;
 }
 

@@ -7,6 +7,7 @@
 #ifndef MDW_SWITCH_ARBITER_HH
 #define MDW_SWITCH_ARBITER_HH
 
+#include <cstdint>
 #include <vector>
 
 namespace mdw {
@@ -40,9 +41,13 @@ class RoundRobinArbiter
 
     int size() const { return size_; }
 
+    /** Grants ever issued (telemetry). */
+    std::uint64_t totalGrants() const { return grants_; }
+
   private:
     int size_ = 0;
     int last_ = -1;
+    std::uint64_t grants_ = 0;
 };
 
 } // namespace mdw

@@ -242,9 +242,30 @@ CentralBufferSwitch::drainTombstones(Cycle now)
 }
 
 void
+CentralBufferSwitch::attachTelemetry(Telemetry &telemetry)
+{
+    SwitchBase::attachTelemetry(telemetry);
+    MetricsRegistry &reg = telemetry.registry();
+    const std::string prefix =
+        "switch." + std::to_string(id_) + ".";
+    reg.registerTimeAverage(prefix + "cq.occupancy_chunks", &cqOcc_,
+                            [this] {
+                                return sim_ ? sim_->now() : Cycle{0};
+                            });
+    reg.registerIntGauge(prefix + "cq.capacity_chunks", [this] {
+        return static_cast<std::uint64_t>(cq_.capacityChunks());
+    });
+    reg.registerCounter(prefix + "barrier.tokens_combined",
+                        &barrierTokens_);
+    reg.registerIntGauge(prefix + "arb.write_grants",
+                         [this] { return writeArb_.totalGrants(); });
+    reg.registerIntGauge(prefix + "arb.read_grants",
+                         [this] { return readArb_.totalGrants(); });
+}
+
+void
 CentralBufferSwitch::decide(Cycle now)
 {
-    (void)now;
     reservationWaiters_ = 0;
     for (std::size_t i = 0; i < inputs_.size(); ++i) {
         InputState &input = inputs_[i];
@@ -268,6 +289,8 @@ CentralBufferSwitch::decide(Cycle now)
 
         const RouteDecision route =
             routing_->decode(rec.pkt->dests, params_.variant);
+        traceWorm(WormEvent::HeaderDecode, now, *rec.pkt,
+                  static_cast<std::int32_t>(i));
         noteUnroutable(route);
         if (route.downBranches.empty() && !route.needsUp()) {
             // Every destination lost its path (post-fault tolerant
@@ -279,7 +302,7 @@ CentralBufferSwitch::decide(Cycle now)
             continue;
         }
         if (rec.pkt->kind == PacketKind::HwMulticast) {
-            decideMulticast(i, route);
+            decideMulticast(i, route, now);
         } else {
             decideUnicast(i, route);
         }
@@ -308,7 +331,6 @@ CentralBufferSwitch::consumeBarrierToken(std::size_t i, Cycle now)
 void
 CentralBufferSwitch::processBarrierEmissions(Cycle now)
 {
-    (void)now;
     while (!barrierEmissions_.empty()) {
         const BarrierUnit::Emit &emit = barrierEmissions_.front();
         if (emit.release) {
@@ -330,8 +352,12 @@ CentralBufferSwitch::processBarrierEmissions(Cycle now)
                 pkt, static_cast<int>(route.downBranches.size()));
             cq_.write(entry, pkt->totalFlits());
             stats_.packetsRouted.inc();
-            if (route.downBranches.size() > 1)
+            if (route.downBranches.size() > 1) {
                 stats_.replications.inc(route.downBranches.size() - 1);
+                traceWorm(WormEvent::Replicate, now, *pkt,
+                          static_cast<std::int32_t>(
+                              route.downBranches.size() - 1));
+            }
             int reader = 0;
             for (const auto &[port, sub] : route.downBranches) {
                 outputs_[static_cast<std::size_t>(port)]
@@ -410,7 +436,8 @@ CentralBufferSwitch::decideUnicast(std::size_t i,
 
 void
 CentralBufferSwitch::decideMulticast(std::size_t i,
-                                     const RouteDecision &route)
+                                     const RouteDecision &route,
+                                     Cycle now)
 {
     InputState &input = inputs_[i];
     const PacketPtr &pkt = input.packets.front().pkt;
@@ -420,6 +447,8 @@ CentralBufferSwitch::decideMulticast(std::size_t i,
     // central queue can guarantee storage for the entire worm.
     if (!cq_.canReserve(pkt->totalFlits(), route.needsUp())) {
         stats_.reservationStallCycles.inc();
+        traceWorm(WormEvent::ReserveStall, now, *pkt,
+                  static_cast<std::int32_t>(i));
         ++reservationWaiters_;
         return;
     }
@@ -454,8 +483,11 @@ CentralBufferSwitch::decideMulticast(std::size_t i,
     input.mode = InMode::CentralQueue;
     input.consumed = 0;
     stats_.packetsRouted.inc();
-    if (branches.size() > 1)
+    if (branches.size() > 1) {
         stats_.replications.inc(branches.size() - 1);
+        traceWorm(WormEvent::Replicate, now, *pkt,
+                  static_cast<std::int32_t>(branches.size() - 1));
+    }
     for (std::size_t b = 0; b < branches.size(); ++b) {
         outputs_[static_cast<std::size_t>(branches[b].first)]
             .queue.push_back(QueueItem{input.entry, static_cast<int>(b),
@@ -513,6 +545,8 @@ CentralBufferSwitch::bypassTransmit(Cycle now)
             sim_->noteProgress();
 
         if (output.sentSeq == input.bypassPkt->totalFlits()) {
+            traceWorm(WormEvent::TailDrain, now, *input.bypassPkt,
+                      static_cast<std::int32_t>(o));
             output.mode = OutputState::Mode::Idle;
             output.bypassInput = -1;
             output.sentSeq = 0;
@@ -670,6 +704,8 @@ CentralBufferSwitch::streamTransmit(Cycle now)
         const PacketPtr &pkt = output.current.branchPkt;
         if (output.sentSeq == 0 && !canStartPacket(port, *pkt)) {
             stats_.reservationStallCycles.inc();
+            traceWorm(WormEvent::ReserveStall, now, *pkt,
+                      static_cast<std::int32_t>(o));
             continue;
         }
         port.out->send(Flit{pkt, output.sentSeq}, now);
@@ -680,6 +716,8 @@ CentralBufferSwitch::streamTransmit(Cycle now)
         if (sim_)
             sim_->noteProgress();
         if (output.sentSeq == pkt->totalFlits()) {
+            traceWorm(WormEvent::TailDrain, now, *pkt,
+                      static_cast<std::int32_t>(o));
             output.mode = OutputState::Mode::Idle;
             output.fifoFlits = 0;
             output.readSeq = 0;

@@ -90,6 +90,8 @@ class CentralBufferSwitch : public SwitchBase
 
     bool quiescent(std::string *why) const override;
 
+    void attachTelemetry(Telemetry &telemetry) override;
+
     // --- Hardware barrier support (companion IPPS'97 scheme) -------
 
     /** Builds an id-stamped packet from a descriptor (manager hook). */
@@ -169,7 +171,8 @@ class CentralBufferSwitch : public SwitchBase
     /** Try to inject pending barrier emissions into the queue. */
     void processBarrierEmissions(Cycle now);
     void decideUnicast(std::size_t input, const RouteDecision &route);
-    void decideMulticast(std::size_t input, const RouteDecision &route);
+    void decideMulticast(std::size_t input, const RouteDecision &route,
+                         Cycle now);
     void bypassTransmit(Cycle now);
     void cqWrite(Cycle now);
     void activateStreams();

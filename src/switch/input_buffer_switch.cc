@@ -86,7 +86,7 @@ InputBufferSwitch::step(Cycle now)
     intake(now);
     if (poisoned_)
         fabricateFailedArrivals();
-    decodeHeads();
+    decodeHeads(now);
     if (params_.replication == ReplicationMode::Synchronous) {
         arbitrateSync();
         transmitSync(now);
@@ -163,7 +163,7 @@ InputBufferSwitch::fabricateFailedArrivals()
 }
 
 void
-InputBufferSwitch::decodeHeads()
+InputBufferSwitch::decodeHeads(Cycle now)
 {
     for (auto &input : inputs_) {
         if (input.decoded || input.packets.empty())
@@ -174,6 +174,7 @@ InputBufferSwitch::decodeHeads()
 
         const RouteDecision route =
             routing_->decode(rec.pkt->dests, params_.variant);
+        traceWorm(WormEvent::HeaderDecode, now, *rec.pkt);
         noteUnroutable(route);
         if (route.downBranches.empty() && !route.needsUp()) {
             // Every destination lost its route to the faults: poison
@@ -210,8 +211,11 @@ InputBufferSwitch::decodeHeads()
         stats_.packetsRouted.inc();
         const std::size_t copies =
             route.downBranches.size() + (route.needsUp() ? 1 : 0);
-        if (copies > 1)
+        if (copies > 1) {
             stats_.replications.inc(copies - 1);
+            traceWorm(WormEvent::Replicate, now, *rec.pkt,
+                      static_cast<std::int32_t>(copies - 1));
+        }
     }
 }
 
@@ -305,6 +309,8 @@ InputBufferSwitch::transmit(Cycle now)
             continue;
         if (branch.sent == 0 && !canStartPacket(port, *branch.pkt)) {
             stats_.reservationStallCycles.inc();
+            traceWorm(WormEvent::ReserveStall, now, *branch.pkt,
+                      static_cast<std::int32_t>(o));
             continue;
         }
         port.out->send(Flit{branch.pkt, branch.sent}, now);
@@ -314,6 +320,8 @@ InputBufferSwitch::transmit(Cycle now)
         if (sim_)
             sim_->noteProgress();
         if (branch.done()) {
+            traceWorm(WormEvent::TailDrain, now, *branch.pkt,
+                      static_cast<std::int32_t>(o));
             output.boundInput = -1;
             output.boundBranch = -1;
         }
@@ -428,8 +436,10 @@ InputBufferSwitch::transmitSync(Cycle now)
             }
         }
         if (!all_can) {
-            if (sent == 0)
+            if (sent == 0) {
                 stats_.reservationStallCycles.inc();
+                traceWorm(WormEvent::ReserveStall, now, *rec.pkt);
+            }
             continue;
         }
 
@@ -452,6 +462,7 @@ InputBufferSwitch::transmitSync(Cycle now)
         if (sim_)
             sim_->noteProgress();
         if (done) {
+            traceWorm(WormEvent::TailDrain, now, *rec.pkt);
             for (const Branch &branch : input.branches) {
                 OutputState &output =
                     outputs_[static_cast<std::size_t>(branch.port)];
@@ -498,6 +509,23 @@ InputBufferSwitch::release(Cycle now)
             input.released = 0;
         }
     }
+}
+
+void
+InputBufferSwitch::attachTelemetry(Telemetry &telemetry)
+{
+    SwitchBase::attachTelemetry(telemetry);
+    MetricsRegistry &reg = telemetry.registry();
+    const std::string prefix =
+        "switch." + std::to_string(id_) + ".";
+    reg.registerIntGauge(prefix + "arb.output_grants", [this] {
+        std::uint64_t total = 0;
+        for (const RoundRobinArbiter &arb : outputArb_)
+            total += arb.totalGrants();
+        return total;
+    });
+    reg.registerIntGauge(prefix + "arb.sync_grants",
+                         [this] { return syncArb_.totalGrants(); });
 }
 
 bool

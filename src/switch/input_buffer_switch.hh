@@ -73,6 +73,8 @@ class InputBufferSwitch : public SwitchBase
 
     bool quiescent(std::string *why) const override;
 
+    void attachTelemetry(Telemetry &telemetry) override;
+
   private:
     /** One replication branch of the head packet of an input. */
     struct Branch
@@ -117,7 +119,7 @@ class InputBufferSwitch : public SwitchBase
     void intake(Cycle now);
     /** Complete packets cut off by a failed input link (fault). */
     void fabricateFailedArrivals();
-    void decodeHeads();
+    void decodeHeads(Cycle now);
     void arbitrate();
     void transmit(Cycle now);
     /** Synchronous replication: all-or-nothing port acquisition. */

@@ -160,6 +160,34 @@ SwitchBase::canStartPacket(const OutPort &port,
     return port.credits >= 1;
 }
 
+void
+SwitchBase::attachTelemetry(Telemetry &telemetry)
+{
+    tracer_ = telemetry.tracer();
+    MetricsRegistry &reg = telemetry.registry();
+    const std::string prefix =
+        "switch." + std::to_string(id_) + ".";
+    reg.registerCounter(prefix + "flits_in", &stats_.flitsIn);
+    reg.registerCounter(prefix + "flits_out", &stats_.flitsOut);
+    reg.registerCounter(prefix + "packets_routed",
+                        &stats_.packetsRouted);
+    reg.registerCounter(prefix + "replications",
+                        &stats_.replications);
+    reg.registerCounter(prefix + "reservation_stall_cycles",
+                        &stats_.reservationStallCycles);
+    reg.registerCounter(prefix + "tombstoned_flits",
+                        &stats_.tombstonedFlits);
+    reg.registerCounter(prefix + "unroutable_dests",
+                        &stats_.unroutableDests);
+    for (std::size_t p = 0; p < outs_.size(); ++p) {
+        if (!outs_[p].connected())
+            continue;
+        reg.registerCounter(prefix + "port." + std::to_string(p) +
+                                ".tx_flits",
+                            &portTx_[p]);
+    }
+}
+
 PortId
 SwitchBase::chooseUpPort(const RouteDecision &route,
                          const PacketDesc &pkt,

@@ -18,6 +18,7 @@
 #include "sim/component.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
+#include "sim/telemetry.hh"
 #include "topology/routing.hh"
 
 namespace mdw {
@@ -186,6 +187,15 @@ class SwitchBase : public Component
      */
     virtual bool quiescent(std::string *why) const;
 
+    /**
+     * Register this switch's stats under "switch.<id>." (per-port tx
+     * counters under "switch.<id>.port.<p>.") and pick up the shared
+     * worm tracer. Called once by the network after wiring, so only
+     * connected ports register. Architectures extend this with their
+     * own metrics.
+     */
+    virtual void attachTelemetry(Telemetry &telemetry);
+
   protected:
     struct InPort
     {
@@ -260,6 +270,16 @@ class SwitchBase : public Component
      */
     void noteUnroutable(const RouteDecision &route);
 
+    /** Record a worm lifecycle event at this switch (no-op unless
+     *  tracing is enabled). */
+    void
+    traceWorm(WormEvent kind, Cycle now, const PacketDesc &pkt,
+              std::int32_t arg = 0) const
+    {
+        MDW_TRACE_EVENT(tracer_, kind, now, pkt.id, pkt.msg, id_,
+                        false, arg);
+    }
+
     SwitchId id_;
     const SwitchRouting *routing_;
     SwitchParams params_;
@@ -270,6 +290,8 @@ class SwitchBase : public Component
     SwitchStats stats_;
     /** Shared poison registry; null while fault injection is off. */
     std::unordered_set<PacketId> *poisoned_ = nullptr;
+    /** Shared worm tracer; null while tracing is off. */
+    WormTracer *tracer_ = nullptr;
 };
 
 } // namespace mdw

@@ -43,11 +43,11 @@ TEST(Experiment, LowLoadRunDrainsAndMeasures)
     EXPECT_TRUE(r.drained);
     EXPECT_FALSE(r.deadlocked);
     EXPECT_FALSE(r.saturated);
-    EXPECT_GT(r.mcastCount, 0.0);
-    EXPECT_GT(r.mcastLastAvg, 0.0);
-    EXPECT_GE(r.mcastLastAvg, r.mcastAvgAvg);
+    EXPECT_GT(r.mcastCount(), 0.0);
+    EXPECT_GT(r.mcastLastAvg(), 0.0);
+    EXPECT_GE(r.mcastLastAvg(), r.mcastAvgAvg());
     // Delivered ~= offered x degree.
-    EXPECT_NEAR(r.deliveredLoad, r.expectedDelivered,
+    EXPECT_NEAR(r.deliveredLoad(), r.expectedDelivered,
                 r.expectedDelivered * 0.25);
 }
 
@@ -97,9 +97,9 @@ TEST(Experiment, ResultsAreReproducible)
         Experiment(smallNet(), traffic, quickParams()).run();
     const ExperimentResult b =
         Experiment(smallNet(), traffic, quickParams()).run();
-    EXPECT_DOUBLE_EQ(a.mcastLastAvg, b.mcastLastAvg);
-    EXPECT_DOUBLE_EQ(a.mcastAvgAvg, b.mcastAvgAvg);
-    EXPECT_DOUBLE_EQ(a.deliveredLoad, b.deliveredLoad);
+    EXPECT_DOUBLE_EQ(a.mcastLastAvg(), b.mcastLastAvg());
+    EXPECT_DOUBLE_EQ(a.mcastAvgAvg(), b.mcastAvgAvg());
+    EXPECT_DOUBLE_EQ(a.deliveredLoad(), b.deliveredLoad());
 }
 
 TEST(Experiment, SweepLoadsPreservesOrderAndMonotonicity)
@@ -114,7 +114,7 @@ TEST(Experiment, SweepLoadsPreservesOrderAndMonotonicity)
     EXPECT_DOUBLE_EQ(results[0].offeredLoad, 0.01);
     EXPECT_DOUBLE_EQ(results[1].offeredLoad, 0.06);
     // More load, more latency.
-    EXPECT_GE(results[1].mcastLastAvg, results[0].mcastLastAvg);
+    EXPECT_GE(results[1].mcastLastAvg(), results[0].mcastLastAvg());
 }
 
 TEST(Presets, SchemesConfigureArchAndScheme)
@@ -197,9 +197,9 @@ TEST(Experiment, PercentilesBracketTheMean)
     traffic.mcastDegree = 4;
     const ExperimentResult r =
         Experiment(smallNet(), traffic, quickParams()).run();
-    ASSERT_GT(r.mcastCount, 0.0);
-    EXPECT_GE(r.mcastLastP95, r.mcastLastAvg * 0.8);
-    EXPECT_GT(r.mcastLastP95, 0.0);
+    ASSERT_GT(r.mcastCount(), 0.0);
+    EXPECT_GE(r.mcastLastP95(), r.mcastLastAvg() * 0.8);
+    EXPECT_GT(r.mcastLastP95(), 0.0);
 }
 
 TEST(Experiment, HotSpotPatternRuns)
@@ -212,7 +212,7 @@ TEST(Experiment, HotSpotPatternRuns)
     const ExperimentResult r =
         Experiment(smallNet(), traffic, quickParams()).run();
     EXPECT_TRUE(r.drained);
-    EXPECT_GT(r.unicastCount, 0.0);
+    EXPECT_GT(r.unicastCount(), 0.0);
     EXPECT_DOUBLE_EQ(r.expectedDelivered, r.offeredLoad);
 }
 
@@ -240,11 +240,11 @@ TEST(Experiment, LinkUtilizationTracksLoad)
     const ExperimentResult high =
         Experiment(smallNet(), traffic, quickParams()).run();
 
-    EXPECT_GT(low.meanLinkUtil, 0.0);
-    EXPECT_GE(low.maxLinkUtil, low.meanLinkUtil);
-    EXPECT_LE(low.maxLinkUtil, 1.0);
+    EXPECT_GT(low.meanLinkUtil(), 0.0);
+    EXPECT_GE(low.maxLinkUtil(), low.meanLinkUtil());
+    EXPECT_LE(low.maxLinkUtil(), 1.0);
     // Triple the load, busier links.
-    EXPECT_GT(high.meanLinkUtil, low.meanLinkUtil * 1.5);
+    EXPECT_GT(high.meanLinkUtil(), low.meanLinkUtil() * 1.5);
 }
 
 TEST(Experiment, RowFormattingContainsLabel)

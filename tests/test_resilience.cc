@@ -164,6 +164,7 @@ TEST(Resilience, UnroutableDestinationTripsWatchdogWithDiagnosis)
     config.fatTreeK = 4;
     config.fatTreeN = 2; // 16 hosts
     config.nic.retransmitTimeout = 0; // no host-level recovery
+    config.telemetry.trace = true;    // diagnosis carries the trace
 
     // Host 15's leaf switch dies shortly after the worm launches.
     FatTree scratch(4, 2);
@@ -191,6 +192,10 @@ TEST(Resilience, UnroutableDestinationTripsWatchdogWithDiagnosis)
     EXPECT_NE(diag->stateDump.find("network state at cycle"),
               std::string::npos);
     EXPECT_GT(diag->cycle, 60u);
+    // The worm tracer's recent history rides along with the dump.
+    EXPECT_NE(diag->traceJson.find("\"traceEvents\""),
+              std::string::npos);
+    EXPECT_NE(diag->traceJson.find("\"inject\""), std::string::npos);
     // The copy toward the dead leaf was written off in the fabric.
     EXPECT_GE(net.resilience()->faultsApplied(), 1u);
 }
@@ -375,7 +380,7 @@ TEST(Resilience, FaultedExperimentIsDeterministic)
     ExperimentResult a = Experiment(network, traffic, params).run();
     ExperimentResult b = Experiment(network, traffic, params).run();
     EXPECT_TRUE(identicalResults(a, b));
-    EXPECT_EQ(a.faultsApplied, 2u);
+    EXPECT_EQ(a.faultsApplied(), 2u);
     EXPECT_TRUE(a.drained);
     EXPECT_FALSE(a.deadlocked);
     EXPECT_TRUE(a.quiescent);

@@ -191,6 +191,51 @@ TEST(Histogram, MergeAddsBins)
     EXPECT_EQ(a.overflow(), 1u);
 }
 
+TEST(Histogram, MergeRebinsFinerIntoCoarser)
+{
+    Histogram coarse(2.0, 4), fine(1.0, 8);
+    coarse.add(1.0); // coarse bin 0
+    fine.add(3.0);   // fine bin 3 -> coarse bin 1
+    fine.add(5.0);   // fine bin 5 -> coarse bin 2
+    coarse.merge(fine);
+    EXPECT_DOUBLE_EQ(coarse.binWidth(), 2.0);
+    EXPECT_EQ(coarse.count(), 3u);
+    EXPECT_EQ(coarse.bins()[0], 1u);
+    EXPECT_EQ(coarse.bins()[1], 1u);
+    EXPECT_EQ(coarse.bins()[2], 1u);
+    EXPECT_EQ(coarse.overflow(), 0u);
+}
+
+TEST(Histogram, MergeCoarsensSelfWhenOtherIsWider)
+{
+    Histogram fine(1.0, 8), coarse(4.0, 2);
+    fine.add(0.5);   // fine bin 0 -> rebinned bin 0
+    fine.add(6.0);   // fine bin 6 -> rebinned bin 1
+    coarse.add(5.0); // coarse bin 1
+    fine.merge(coarse);
+    EXPECT_DOUBLE_EQ(fine.binWidth(), 4.0);
+    EXPECT_EQ(fine.count(), 3u);
+    EXPECT_EQ(fine.bins()[0], 1u);
+    EXPECT_EQ(fine.bins()[1], 2u);
+}
+
+TEST(Histogram, MergeEmptyOtherIsNoOpEvenWithOddWidth)
+{
+    Histogram a(1.0, 4), empty(0.3, 7);
+    a.add(2.0);
+    a.merge(empty); // nothing to misfile; must not fatal
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.binWidth(), 1.0);
+}
+
+TEST(Histogram, MergeRejectsIncommensurateWidths)
+{
+    Histogram a(1.0, 4), b(2.5, 4);
+    a.add(1.0);
+    b.add(1.0);
+    EXPECT_DEATH(a.merge(b), "incommensurate bin widths");
+}
+
 TEST(Histogram, NegativeClampsToFirstBin)
 {
     Histogram h(1.0, 4);

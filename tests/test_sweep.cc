@@ -82,19 +82,19 @@ TEST(Sweep, ThreadCountsProduceIdenticalResults)
             << ") differs between 1 and 4 threads";
         // Some runs must actually measure something, or the
         // comparison is vacuous.
-        EXPECT_GT(a[i].mcastCount + a[i].unicastCount, 0.0);
+        EXPECT_GT(a[i].mcastCount() + a[i].unicastCount(), 0.0);
     }
     EXPECT_EQ(one.report().threads, 1);
     EXPECT_EQ(four.report().threads, 4);
 
     // The merged aggregates are built in submission order, so they
     // are bit-identical too.
-    expectSamplersEqual(one.report().unicastLatency,
-                        four.report().unicastLatency);
-    expectSamplersEqual(one.report().mcastLastLatency,
-                        four.report().mcastLastLatency);
-    expectSamplersEqual(one.report().mcastAvgLatency,
-                        four.report().mcastAvgLatency);
+    expectSamplersEqual(one.report().unicastLatency(),
+                        four.report().unicastLatency());
+    expectSamplersEqual(one.report().mcastLastLatency(),
+                        four.report().mcastLastLatency());
+    expectSamplersEqual(one.report().mcastAvgLatency(),
+                        four.report().mcastAvgLatency());
 }
 
 TEST(Sweep, SerialRunnerMatchesDirectExperiments)
