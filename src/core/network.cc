@@ -40,6 +40,17 @@ Network::Network(const NetworkConfig &config)
     wire();
     registerTelemetry();
     installFaults();
+
+    bool fast = cfg_.fastPath;
+    // Environment escape hatch, e.g. for re-running a whole test
+    // suite against the cycle-accurate oracle: MDW_FAST_PATH=0|1.
+    if (const char *env = std::getenv("MDW_FAST_PATH")) {
+        if (env[0] == '0' && env[1] == '\0')
+            fast = false;
+        else if (env[0] == '1' && env[1] == '\0')
+            fast = true;
+    }
+    sim_.setFastPath(fast);
 }
 
 Network::~Network() = default;

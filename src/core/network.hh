@@ -58,6 +58,14 @@ struct NetworkConfig
     Cycle linkDelay = 1;
     std::uint64_t seed = 1;
 
+    /**
+     * Idle-skipping scheduler (bit-identical to the cycle-accurate
+     * path; see Simulator). On by default; set sim.fastPath=0 (or
+     * MDW_FAST_PATH=0 in the environment, which overrides the config)
+     * to fall back to the always-stepped oracle.
+     */
+    bool fastPath = true;
+
     /** Explicit fault schedule (takes precedence over faultSpec). */
     FaultPlan faultPlan;
     /** Randomized fault schedule, drawn over this network's links and

@@ -186,6 +186,10 @@ applyOverrides(const Config &config, NetworkConfig &network,
     network.linkDelay = config.getU64("linkDelay", network.linkDelay);
     network.seed = config.getU64("seed", network.seed);
 
+    // Scheduling mode (results are bit-identical either way; 0 is the
+    // cycle-accurate oracle for debugging).
+    network.fastPath = config.getBool("sim.fastPath", network.fastPath);
+
     // Traffic.
     const std::string pattern =
         config.getString("pattern", toString(traffic.pattern));

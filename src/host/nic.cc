@@ -61,6 +61,8 @@ Nic::connectTx(Channel<Flit> *out, CreditChannel *creditIn,
     txCreditIn_ = creditIn;
     txCredits_ = downstream.window;
     txMcastWholePacket_ = downstream.mcastWholePacket;
+    // A credit-blocked NIC sleeps until the switch returns credits.
+    creditIn->setWakeSink(this);
 }
 
 void
@@ -69,6 +71,8 @@ Nic::connectRx(Channel<Flit> *in, CreditChannel *creditOut)
     MDW_ASSERT(rxIn_ == nullptr, "NIC %d rx connected twice", id_);
     rxIn_ = in;
     rxCreditOut_ = creditOut;
+    // Arriving flits must be able to rouse a sleeping NIC.
+    in->setWakeSink(this);
 }
 
 MsgId
@@ -118,6 +122,10 @@ Nic::launch(MsgId msg, const DestSet &dests, bool multicast,
         pending.deadline = now + pending.interval;
         nextRetx_ = std::min(nextRetx_, pending.deadline);
         pending_.emplace(msg, std::move(pending));
+        // The retry timer must run even if nothing gets queued below
+        // (dead up-link): the deadline sweep is what writes the
+        // destinations off.
+        requestWake(now);
     }
     sendCopies(msg, remaining, multicast, payloadFlits, now);
 }
@@ -252,6 +260,11 @@ Nic::enqueueJob(PacketDesc proto)
     SendJob job;
     job.proto = std::move(proto);
     txQueue_.push_back(std::move(job));
+    // Every queue entry point funnels through here, so this one wake
+    // covers application posts, carrier forwards, barrier tokens, and
+    // retransmissions landing on a sleeping NIC.
+    if (sim_ != nullptr)
+        requestWake(sim_->now());
 }
 
 void
@@ -288,6 +301,49 @@ Nic::step(Cycle now)
     stepRx(now);
     if (params_.retransmitTimeout > 0)
         checkRetransmits(now);
+}
+
+Cycle
+Nic::nextWork(Cycle now)
+{
+    Cycle next = kNoCycle;
+    const auto consider = [&next](Cycle when) {
+        if (when < next)
+            next = when;
+    };
+    if (txCreditIn_ != nullptr)
+        consider(txCreditIn_->nextArrival());
+    if (rxIn_ != nullptr)
+        consider(rxIn_->nextArrival());
+    if (source_ != nullptr)
+        consider(source_->nextArrival(id_, now + 1));
+    if (!txFailed_ && txOut_ != nullptr && !txQueue_.empty()) {
+        // Mirror stepTx's gating: an unprepared or not-yet-ready job
+        // has a known wake-up; a ready job only needs stepping while
+        // credits allow a send (the credit channel wakes us
+        // otherwise).
+        const SendJob &job = txQueue_.front();
+        if (!job.prepared) {
+            consider(now + 1);
+        } else if (now < job.readyAt) {
+            // Software send overhead: the packet is built once the
+            // overhead elapses, so sleep straight through it.
+            consider(job.readyAt);
+        } else if (job.pkt == nullptr) {
+            consider(now + 1);
+        } else {
+            const bool whole_packet =
+                job.sent == 0 && txMcastWholePacket_ &&
+                job.pkt->kind == PacketKind::HwMulticast;
+            const int needed =
+                whole_packet ? job.pkt->totalFlits() : 1;
+            if (txCredits_ >= needed)
+                consider(now + 1);
+        }
+    }
+    if (params_.retransmitTimeout > 0 && !pending_.empty())
+        consider(nextRetx_ > now ? nextRetx_ : now + 1);
+    return next;
 }
 
 void
@@ -529,6 +585,8 @@ Nic::failTx()
     // written off by the retransmission timeout (or immediately, for
     // messages posted from now on).
     txQueue_.clear();
+    if (sim_ != nullptr)
+        requestWake(sim_->now());
 }
 
 void
@@ -537,6 +595,8 @@ Nic::failRx()
     rxFailed_ = true;
     rxCurrent_ = nullptr;
     rxArrived_ = 0;
+    if (sim_ != nullptr)
+        requestWake(sim_->now());
 }
 
 bool

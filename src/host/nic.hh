@@ -65,6 +65,20 @@ class TrafficSource
     /** Append messages node @p node creates at cycle @p now. */
     virtual void poll(NodeId node, Cycle now,
                       std::vector<MessageSpec> &out) = 0;
+
+    /**
+     * Earliest cycle >= @p now at which poll() may yield a message
+     * for @p node, or kNoCycle if it never will again. Lets the
+     * fast-path kernel put an idle NIC to sleep between arrivals. The
+     * default -- "maybe right now" -- keeps the NIC polling every
+     * cycle, which is always correct.
+     */
+    virtual Cycle
+    nextArrival(NodeId node, Cycle now)
+    {
+        (void)node;
+        return now;
+    }
 };
 
 /** NIC configuration. */
@@ -193,6 +207,8 @@ class Nic : public Component
     void postBarrierArrive(int group, Cycle now);
 
     void step(Cycle now) override;
+
+    Cycle nextWork(Cycle now) override;
 
     NodeId nodeId() const { return id_; }
     const NicStats &stats() const { return stats_; }

@@ -22,6 +22,8 @@ CreditChannel::send(int count, Cycle now)
     }
     inFlight_ += count;
     totalSends_ += static_cast<std::uint64_t>(count);
+    if (sink_ != nullptr)
+        sink_->requestWake(ready);
 }
 
 int

@@ -19,6 +19,7 @@
 #include <string>
 #include <utility>
 
+#include "sim/component.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
@@ -51,6 +52,23 @@ class Channel
         sentYet_ = true;
         ++totalSends_;
         queue_.push_back(Entry{now + delay_, std::move(item)});
+        if (sink_ != nullptr)
+            sink_->requestWake(now + delay_);
+    }
+
+    /**
+     * Register the receiving component so sends wake it if it is
+     * sleeping when the item lands (fast path only).
+     */
+    void setWakeSink(Component *sink) { sink_ = sink; }
+
+    /** Cycle the oldest in-flight item arrives, or kNoCycle. */
+    Cycle
+    nextArrival() const
+    {
+        // Constant delay keeps the queue ready-ordered, so front() is
+        // the earliest arrival.
+        return queue_.empty() ? kNoCycle : queue_.front().ready;
     }
 
     /** True if send() was already called this cycle. */
@@ -106,6 +124,7 @@ class Channel
     Cycle lastSend_ = 0;
     bool sentYet_ = false;
     std::uint64_t totalSends_ = 0;
+    Component *sink_ = nullptr;
 };
 
 /**
@@ -123,6 +142,19 @@ class CreditChannel
 
     /** Collect all credits that have arrived by @p now. */
     int receive(Cycle now);
+
+    /**
+     * Register the receiving component so grants wake it if it is
+     * sleeping when the credits land (fast path only).
+     */
+    void setWakeSink(Component *sink) { sink_ = sink; }
+
+    /** Cycle the oldest in-flight grant arrives, or kNoCycle. */
+    Cycle
+    nextArrival() const
+    {
+        return queue_.empty() ? kNoCycle : queue_.front().ready;
+    }
 
     /** Credits in flight (granted, not yet collected). */
     int inFlight() const { return inFlight_; }
@@ -144,6 +176,7 @@ class CreditChannel
     std::deque<Entry> queue_;
     int inFlight_ = 0;
     std::uint64_t totalSends_ = 0;
+    Component *sink_ = nullptr;
 };
 
 } // namespace mdw

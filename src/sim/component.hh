@@ -6,6 +6,7 @@
 #ifndef MDW_SIM_COMPONENT_HH
 #define MDW_SIM_COMPONENT_HH
 
+#include <cstddef>
 #include <string>
 #include <utility>
 
@@ -20,6 +21,16 @@ class Simulator;
  * cycle on every registered component; all inter-component state
  * exchange must flow through delay-stamped channels so the call order
  * cannot affect results.
+ *
+ * Under the fast path (Simulator::setFastPath) idle components are
+ * retired from the per-cycle tick set: after every stepped cycle the
+ * kernel asks nextWork() for the earliest future cycle at which the
+ * component could do anything observable, and only re-steps it from
+ * that cycle on (or earlier, if someone calls requestWake()). A
+ * component may answer conservatively -- being stepped while idle must
+ * always be a no-op -- but must never answer late: sleeping through a
+ * cycle where it would have moved state breaks the bit-identity
+ * guarantee against the always-stepped path.
  */
 class Component
 {
@@ -33,6 +44,27 @@ class Component
     /** Advance this component by one cycle. */
     virtual void step(Cycle now) = 0;
 
+    /**
+     * Earliest future cycle (> @p now) at which this component may
+     * have work, or kNoCycle to sleep until an external requestWake().
+     * Called by the fast-path kernel after the component was stepped
+     * at @p now. The default keeps legacy components ticking every
+     * cycle, which is always correct.
+     */
+    virtual Cycle
+    nextWork(Cycle now)
+    {
+        return now + 1;
+    }
+
+    /**
+     * Ask the kernel to step this component at cycle @p when (clamped
+     * to the current cycle). No-op on the always-stepped path and for
+     * unregistered components, so producers may call it
+     * unconditionally.
+     */
+    void requestWake(Cycle when);
+
     /** Diagnostic name. */
     const std::string &name() const { return name_; }
 
@@ -44,7 +76,11 @@ class Component
     Simulator *sim_ = nullptr;
 
   private:
+    friend class Simulator;
+
     std::string name_;
+    /** Index in the owning Simulator's registration order. */
+    std::size_t simIndex_ = 0;
 };
 
 } // namespace mdw

@@ -1,5 +1,6 @@
 #include "sim/system.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -7,28 +8,188 @@
 namespace mdw {
 
 void
+Component::requestWake(Cycle when)
+{
+    if (sim_ != nullptr)
+        sim_->wake(this, when);
+}
+
+void
 Simulator::add(Component *component)
 {
     MDW_ASSERT(component != nullptr, "registering null component");
+    MDW_ASSERT(!stepping_, "registering a component mid-cycle");
     component->attach(this);
+    component->simIndex_ = components_.size();
     components_.push_back(component);
+    active_.push_back(1);
+    wakeAt_.push_back(kNoCycle);
+    if (fastPath_)
+        runList_.push_back(component->simIndex_);
+}
+
+void
+Simulator::setFastPath(bool on)
+{
+    MDW_ASSERT(!stepping_, "switching scheduling mode mid-cycle");
+    fastPath_ = on;
+    wakeHeap_.clear();
+    runList_.clear();
+    std::fill(active_.begin(), active_.end(), 1);
+    std::fill(wakeAt_.begin(), wakeAt_.end(), kNoCycle);
+    if (fastPath_) {
+        runList_.reserve(components_.size());
+        for (std::size_t i = 0; i < components_.size(); ++i)
+            runList_.push_back(i);
+    }
+}
+
+void
+Simulator::wake(Component *component, Cycle when)
+{
+    if (!fastPath_)
+        return;
+    const std::size_t idx = component->simIndex_;
+    MDW_ASSERT(idx < components_.size() && components_[idx] == component,
+               "wake for component not registered here");
+    if (when <= now_) {
+        // Due immediately: join the tick set for this very cycle (or
+        // the next one if the traversal already passed this index --
+        // which matches when the cycle path would have seen the
+        // freshly-posted state).
+        activate(idx);
+        return;
+    }
+    if (active_[idx]) {
+        // Already ticking; the retire pass re-evaluates nextWork()
+        // every stepped cycle, which subsumes this future wake.
+        return;
+    }
+    if (when < wakeAt_[idx]) {
+        wakeAt_[idx] = when;
+        wakeHeap_.push_back(Wake{when, idx});
+        std::push_heap(wakeHeap_.begin(), wakeHeap_.end(),
+                       std::greater<Wake>());
+    }
+}
+
+void
+Simulator::activate(std::size_t idx)
+{
+    if (active_[idx])
+        return;
+    active_[idx] = 1;
+    const auto it =
+        std::lower_bound(runList_.begin(), runList_.end(), idx);
+    const auto pos =
+        static_cast<std::size_t>(it - runList_.begin());
+    runList_.insert(it, idx);
+    // If the traversal already passed the insertion point, this
+    // component is stepped starting next cycle; bump the cursor so the
+    // in-flight traversal is not perturbed.
+    if (stepping_ && pos < cursor_)
+        ++cursor_;
+}
+
+void
+Simulator::wakeDue()
+{
+    while (!wakeHeap_.empty() && wakeHeap_.front().when <= now_) {
+        const Wake wake = wakeHeap_.front();
+        std::pop_heap(wakeHeap_.begin(), wakeHeap_.end(),
+                      std::greater<Wake>());
+        wakeHeap_.pop_back();
+        if (wakeAt_[wake.idx] == wake.when)
+            wakeAt_[wake.idx] = kNoCycle;
+        // Stale entries cause at worst a spurious no-op step.
+        activate(wake.idx);
+    }
+}
+
+void
+Simulator::retireIdle()
+{
+    std::size_t keep = 0;
+    for (std::size_t r = 0; r < runList_.size(); ++r) {
+        const std::size_t idx = runList_[r];
+        const Cycle nw = components_[idx]->nextWork(now_);
+        if (nw <= now_ + 1) {
+            runList_[keep++] = idx;
+            continue;
+        }
+        active_[idx] = 0;
+        if (nw != kNoCycle && nw < wakeAt_[idx]) {
+            wakeAt_[idx] = nw;
+            wakeHeap_.push_back(Wake{nw, idx});
+            std::push_heap(wakeHeap_.begin(), wakeHeap_.end(),
+                           std::greater<Wake>());
+        }
+    }
+    runList_.resize(keep);
 }
 
 void
 Simulator::stepOne()
 {
-    events_.runDue(now_);
-    for (Component *c : components_)
-        c->step(now_);
+    if (fastPath_) {
+        wakeDue();
+        events_.runDue(now_);
+        stepping_ = true;
+        cursor_ = 0;
+        while (cursor_ < runList_.size()) {
+            Component *c = components_[runList_[cursor_]];
+            ++cursor_;
+            c->step(now_);
+        }
+        stepping_ = false;
+        retireIdle();
+    } else {
+        events_.runDue(now_);
+        for (Component *c : components_)
+            c->step(now_);
+    }
     checkWatchdog();
     ++now_;
+}
+
+Cycle
+Simulator::nextActivity(Cycle limit) const
+{
+    if (!fastPath_ || !runList_.empty())
+        return now_;
+    Cycle target = limit;
+    const Cycle event = events_.nextEventCycle();
+    if (event < target)
+        target = event;
+    if (!wakeHeap_.empty() && wakeHeap_.front().when < target)
+        target = wakeHeap_.front().when;
+    if (watchdogQuiet_ > 0 && !deadlocked_ && watchdogHasWork_ &&
+        watchdogHasWork_()) {
+        // No component will mutate state before `target`, so hasWork
+        // stays true across the whole gap: the watchdog must get its
+        // chance to trip at exactly the cycle the cycle path would.
+        const Cycle trip = lastProgress_ + watchdogQuiet_;
+        if (trip < target)
+            target = trip;
+    }
+    return target < now_ ? now_ : target;
 }
 
 void
 Simulator::run(Cycle cycles)
 {
-    for (Cycle i = 0; i < cycles && !deadlocked_; ++i)
+    const Cycle limit = now_ + cycles;
+    while (now_ < limit && !deadlocked_) {
+        now_ = nextActivity(limit);
+        if (now_ >= limit)
+            break;
         stepOne();
+    }
+    // The cycle path leaves now_ == limit; keep that invariant when
+    // the final skip overshoots nothing (nextActivity never exceeds
+    // limit, so this only rounds up the empty tail).
+    if (!deadlocked_ && now_ < limit)
+        now_ = limit;
 }
 
 bool
@@ -38,6 +199,9 @@ Simulator::runUntil(const std::function<bool()> &done, Cycle maxCycles)
     while (now_ < limit && !deadlocked_) {
         if (done())
             return true;
+        now_ = nextActivity(limit);
+        if (now_ >= limit)
+            break;
         stepOne();
     }
     return done();

@@ -6,6 +6,7 @@
 #ifndef MDW_SIM_SYSTEM_HH
 #define MDW_SIM_SYSTEM_HH
 
+#include <cstddef>
 #include <functional>
 #include <vector>
 
@@ -22,6 +23,24 @@ namespace mdw {
  * noteProgress() whenever they move a flit, and the watchdog trips if
  * there is pending work but no progress for a configurable number of
  * cycles.
+ *
+ * Two scheduling modes produce bit-identical results:
+ *
+ *  - Cycle path (default): every registered component is stepped on
+ *    every cycle, unconditionally. This is the oracle.
+ *  - Fast path (setFastPath(true)): components that report no work
+ *    via Component::nextWork() are retired from the tick set and
+ *    re-activated by a wake heap (self-scheduled wakes and
+ *    requestWake() pushes from channels and peers). When the tick set
+ *    is empty the clock jumps straight to the next activity --
+ *    earliest wake, earliest event, run limit, or the cycle at which
+ *    the watchdog would trip -- so uncontended stretches cost O(1)
+ *    instead of O(components * cycles).
+ *
+ * Equivalence rests on two component-contract facts: stepping an idle
+ * component is a no-op, and nextWork() never under-reports (see
+ * Component). Active components are stepped in registration order, so
+ * trace event order within a cycle is preserved too.
  */
 class Simulator
 {
@@ -39,6 +58,25 @@ class Simulator
 
     /** Timed-callback queue, fired at the start of each cycle. */
     EventQueue &events() { return events_; }
+
+    /**
+     * Select the scheduling mode. Enabling the fast path (re)activates
+     * every component; disabling it reverts to stepping everything.
+     */
+    void setFastPath(bool on);
+
+    /** True if the idle-skipping fast path is active. */
+    bool fastPath() const { return fastPath_; }
+
+    /**
+     * Schedule @p component to be stepped at cycle @p when (clamped to
+     * the current cycle). Ignored on the cycle path, where everything
+     * is stepped anyway. Called via Component::requestWake().
+     */
+    void wake(Component *component, Cycle when);
+
+    /** Components stepped every cycle right now (fast path only). */
+    std::size_t activeCount() const { return runList_.size(); }
 
     /** Execute exactly one cycle. */
     void stepOne();
@@ -75,6 +113,18 @@ class Simulator
   private:
     void checkWatchdog();
 
+    /** Move pending wakes due at now_ into the tick set. */
+    void wakeDue();
+    /** Insert component @p idx into the tick set (keeps it sorted). */
+    void activate(std::size_t idx);
+    /** Drop stepped components that report no immediate work. */
+    void retireIdle();
+    /**
+     * First cycle in [now_, limit] at which anything can happen, or
+     * now_ when the tick set is non-empty (no skipping possible).
+     */
+    Cycle nextActivity(Cycle limit) const;
+
     std::vector<Component *> components_;
     EventQueue events_;
     Cycle now_ = 0;
@@ -84,6 +134,28 @@ class Simulator
     std::function<bool()> watchdogHasWork_;
     std::function<void()> watchdogOnTrip_;
     bool deadlocked_ = false;
+
+    // --- fast-path state ---
+    struct Wake
+    {
+        Cycle when;
+        std::size_t idx;
+        bool operator>(const Wake &o) const { return when > o.when; }
+    };
+
+    bool fastPath_ = false;
+    /** Per-component membership flag for runList_. */
+    std::vector<char> active_;
+    /** Sorted indices of components stepped every cycle. */
+    std::vector<std::size_t> runList_;
+    /** Min-heap of pending wake-ups for sleeping components. */
+    std::vector<Wake> wakeHeap_;
+    /** Earliest enqueued wake per component (dedup for wakeHeap_). */
+    std::vector<Cycle> wakeAt_;
+    /** Traversal cursor into runList_ while stepping a cycle. */
+    std::size_t cursor_ = 0;
+    /** True while inside the per-cycle step traversal. */
+    bool stepping_ = false;
 };
 
 } // namespace mdw

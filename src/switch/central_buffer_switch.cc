@@ -86,6 +86,30 @@ CentralBufferSwitch::step(Cycle now)
     cqOcc_.update(static_cast<double>(cq_.usedChunks()), now);
 }
 
+Cycle
+CentralBufferSwitch::nextWork(Cycle now)
+{
+    // Any buffered state keeps the switch ticking: input FIFOs,
+    // per-output bypass/stream machinery, queued streams, pending
+    // barrier releases, or central-queue residency. (CQ residency also
+    // pins cqOcc_: the time average may only coast while its sampled
+    // value is exactly zero.)
+    for (const InputState &input : inputs_) {
+        if (!input.packets.empty())
+            return now + 1;
+    }
+    for (const OutputState &output : outputs_) {
+        if (!output.idle() || !output.queue.empty() ||
+            output.fifoFlits > 0)
+            return now + 1;
+    }
+    if (!barrierEmissions_.empty())
+        return now + 1;
+    if (cq_.entryCount() != 0 || cq_.usedChunks() != 0)
+        return now + 1;
+    return earliestLinkArrival();
+}
+
 void
 CentralBufferSwitch::dumpState(FILE *out) const
 {

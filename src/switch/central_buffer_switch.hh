@@ -70,6 +70,8 @@ class CentralBufferSwitch : public SwitchBase
 
     void step(Cycle now) override;
 
+    Cycle nextWork(Cycle now) override;
+
     ReceivePolicy
     receivePolicy(PortId) const override
     {

@@ -97,6 +97,23 @@ InputBufferSwitch::step(Cycle now)
     release(now);
 }
 
+Cycle
+InputBufferSwitch::nextWork(Cycle now)
+{
+    // Buffered packets cover every ongoing activity: branches and
+    // output bindings only exist for a resident head packet, and
+    // release() frees slots only while packets are queued.
+    for (const InputState &input : inputs_) {
+        if (!input.packets.empty())
+            return now + 1;
+    }
+    for (const OutputState &output : outputs_) {
+        if (output.busy())
+            return now + 1;
+    }
+    return earliestLinkArrival();
+}
+
 void
 InputBufferSwitch::intake(Cycle now)
 {

@@ -56,6 +56,8 @@ class InputBufferSwitch : public SwitchBase
 
     void step(Cycle now) override;
 
+    Cycle nextWork(Cycle now) override;
+
     ReceivePolicy
     receivePolicy(PortId) const override
     {

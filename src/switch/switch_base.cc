@@ -2,6 +2,8 @@
 
 #include <functional>
 
+#include "sim/system.hh"
+
 namespace mdw {
 
 const char *
@@ -38,6 +40,8 @@ SwitchBase::connectIn(PortId port, Channel<Flit> *in,
                id_, port);
     p.in = in;
     p.creditOut = creditOut;
+    // Arriving flits must be able to rouse a sleeping switch.
+    in->setWakeSink(this);
 }
 
 void
@@ -53,6 +57,25 @@ SwitchBase::connectOut(PortId port, Channel<Flit> *out,
     p.credits = policy.window;
     p.initialCredits = policy.window;
     p.mcastWholePacket = policy.mcastWholePacket;
+    // Returning credits must be collected promptly even while idle,
+    // or quiescence (credits back home) would stall under the fast
+    // path.
+    creditIn->setWakeSink(this);
+}
+
+Cycle
+SwitchBase::earliestLinkArrival() const
+{
+    Cycle next = kNoCycle;
+    for (const InPort &p : ins_) {
+        if (p.in != nullptr && p.in->nextArrival() < next)
+            next = p.in->nextArrival();
+    }
+    for (const OutPort &p : outs_) {
+        if (p.creditIn != nullptr && p.creditIn->nextArrival() < next)
+            next = p.creditIn->nextArrival();
+    }
+    return next;
 }
 
 void
@@ -68,12 +91,18 @@ void
 SwitchBase::failInPort(PortId port)
 {
     ins_.at(static_cast<std::size_t>(port)).failed = true;
+    // The tombstone/phantom-completion paths run in step(); make sure
+    // a sleeping switch notices the state change.
+    if (sim_ != nullptr)
+        requestWake(sim_->now());
 }
 
 void
 SwitchBase::failOutPort(PortId port)
 {
     outs_.at(static_cast<std::size_t>(port)).failed = true;
+    if (sim_ != nullptr)
+        requestWake(sim_->now());
 }
 
 void

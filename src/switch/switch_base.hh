@@ -223,6 +223,15 @@ class SwitchBase : public Component
     void collectCredits(Cycle now);
 
     /**
+     * Earliest in-flight arrival on any attached link: data flits on
+     * the inputs (including failed ones, whose flits must still be
+     * drained into tombstones) and returning credits on the outputs.
+     * kNoCycle when every link is empty. Architectures combine this
+     * with their buffer occupancy to implement nextWork().
+     */
+    Cycle earliestLinkArrival() const;
+
+    /**
      * May the first flit of @p pkt start crossing output @p port this
      * cycle? Applies the whole-packet reservation rule for
      * multidestination worms when the receiver demands it.

@@ -76,6 +76,27 @@ SyntheticTraffic::poll(NodeId node, Cycle now,
     }
 }
 
+Cycle
+SyntheticTraffic::nextArrival(NodeId node, Cycle now)
+{
+    if (rate_ <= 0.0)
+        return kNoCycle;
+    const NodeState &state =
+        nodes_.at(static_cast<std::size_t>(node));
+    if (!state.started) {
+        // The RNG must not be touched here: the first gap is drawn by
+        // the first poll() at or after startCycle, exactly as on the
+        // always-polled path.
+        return params_.startCycle < params_.stopCycle
+                   ? params_.startCycle
+                   : kNoCycle;
+    }
+    if (state.next >= params_.stopCycle)
+        return kNoCycle;
+    // Defensive: an overdue arrival keeps the caller polling.
+    return state.next < now ? now : state.next;
+}
+
 MessageSpec
 SyntheticTraffic::makeSpec(NodeState &state, NodeId self)
 {
@@ -139,6 +160,18 @@ ScriptedTraffic::post(Cycle when, NodeId node, MessageSpec spec)
 {
     script_[{when, node}].push_back(std::move(spec));
     ++pending_;
+}
+
+Cycle
+ScriptedTraffic::nextArrival(NodeId node, Cycle now)
+{
+    // Scripts are tiny; a linear scan over the ordered map finds the
+    // node's earliest future posting.
+    for (const auto &entry : script_) {
+        if (entry.first.first >= now && entry.first.second == node)
+            return entry.first.first;
+    }
+    return kNoCycle;
 }
 
 void

@@ -68,6 +68,8 @@ class SyntheticTraffic : public TrafficSource
     void poll(NodeId node, Cycle now,
               std::vector<MessageSpec> &out) override;
 
+    Cycle nextArrival(NodeId node, Cycle now) override;
+
     /** Message arrivals per node per cycle implied by the load. */
     double messageRate() const { return rate_; }
 
@@ -105,6 +107,8 @@ class ScriptedTraffic : public TrafficSource
 
     void poll(NodeId node, Cycle now,
               std::vector<MessageSpec> &out) override;
+
+    Cycle nextArrival(NodeId node, Cycle now) override;
 
     /** Postings not yet handed out. */
     std::size_t pending() const { return pending_; }

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Differential golden-stats harness for the idle-skipping fast path.
+ *
+ * Every figure/ablation-style configuration is run twice -- once on
+ * the cycle-accurate oracle (sim.fastPath=0) and once on the fast
+ * path -- and the two ExperimentResults must match bit for bit:
+ * every MetricsSnapshot entry (counters, gauges, histogram bins),
+ * every verdict flag, the cycle count, and (when tracing is on) the
+ * exact WormTracer event sequence. A randomized property test then
+ * hammers the same equivalence over random topologies, bimodal
+ * workloads, and fault plans.
+ */
+
+#include <cstdio>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/network.hh"
+#include "core/presets.hh"
+#include "sim/config.hh"
+#include "workload/traffic.hh"
+
+namespace mdw {
+namespace {
+
+/** Phase lengths small enough to run ~20 configs in a test binary. */
+Config
+baseOverrides()
+{
+    Config config;
+    config.set("warmup", "800");
+    config.set("measure", "2000");
+    config.set("drainLimit", "60000");
+    config.set("watchdog", "40000");
+    config.set("load", "0.1");
+    return config;
+}
+
+ExperimentResult
+runMode(const Config &config, bool fastPath)
+{
+    NetworkConfig network = defaultNetwork();
+    TrafficParams traffic = defaultTraffic();
+    ExperimentParams params = defaultExperiment();
+    applyOverrides(config, network, traffic, params);
+    network.fastPath = fastPath;
+    Experiment experiment(network, traffic, params);
+    return experiment.run();
+}
+
+/** Append "key=value ..." tokens onto the base config. */
+Config
+withTokens(const std::string &tokens)
+{
+    Config config = baseOverrides();
+    std::istringstream stream(tokens);
+    std::string token;
+    while (stream >> token)
+        config.parseToken(token);
+    return config;
+}
+
+/** Human-readable first-difference report between two snapshots. */
+std::string
+diffSnapshots(const MetricsSnapshot &a, const MetricsSnapshot &b)
+{
+    std::string out;
+    for (const auto &entry : a.entries()) {
+        if (!b.has(entry.first)) {
+            out += "missing in fast: " + entry.first + "; ";
+            continue;
+        }
+        const auto it = b.entries().find(entry.first);
+        if (!entry.second.identical(it->second))
+            out += "differs: " + entry.first + "; ";
+    }
+    for (const auto &entry : b.entries()) {
+        if (!a.has(entry.first))
+            out += "missing in slow: " + entry.first + "; ";
+    }
+    return out.empty() ? "(no metric diff -- flags/cycles differ)"
+                       : out;
+}
+
+void
+expectIdentical(const std::string &tokens)
+{
+    const Config config = withTokens(tokens);
+    const ExperimentResult slow = runMode(config, false);
+    const ExperimentResult fast = runMode(config, true);
+
+    EXPECT_TRUE(identicalResults(slow, fast))
+        << "fast path diverged for: " << tokens << "\n  "
+        << diffSnapshots(slow.metrics, fast.metrics)
+        << "\n  slow: cycles=" << slow.cyclesRun
+        << " drained=" << slow.drained
+        << " deadlocked=" << slow.deadlocked
+        << " quiescent=" << slow.quiescent
+        << "\n  fast: cycles=" << fast.cyclesRun
+        << " drained=" << fast.drained
+        << " deadlocked=" << fast.deadlocked
+        << " quiescent=" << fast.quiescent;
+
+    // identicalResults covers the snapshot; spot-check the verdict
+    // fields explicitly so a future refactor of identicalResults
+    // cannot silently weaken this harness.
+    EXPECT_EQ(slow.cyclesRun, fast.cyclesRun) << tokens;
+    EXPECT_EQ(slow.saturated, fast.saturated) << tokens;
+    EXPECT_EQ(slow.drained, fast.drained) << tokens;
+    EXPECT_EQ(slow.deadlocked, fast.deadlocked) << tokens;
+    EXPECT_EQ(slow.quiescent, fast.quiescent) << tokens;
+
+    // Histogram bins bitwise: samplers already compared via
+    // MetricValue::identical inside identicalResults.
+    ASSERT_EQ(slow.metrics.size(), fast.metrics.size()) << tokens;
+}
+
+// One scenario per fig_*/ablation_* bench, holding each one's
+// distinctive knobs (scheme, pattern, topology, faults, tracing) at a
+// size that keeps the whole matrix fast.
+struct Scenario
+{
+    const char *name;
+    const char *tokens;
+};
+
+const Scenario kScenarios[] = {
+    // fig_throughput / fig_multiple_multicast: the three schemes
+    // under multiple multicast, light and heavy load.
+    {"throughput_cb_hw", "arch=cb scheme=hw load=0.05"},
+    {"throughput_ib_hw", "arch=ib scheme=hw load=0.05"},
+    {"throughput_sw_umin", "arch=cb scheme=sw load=0.05"},
+    {"throughput_cb_hw_hot", "arch=cb scheme=hw load=0.3"},
+    // fig_bimodal: unicast background with a multicast fraction.
+    {"bimodal", "pattern=bimodal mcastFraction=0.1 load=0.15"},
+    // fig_degree: wide fan-out.
+    {"degree16", "degree=16 load=0.08"},
+    // fig_msg_length: segmentation and reassembly.
+    {"segmented", "payload=256 maxPayload=64 load=0.08"},
+    // fig_system_size: small and medium systems.
+    {"size_16", "k=4 n=2 load=0.08"},
+    {"size_8", "k=2 n=3 load=0.08 degree=4"},
+    // fig_resilience: faults, rerouting, retransmission.
+    {"resilience",
+     "fault.links=2 fault.switches=1 fault.start=600 fault.end=1400 "
+     "nic.retransmitTimeout=3000 load=0.05"},
+    {"resilience_ib",
+     "arch=ib fault.links=2 fault.start=600 fault.end=1400 "
+     "nic.retransmitTimeout=3000 load=0.05"},
+    // ablation_routing.
+    {"routing_up_path", "routing=replicate-on-up-path load=0.08"},
+    // ablation_cbsize.
+    {"cb_small", "cb.chunks=64 payload=32 maxPayload=32 load=0.08"},
+    // ablation_encoding.
+    {"multiport", "encoding=multiport load=0.08"},
+    // ablation_hotspot.
+    {"hotspot", "pattern=hot-spot hotFraction=0.3 load=0.1"},
+    // ablation_ibsize.
+    {"ib_big", "arch=ib ib.buffer=128 load=0.08"},
+    // ablation_replication.
+    {"sync_replication", "arch=ib replication=synchronous load=0.05"},
+    // ablation_topology.
+    {"irregular",
+     "topo=irregular irr.switches=12 irr.radix=6 irr.hosts=16 "
+     "irr.extraLinks=6 degree=4 load=0.08"},
+    // ablation_uproute.
+    {"deterministic_up", "upPolicy=deterministic load=0.08"},
+    // Traced run: metric equality plus event-sequence equality below.
+    {"traced",
+     "telemetry.trace=1 telemetry.traceCapacity=65536 load=0.05"},
+    {"traced_faulty",
+     "telemetry.trace=1 telemetry.traceCapacity=65536 load=0.05 "
+     "fault.links=1 fault.start=600 fault.end=1200 "
+     "nic.retransmitTimeout=3000"},
+};
+
+class FastPathDiff : public ::testing::TestWithParam<Scenario>
+{
+};
+
+TEST_P(FastPathDiff, BitIdentical)
+{
+    expectIdentical(GetParam().tokens);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, FastPathDiff, ::testing::ValuesIn(kScenarios),
+    [](const ::testing::TestParamInfo<Scenario> &info) {
+        return std::string(info.param.name);
+    });
+
+TEST(FastPathDiffTrace, EventSequencesIdentical)
+{
+    for (const char *tokens :
+         {"telemetry.trace=1 telemetry.traceCapacity=65536 load=0.05",
+          "telemetry.trace=1 telemetry.traceCapacity=65536 load=0.05 "
+          "fault.links=1 fault.start=600 fault.end=1200 "
+          "nic.retransmitTimeout=3000"}) {
+        const Config config = withTokens(tokens);
+        const ExperimentResult slow = runMode(config, false);
+        const ExperimentResult fast = runMode(config, true);
+        ASSERT_NE(slow.trace, nullptr) << tokens;
+        ASSERT_NE(fast.trace, nullptr) << tokens;
+        EXPECT_EQ(slow.trace->recorded, fast.trace->recorded)
+            << tokens;
+        EXPECT_EQ(slow.trace->dropped, fast.trace->dropped) << tokens;
+        ASSERT_EQ(slow.trace->events.size(), fast.trace->events.size())
+            << tokens;
+        for (std::size_t i = 0; i < slow.trace->events.size(); ++i) {
+            const WormTraceEvent &a = slow.trace->events[i];
+            const WormTraceEvent &b = fast.trace->events[i];
+            ASSERT_TRUE(a.cycle == b.cycle && a.packet == b.packet &&
+                        a.msg == b.msg &&
+                        a.component == b.component && a.arg == b.arg &&
+                        a.kind == b.kind && a.atHost == b.atHost)
+                << tokens << " -- event " << i << " differs at cycle "
+                << a.cycle << " vs " << b.cycle;
+        }
+    }
+}
+
+// The fast path must actually retire idle components, or it is just
+// overhead: after an uncontended run drains, the whole tick set
+// should be asleep.
+TEST(FastPathDiff, IdleSystemFullyDeregisters)
+{
+    NetworkConfig config = defaultNetwork();
+    config.fastPath = true;
+    Network net(config);
+    ScriptedTraffic traffic;
+    MessageSpec spec;
+    spec.dest = 5;
+    spec.payloadFlits = 16;
+    traffic.post(0, 0, spec);
+    for (NodeId n = 0; n < static_cast<NodeId>(net.numHosts()); ++n)
+        net.nic(n).setTrafficSource(&traffic);
+
+    // Let the cycle-0 poll inject before polling idle() (which is
+    // vacuously true on an empty network).
+    net.sim().run(5);
+    ASSERT_TRUE(net.sim().runUntil([&] { return net.idle(); }, 20000));
+    ASSERT_TRUE(net.sim().runUntil(
+        [&] { return net.checkQuiescent(nullptr); }, 4096));
+    EXPECT_EQ(net.sim().activeCount(), 0u);
+    EXPECT_EQ(net.nic(5).stats().packetsDelivered.value(), 1u);
+}
+
+// ~100 seeded trials over random topologies, bimodal workloads, and
+// fault plans. A failure prints the offending override string for
+// one-line reproduction.
+TEST(FastPathProperty, RandomConfigsBitIdentical)
+{
+    std::mt19937 rng(20260809u);
+    const auto pick = [&rng](int lo, int hi) {
+        return std::uniform_int_distribution<int>(lo, hi)(rng);
+    };
+
+    for (int trial = 0; trial < 100; ++trial) {
+        std::ostringstream tokens;
+        tokens << "warmup=300 measure=800 drainLimit=30000 "
+               << "watchdog=20000 pattern=bimodal ";
+        if (pick(0, 1) == 0) {
+            tokens << "topo=fat-tree k=" << (pick(0, 1) ? 2 : 4)
+                   << " n=2 ";
+        } else {
+            tokens << "topo=irregular irr.switches="
+                   << (pick(0, 1) ? 8 : 12)
+                   << " irr.radix=" << (pick(0, 1) ? 6 : 8)
+                   << " irr.hosts=" << (pick(0, 1) ? 12 : 16)
+                   << " irr.extraLinks=" << (pick(0, 1) ? 4 : 8)
+                   << " ";
+        }
+        tokens << "arch=" << (pick(0, 1) ? "cb" : "ib") << " ";
+        tokens << "scheme=" << (pick(0, 3) == 0 ? "sw" : "hw") << " ";
+        tokens << "load=0.0" << pick(2, 9) << " ";
+        tokens << "payload=" << (8 << pick(0, 3)) << " ";
+        tokens << "degree=" << pick(2, 3) << " ";
+        tokens << "mcastFraction=0." << pick(0, 3) << " ";
+        tokens << "seed=" << (trial + 1) << " ";
+        tokens << "traffic.seed=" << (trial + 101) << " ";
+        if (pick(0, 1) == 1) {
+            tokens << "fault.links=" << pick(1, 2)
+                   << " fault.switches=" << pick(0, 1)
+                   << " fault.start=300 fault.end=900"
+                   << " fault.seed=" << (trial + 7)
+                   << " nic.retransmitTimeout=" << pick(15, 25) * 100
+                   << " ";
+        }
+        SCOPED_TRACE("repro: " + tokens.str());
+        expectIdentical(tokens.str());
+    }
+}
+
+} // namespace
+} // namespace mdw

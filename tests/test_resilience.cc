@@ -477,5 +477,138 @@ TEST(Resilience, SoftwareSchemeRecoversLostCarriers)
     EXPECT_EQ(net.tracker().inFlight(), 0u);
 }
 
+// --- Watchdog semantics under the idle-skipping fast path ----------
+
+/** Sleeps forever after its first step; work never progresses. */
+class WedgedComponent : public Component
+{
+  public:
+    using Component::Component;
+    void step(Cycle) override {}
+    Cycle nextWork(Cycle) override { return kNoCycle; }
+};
+
+/**
+ * The fast path may never skip past the cycle where the watchdog
+ * would trip: a wedged system must be diagnosed at exactly the same
+ * cycle whether or not the tick set is empty.
+ */
+TEST(Resilience, WatchdogTripCycleIdenticalUnderFastPath)
+{
+    Cycle trippedAt[2] = {0, 0};
+    for (int mode = 0; mode < 2; ++mode) {
+        Simulator sim;
+        WedgedComponent wedged("wedged");
+        sim.add(&wedged);
+        sim.setFastPath(mode == 1);
+        bool fired = false;
+        sim.setWatchdog(500, [] { return true; },
+                        [&fired] { fired = true; });
+        sim.run(100000);
+        EXPECT_TRUE(fired);
+        EXPECT_TRUE(sim.deadlockDetected());
+        trippedAt[mode] = sim.now();
+    }
+    EXPECT_EQ(trippedAt[0], trippedAt[1]);
+}
+
+/**
+ * The flip side: a fully-idle tick set with pending work that is
+ * merely *waiting* (here: a long software send overhead, i.e. an
+ * in-flight transfer whose completion time is known analytically) is
+ * progress, not a hang. The watchdog must stay quiet, every component
+ * must actually have deregistered mid-wait, and the quiescence settle
+ * must still converge once the message drains.
+ */
+TEST(Resilience, IdleTickSetWithPendingWorkIsNotAHang)
+{
+    NetworkConfig config = defaultNetwork();
+    config.fastPath = true;
+    config.nic.sendOverhead = 5000;
+    Network net(config);
+    net.armWatchdog(20000);
+    net.nic(0).postUnicast(1, 16, 0);
+
+    // Mid-overhead: nothing ticks, yet the network is not idle.
+    net.sim().run(2500);
+    EXPECT_FALSE(net.idle());
+    EXPECT_FALSE(net.sim().deadlockDetected());
+    if (net.sim().fastPath()) {
+        EXPECT_EQ(net.sim().activeCount(), 0u);
+    }
+
+    ASSERT_TRUE(
+        net.sim().runUntil([&net] { return net.idle(); }, 100000));
+    EXPECT_FALSE(net.sim().deadlockDetected());
+    EXPECT_EQ(net.nic(1).stats().packetsDelivered.value(), 1u);
+
+    std::string why;
+    net.sim().runUntil([&net] { return net.checkQuiescent(nullptr); },
+                       4096);
+    EXPECT_TRUE(net.checkQuiescent(&why)) << why;
+    if (net.sim().fastPath()) {
+        EXPECT_EQ(net.sim().activeCount(), 0u);
+    }
+}
+
+/**
+ * Retransmission timers are the other "analytical in-flight" state:
+ * with faults killing deliveries, sleeping NICs must still wake at
+ * their retry deadlines and the run must end exactly as the
+ * cycle-accurate oracle says it does.
+ */
+TEST(Resilience, RetransmitTimersFireFromSleep)
+{
+    NetworkConfig config = defaultNetwork();
+    config.fatTreeK = 4;
+    config.fatTreeN = 2;
+    config.nic.retransmitTimeout = 2000;
+
+    FatTree scratch(4, 2);
+    const auto links = firstLinks(scratch, 1);
+    FaultEvent e;
+    e.kind = FaultKind::LinkDown;
+    e.when = 700;
+    e.sw = links[0].first;
+    e.port = links[0].second;
+    config.faultPlan.add(e);
+
+    std::uint64_t completed[2] = {0, 0};
+    std::uint64_t retransmits[2] = {0, 0};
+    Cycle finished[2] = {0, 0};
+    for (int mode = 0; mode < 2; ++mode) {
+        NetworkConfig c = config;
+        c.fastPath = mode == 1;
+        Network net(c);
+        TrafficParams traffic;
+        traffic.pattern = TrafficPattern::MultipleMulticast;
+        traffic.load = 0.08;
+        traffic.payloadFlits = 32;
+        traffic.mcastDegree = 4;
+        traffic.seed = 11;
+        traffic.stopCycle = 2000;
+        SyntheticTraffic source(net.numHosts(), traffic);
+        net.attachTraffic(&source);
+
+        net.armWatchdog(50000);
+        net.sim().run(2000);
+        ASSERT_TRUE(net.sim().runUntil(
+            [&net] { return net.idle(); }, 500000));
+        EXPECT_FALSE(net.sim().deadlockDetected());
+        net.sim().runUntil(
+            [&net] { return net.checkQuiescent(nullptr); }, 4096);
+        std::string why;
+        EXPECT_TRUE(net.checkQuiescent(&why)) << why;
+        completed[mode] = net.tracker().totalCompleted();
+        for (NodeId n = 0; n < static_cast<NodeId>(net.numHosts());
+             ++n)
+            retransmits[mode] += net.nic(n).stats().retransmits.value();
+        finished[mode] = net.sim().now();
+    }
+    EXPECT_EQ(completed[0], completed[1]);
+    EXPECT_EQ(retransmits[0], retransmits[1]);
+    EXPECT_EQ(finished[0], finished[1]);
+}
+
 } // namespace
 } // namespace mdw
