@@ -26,6 +26,10 @@ WORM_EVENTS = {
     "deliver",
     "poison_drop",
     "retransmit",
+    "crc_fail",
+    "nak",
+    "replay",
+    "link_flap",
 }
 
 
@@ -46,7 +50,30 @@ def machine_lines(path):
     return out
 
 
-def check_report(path):
+def check_integrity_metrics(path, metrics):
+    """Cross-check the link-integrity counters when present.
+
+    Every corrupted wire traversal is either detected by the link CRC
+    (NAKed and replayed) or evades it (a residual error caught by the
+    end-to-end checksum), so the rollups must balance exactly.
+    """
+    if "network.link.corrupted" not in metrics:
+        return
+    corrupted = metrics["network.link.corrupted"]
+    naks = metrics.get("network.link.naks", 0)
+    residual = metrics.get("network.link.residual_errors", 0)
+    if naks + residual != corrupted:
+        fail(f"{path}: integrity imbalance: corrupted={corrupted} != "
+             f"naks={naks} + residual_errors={residual}")
+    if metrics.get("network.link.replays", 0) < naks:
+        fail(f"{path}: fewer replays than NAKs "
+             f"({metrics.get('network.link.replays', 0)} < {naks})")
+    if residual and "host.csum_fails" not in metrics:
+        fail(f"{path}: residual errors reported but no "
+             "host.csum_fails metric registered")
+
+
+def check_report(path, expect_metrics=()):
     objs = machine_lines(path)
     if not objs:
         fail(f"{path}: no machine-readable lines")
@@ -76,8 +103,14 @@ def check_report(path):
         fail(f"{path}: expected one final status 'ok', got {statuses}")
     if "status" not in objs[-1]:
         fail(f"{path}: status marker is not the last machine line")
+
+    section = metrics[0]["metrics"]
+    missing = [name for name in expect_metrics if name not in section]
+    if missing:
+        fail(f"{path}: expected metrics never reported: {missing}")
+    check_integrity_metrics(path, section)
     print(f"validate_report: OK report {path} "
-          f"({len(metrics[0]['metrics'])} metrics)")
+          f"({len(section)} metrics)")
 
 
 def check_trace(path):
@@ -121,12 +154,14 @@ def main():
                         help="exported .trace.json files")
     parser.add_argument("--expect-events", nargs="*", default=[],
                         help="worm event names that must appear in traces")
+    parser.add_argument("--expect-metrics", nargs="*", default=[],
+                        help="metric names that must appear in the report")
     args = parser.parse_args()
     if not args.report and not args.trace:
         fail("nothing to validate (pass --report and/or --trace)")
 
     if args.report:
-        check_report(args.report)
+        check_report(args.report, args.expect_metrics)
     seen = set()
     for path in args.trace:
         seen |= check_trace(path)

@@ -169,6 +169,33 @@ struct ExperimentResult
     {
         return metrics.counter("tracker.unreachable_dests");
     }
+
+    // --- Link-level integrity (all zero without transient faults) ---
+    std::uint64_t linkCorrupted() const
+    {
+        return metrics.counter("network.link.corrupted");
+    }
+    std::uint64_t linkNaks() const
+    {
+        return metrics.counter("network.link.naks");
+    }
+    std::uint64_t linkReplays() const
+    {
+        return metrics.counter("network.link.replays");
+    }
+    std::uint64_t linkTimeouts() const
+    {
+        return metrics.counter("network.link.timeouts");
+    }
+    std::uint64_t linkEscalations() const
+    {
+        return metrics.counter("fault.link_escalations");
+    }
+    /** Deliveries discarded by the end-to-end payload checksum. */
+    std::uint64_t csumFails() const
+    {
+        return metrics.counter("host.csum_fails");
+    }
 };
 
 /**

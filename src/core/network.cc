@@ -55,28 +55,43 @@ Network::Network(const NetworkConfig &config)
 
 Network::~Network() = default;
 
+std::vector<std::pair<SwitchId, int>>
+Network::candidateLinks() const
+{
+    const PortGraph &graph = topo_->graph();
+    std::vector<std::pair<SwitchId, int>> links;
+    for (std::size_t s = 0; s < graph.numSwitches(); ++s) {
+        const SwitchId a = static_cast<SwitchId>(s);
+        for (PortId p = 0; p < graph.radix(a); ++p) {
+            const PortPeer &peer = graph.peer(a, p);
+            if (peer.isSwitch() &&
+                std::make_pair(a, p) <=
+                    std::make_pair(peer.sw, peer.port)) {
+                links.emplace_back(a, p);
+            }
+        }
+    }
+    return links;
+}
+
 void
 Network::installFaults()
 {
     FaultPlan plan = cfg_.faultPlan;
-    if (plan.empty() && !cfg_.faultSpec.empty()) {
+    if (plan.events.empty() && !cfg_.faultSpec.empty()) {
         const PortGraph &graph = topo_->graph();
-        std::vector<std::pair<SwitchId, int>> links;
         std::vector<SwitchId> candidates;
-        for (std::size_t s = 0; s < graph.numSwitches(); ++s) {
-            const SwitchId a = static_cast<SwitchId>(s);
-            candidates.push_back(a);
-            for (PortId p = 0; p < graph.radix(a); ++p) {
-                const PortPeer &peer = graph.peer(a, p);
-                if (peer.isSwitch() &&
-                    std::make_pair(a, p) <=
-                        std::make_pair(peer.sw, peer.port)) {
-                    links.emplace_back(a, p);
-                }
-            }
-        }
-        plan = FaultPlan::random(cfg_.faultSpec, links, candidates);
+        for (std::size_t s = 0; s < graph.numSwitches(); ++s)
+            candidates.push_back(static_cast<SwitchId>(s));
+        FaultPlan drawn = FaultPlan::random(cfg_.faultSpec,
+                                            candidateLinks(),
+                                            candidates);
+        plan.events = std::move(drawn.events);
     }
+    // Transients: an explicit plan's schedule wins; otherwise draw
+    // from the spec (fault.ber / fault.flaps).
+    if (!plan.hasTransients() && cfg_.faultSpec.transient())
+        plan.drawTransients(cfg_.faultSpec, candidateLinks());
     plan.finalize();
 
     // Retransmission needs delivery-dedup even when no fault ever
@@ -85,9 +100,142 @@ Network::installFaults()
         tracker_.enableResilience();
     if (plan.empty())
         return;
+    const bool transients = plan.hasTransients();
+    const double ber = plan.ber;
+    const double residual = plan.residual;
+    const std::uint64_t tseed = plan.transientSeed;
+    const std::vector<FlapWindow> flaps = plan.flaps;
     resilience_ = std::make_unique<ResilienceManager>(*this,
                                                       std::move(plan));
     resilience_->install();
+    if (transients) {
+        // Corruption is only detectable end-to-end if packets carry
+        // integrity state; enable before any packet is created.
+        factory_.enableIntegrityTracking();
+        installLinkLayers(ber, residual, tseed, flaps);
+    }
+}
+
+void
+Network::installLinkLayers(double ber, double residual,
+                           std::uint64_t seed,
+                           const std::vector<FlapWindow> &flaps)
+{
+    MDW_ASSERT(resilience_ != nullptr,
+               "link layers need the resilience manager");
+    // A dedicated stream family: stream 2i guards link i's forward
+    // direction, 2i+1 its reverse, independent of traffic and of the
+    // fail-stop draws.
+    const std::uint64_t family = Rng::streamSeed(seed, 0x44);
+    for (std::size_t i = 0; i < linkRecords_.size(); ++i) {
+        LinkRecord &rec = linkRecords_[i];
+        LinkLayerParams params = cfg_.link;
+        params.ber = ber;
+        params.residual = residual;
+
+        std::vector<FlapWindow> linkFlaps;
+        for (const FlapWindow &w : flaps) {
+            if ((w.sw == rec.a && w.port == rec.pa) ||
+                (w.sw == rec.b && w.port == rec.pb))
+                linkFlaps.push_back(w);
+        }
+
+        auto attach = [&](Channel<Flit> *ch, SwitchId sw, PortId port,
+                          std::uint64_t stream) {
+            auto layer = std::make_unique<LinkLayer>(
+                ch->name(), sw, port, cfg_.linkDelay, params,
+                Rng::streamSeed(family, stream));
+            layer->setFlaps(linkFlaps);
+            layer->setPoisonRegistry(resilience_->poisonRegistry());
+            layer->setEscalation([this, sw, port](Cycle when) {
+                resilience_->escalateLink(sw, port, when);
+            });
+            layer->attachTelemetry(telemetry_,
+                                   "link." + std::to_string(sw) +
+                                       ".p" + std::to_string(port) +
+                                       ".");
+            ch->setHook(layer.get());
+            linkLayers_.push_back(std::move(layer));
+            return linkLayers_.back().get();
+        };
+        rec.fwd = attach(rec.ab, rec.a, rec.pa, 2 * i);
+        rec.rev = attach(rec.ba, rec.b, rec.pb, 2 * i + 1);
+    }
+
+    // Fabric-wide rollups (per-direction counters registered above).
+    MetricsRegistry &reg = telemetry_.registry();
+    reg.registerIntGauge("network.link.corrupted", [this] {
+        std::uint64_t total = 0;
+        for (const auto &l : linkLayers_)
+            total += l->stats().corrupted.value();
+        return total;
+    });
+    reg.registerIntGauge("network.link.naks", [this] {
+        std::uint64_t total = 0;
+        for (const auto &l : linkLayers_)
+            total += l->stats().naks.value();
+        return total;
+    });
+    reg.registerIntGauge("network.link.replays", [this] {
+        std::uint64_t total = 0;
+        for (const auto &l : linkLayers_)
+            total += l->stats().replays.value();
+        return total;
+    });
+    reg.registerIntGauge("network.link.timeouts", [this] {
+        std::uint64_t total = 0;
+        for (const auto &l : linkLayers_)
+            total += l->stats().timeouts.value();
+        return total;
+    });
+    reg.registerIntGauge("network.link.residual_errors", [this] {
+        std::uint64_t total = 0;
+        for (const auto &l : linkLayers_)
+            total += l->stats().residualErrors.value();
+        return total;
+    });
+    reg.registerIntGauge("network.link.dropped", [this] {
+        std::uint64_t total = 0;
+        for (const auto &l : linkLayers_)
+            total += l->stats().dropped.value();
+        return total;
+    });
+    reg.registerIntGauge("network.link.replay_stall_cycles", [this] {
+        std::uint64_t total = 0;
+        for (const auto &l : linkLayers_)
+            total += l->stats().replayStallCycles.value();
+        return total;
+    });
+    reg.registerIntGauge("fault.link_escalations", [this] {
+        return resilience_ ? resilience_->linkEscalations() : 0;
+    });
+}
+
+LinkLayer *
+Network::linkLayer(SwitchId sw, PortId port)
+{
+    for (const LinkRecord &rec : linkRecords_) {
+        if (rec.a == sw && rec.pa == port)
+            return rec.fwd;
+        if (rec.b == sw && rec.pb == port)
+            return rec.rev;
+    }
+    return nullptr;
+}
+
+void
+Network::markLinkDead(SwitchId sw, PortId port)
+{
+    for (const LinkRecord &rec : linkRecords_) {
+        if ((rec.a == sw && rec.pa == port) ||
+            (rec.b == sw && rec.pb == port)) {
+            if (rec.fwd)
+                rec.fwd->markDead();
+            if (rec.rev)
+                rec.rev->markDead();
+            return;
+        }
+    }
 }
 
 void
@@ -240,6 +388,10 @@ Network::wire()
                 auto *ba = make_flit_channel(tag + ".ba");
                 auto *cr_ab = make_credit_channel(tag + ".cab");
                 auto *cr_ba = make_credit_channel(tag + ".cba");
+                // Remember the link's identity so the transient-fault
+                // subsystem can attach per-direction ARQ layers.
+                linkRecords_.push_back(
+                    LinkRecord{a, pa, b, pb, ab, ba, nullptr, nullptr});
                 // a -> b data, with b returning credits on cr_ab.
                 switches_[a]->connectOut(pa, ab, cr_ab,
                                          switches_[b]->receivePolicy(pb));
@@ -340,6 +492,12 @@ Network::registerTelemetry()
         std::uint64_t total = 0;
         for (const auto &nic : nics_)
             total += nic->stats().poisonedDrops.value();
+        return total;
+    });
+    reg.registerIntGauge("host.csum_fails", [this] {
+        std::uint64_t total = 0;
+        for (const auto &nic : nics_)
+            total += nic->stats().csumFails.value();
         return total;
     });
     reg.registerIntGauge("fault.applied", [this] {
@@ -510,6 +668,35 @@ Network::dumpState(FILE *out) const
                        dynamic_cast<const InputBufferSwitch *>(
                            sw.get())) {
             ib->dumpState(out);
+        }
+    }
+    if (!linkLayers_.empty()) {
+        // Retry livelock is diagnosable from this section alone:
+        // per-direction replay-buffer occupancy, sequence progress
+        // and the last NAK each sender saw.
+        std::fprintf(out, "link layers (%zu directions):\n",
+                     linkLayers_.size());
+        for (const auto &l : linkLayers_) {
+            std::fprintf(
+                out,
+                "  %s: unacked %zu/%d, txSeq %u, rxSeq %u, "
+                "replays %llu, naks %llu, timeouts %llu, last NAK ",
+                l->name().c_str(), l->replayOccupancy(),
+                cfg_.link.replayBufferFlits, l->txSeq(), l->rxSeq(),
+                static_cast<unsigned long long>(
+                    l->stats().replays.value()),
+                static_cast<unsigned long long>(
+                    l->stats().naks.value()),
+                static_cast<unsigned long long>(
+                    l->stats().timeouts.value()));
+            if (l->lastNak() == kNoCycle)
+                std::fprintf(out, "never");
+            else
+                std::fprintf(out, "@%llu",
+                             static_cast<unsigned long long>(
+                                 l->lastNak()));
+            std::fprintf(out, "%s\n",
+                         l->dead() ? " [escalated/dead]" : "");
         }
     }
 }

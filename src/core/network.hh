@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "host/nic.hh"
+#include "message/link_layer.hh"
 #include "sim/fault.hh"
 #include "sim/system.hh"
 #include "sim/telemetry.hh"
@@ -71,6 +72,14 @@ struct NetworkConfig
     /** Randomized fault schedule, drawn over this network's links and
      *  switches when faultPlan is empty. */
     FaultSpec faultSpec;
+    /**
+     * Link-level reliability knobs (link.retryLimit= and
+     * link.replayBuffer=). The error process itself (ber / residual)
+     * comes from the fault plan; these fields of the struct are
+     * ignored here. Link layers are only instantiated when the plan
+     * has transients, so the fault-free data path is untouched.
+     */
+    LinkLayerParams link;
 
     /** Observability: metrics registry is always on; worm-lifecycle
      *  tracing is opt-in via telemetry.trace. */
@@ -155,6 +164,26 @@ class Network
     /** The fault/recovery layer, present iff faults are configured. */
     ResilienceManager *resilience() { return resilience_.get(); }
 
+    /**
+     * The ARQ layer sending *from* (sw, port), or null when the
+     * transient-fault subsystem is off or the port is not a
+     * switch-switch link endpoint.
+     */
+    LinkLayer *linkLayer(SwitchId sw, PortId port);
+
+    /** All instantiated link layers (diagnosis/tests). */
+    const std::vector<std::unique_ptr<LinkLayer>> &linkLayers() const
+    {
+        return linkLayers_;
+    }
+
+    /**
+     * A fail-stop fault took this switch-switch link down: stop both
+     * directions' ARQ (later sends drop-and-poison). No-op when no
+     * link layers exist. Called by the resilience layer.
+     */
+    void markLinkDead(SwitchId sw, PortId port);
+
     /** Observability context: every component's stats live in its
      *  registry; the tracer (if enabled) records worm lifecycles. */
     Telemetry &telemetry() { return telemetry_; }
@@ -197,11 +226,31 @@ class Network
     std::vector<std::uint64_t> portTxSnapshot() const;
 
   private:
+    /** One wired switch-switch link (both directions). */
+    struct LinkRecord
+    {
+        SwitchId a = kInvalidSwitch; ///< lower endpoint
+        PortId pa = 0;
+        SwitchId b = kInvalidSwitch;
+        PortId pb = 0;
+        Channel<Flit> *ab = nullptr; ///< a -> b data channel
+        Channel<Flit> *ba = nullptr;
+        LinkLayer *fwd = nullptr; ///< guards ab (sender a)
+        LinkLayer *rev = nullptr; ///< guards ba (sender b)
+    };
+
     void build();
     void wire();
     void installFaults();
+    /** Instantiate and attach one LinkLayer per link direction. */
+    void installLinkLayers(double ber, double residual,
+                           std::uint64_t seed,
+                           const std::vector<FlapWindow> &flaps);
     void registerTelemetry();
     void onWatchdogTrip();
+    /** Build the switch-switch candidate-link list (lower endpoint
+     *  first), in deterministic wiring order. */
+    std::vector<std::pair<SwitchId, int>> candidateLinks() const;
 
     NetworkConfig cfg_;
     std::unique_ptr<Topology> topo_;
@@ -215,6 +264,8 @@ class Network
     std::vector<std::unique_ptr<Nic>> nics_;
     std::vector<std::unique_ptr<Channel<Flit>>> flitChannels_;
     std::vector<std::unique_ptr<CreditChannel>> creditChannels_;
+    std::vector<LinkRecord> linkRecords_;
+    std::vector<std::unique_ptr<LinkLayer>> linkLayers_;
 
     Telemetry telemetry_;
 

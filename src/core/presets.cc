@@ -228,6 +228,22 @@ applyOverrides(const Config &config, NetworkConfig &network,
         config.getU64("fault.end", network.faultSpec.end);
     network.faultSpec.seed =
         config.getU64("fault.seed", network.faultSpec.seed);
+    // Transient regime: link bit-error rate, undetected-error
+    // fraction, and link-flap windows.
+    network.faultSpec.ber =
+        config.getDouble("fault.ber", network.faultSpec.ber);
+    network.faultSpec.residual =
+        config.getDouble("fault.residual", network.faultSpec.residual);
+    network.faultSpec.flaps = static_cast<int>(
+        config.getInt("fault.flaps", network.faultSpec.flaps));
+    network.faultSpec.flapMin =
+        config.getU64("fault.flapMin", network.faultSpec.flapMin);
+    network.faultSpec.flapMax =
+        config.getU64("fault.flapMax", network.faultSpec.flapMax);
+    network.link.retryLimit = static_cast<int>(
+        config.getInt("link.retryLimit", network.link.retryLimit));
+    network.link.replayBufferFlits = static_cast<int>(config.getInt(
+        "link.replayBuffer", network.link.replayBufferFlits));
     network.nic.retransmitTimeout = config.getU64(
         "nic.retransmitTimeout", network.nic.retransmitTimeout);
     network.nic.maxRetransmits = static_cast<int>(config.getInt(

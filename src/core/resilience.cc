@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <utility>
 
 #include "core/network.hh"
 #include "sim/logging.hh"
@@ -44,18 +45,54 @@ void
 ResilienceManager::apply(const FaultEvent &event)
 {
     inform("fault: %s", event.describe().c_str());
+    bool didApply = true;
     switch (event.kind) {
       case FaultKind::LinkDown:
-        applyLinkDown(event);
+        didApply = applyLinkDown(event);
         break;
       case FaultKind::SwitchDown:
-        applySwitchDown(event);
+        didApply = applySwitchDown(event);
         break;
       case FaultKind::LinkDegrade:
         applyLinkDegrade(event);
         break;
     }
-    ++applied_;
+    if (didApply)
+        ++applied_;
+}
+
+void
+ResilienceManager::escalateLink(SwitchId sw, int port, Cycle when)
+{
+    // Canonical key: the lower-id endpoint, as fault plans name links.
+    SwitchId a = sw;
+    PortId pa = static_cast<PortId>(port);
+    const PortPeer &peer = net_.topology().graph().peer(a, pa);
+    if (peer.isSwitch() &&
+        std::make_pair(peer.sw, peer.port) < std::make_pair(a, pa)) {
+        a = peer.sw;
+        pa = peer.port;
+    }
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a))
+         << 32) |
+        static_cast<std::uint32_t>(pa);
+    if (!escalated_.insert(key).second)
+        return; // the other direction already reported this link
+    linkEscalations_.inc();
+
+    FaultEvent ev;
+    ev.kind = FaultKind::LinkDown;
+    ev.sw = a;
+    ev.port = pa;
+    // Escalations originate mid-cycle inside a component step; apply
+    // at the next cycle boundary at the earliest so the fail-stop
+    // lands between steps like every planned fault.
+    ev.when = std::max(when, net_.sim().now() + 1);
+    warn("link sw%d.p%d escalated to fail-stop at cycle %llu", a, pa,
+         static_cast<unsigned long long>(ev.when));
+    net_.sim().events().schedule(ev.when,
+                                 [this, ev] { apply(ev); });
 }
 
 void
@@ -76,21 +113,50 @@ ResilienceManager::killLink(SwitchId sw, PortId port)
          [static_cast<std::size_t>(port)] = PortDir::Unused;
     dirs_[static_cast<std::size_t>(peer.sw)]
          [static_cast<std::size_t>(peer.port)] = PortDir::Unused;
+    // Any link layers guarding this link stop retrying and drop.
+    net_.markLinkDead(sw, port);
 }
 
-void
+bool
+ResilienceManager::linkDead(SwitchId sw, PortId port) const
+{
+    if (dirs_[static_cast<std::size_t>(sw)]
+             [static_cast<std::size_t>(port)] != PortDir::Unused)
+        return false;
+    const PortPeer &peer = net_.topology().graph().peer(sw, port);
+    return !peer.isSwitch() ||
+           dirs_[static_cast<std::size_t>(peer.sw)]
+                [static_cast<std::size_t>(peer.port)] ==
+               PortDir::Unused;
+}
+
+bool
 ResilienceManager::applyLinkDown(const FaultEvent &event)
 {
-    killLink(event.sw, static_cast<PortId>(event.port));
+    const PortId port = static_cast<PortId>(event.port);
+    if (linkDead(event.sw, port)) {
+        // E.g. a flap escalation racing a planned fault, or a fault
+        // on a link a dead switch already took down: nothing to do.
+        inform("fault: %s ignored (link already failed)",
+               event.describe().c_str());
+        return false;
+    }
+    killLink(event.sw, port);
     rebuildRouting();
     recomputeReachability();
+    return true;
 }
 
-void
+bool
 ResilienceManager::applySwitchDown(const FaultEvent &event)
 {
     const PortGraph &graph = net_.topology().graph();
     const SwitchId sw = event.sw;
+    if (deadSwitch_.at(static_cast<std::size_t>(sw))) {
+        inform("fault: %s ignored (switch already failed)",
+               event.describe().c_str());
+        return false;
+    }
     deadSwitch_.at(static_cast<std::size_t>(sw)) = true;
     SwitchBase &dead = net_.switchAt(sw);
     for (PortId p = 0; p < graph.radix(sw); ++p) {
@@ -107,6 +173,7 @@ ResilienceManager::applySwitchDown(const FaultEvent &event)
             other.failOutPort(peer.port);
             dirs_[static_cast<std::size_t>(peer.sw)]
                  [static_cast<std::size_t>(peer.port)] = PortDir::Unused;
+            net_.markLinkDead(sw, p);
         } else if (peer.isHost()) {
             Nic &nic = net_.nic(peer.host);
             if (peer.hostRole != PortPeer::HostRole::Eject)
@@ -117,6 +184,7 @@ ResilienceManager::applySwitchDown(const FaultEvent &event)
     }
     rebuildRouting();
     recomputeReachability();
+    return true;
 }
 
 void

@@ -22,12 +22,14 @@
 #ifndef MDW_CORE_RESILIENCE_HH
 #define MDW_CORE_RESILIENCE_HH
 
+#include <cstdint>
 #include <memory>
 #include <unordered_set>
 #include <vector>
 
 #include "message/dest_set.hh"
 #include "sim/fault.hh"
+#include "sim/stats.hh"
 #include "topology/routing.hh"
 
 namespace mdw {
@@ -51,6 +53,28 @@ class ResilienceManager
     /** Apply one fault now (scheduled events funnel through here). */
     void apply(const FaultEvent &event);
 
+    /**
+     * A link layer exhausted its retry budget: schedule a fail-stop
+     * LinkDown for the link at (or just after) @p when, handing the
+     * flapping link to the rerouting/tombstone machinery. Idempotent
+     * per link — repeated escalations (e.g. from both directions) of
+     * an already-dead link are no-ops.
+     */
+    void escalateLink(SwitchId sw, int port, Cycle when);
+
+    /** Retry-exhaustion escalations issued so far. */
+    std::uint64_t linkEscalations() const
+    {
+        return linkEscalations_.value();
+    }
+
+    /** Shared truncated/corrupted-packet registry (link layers and
+     *  tombstone sinks write; NICs read). */
+    std::unordered_set<PacketId> *poisonRegistry()
+    {
+        return &poisoned_;
+    }
+
     const FaultPlan &plan() const { return plan_; }
     std::size_t faultsApplied() const { return applied_; }
     /** Packets truncated by faults so far (poison registry size). */
@@ -63,9 +87,13 @@ class ResilienceManager
     bool switchDead(SwitchId sw) const;
 
   private:
-    void applyLinkDown(const FaultEvent &event);
-    void applySwitchDown(const FaultEvent &event);
+    /** Returns false when the link was already fully dead (both
+     *  ends Unused) and nothing needed doing. */
+    bool applyLinkDown(const FaultEvent &event);
+    bool applySwitchDown(const FaultEvent &event);
     void applyLinkDegrade(const FaultEvent &event);
+    /** True iff both endpoints of the link are already Unused. */
+    bool linkDead(SwitchId sw, PortId port) const;
     /** Fail both endpoints of one switch-switch link and prune it
      *  from the direction table. */
     void killLink(SwitchId sw, PortId port);
@@ -94,6 +122,10 @@ class ResilienceManager
     std::vector<DestSet> reachable_;
     std::vector<bool> deadSwitch_;
     std::size_t applied_ = 0;
+    /** Retry-exhaustion escalations (registered as a metric). */
+    Counter linkEscalations_;
+    /** Links already escalated (dedups both-direction reports). */
+    std::unordered_set<std::uint64_t> escalated_;
 };
 
 } // namespace mdw

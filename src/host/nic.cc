@@ -50,6 +50,7 @@ Nic::attachTelemetry(Telemetry &telemetry)
     reg.registerCounter(prefix + "retransmits", &stats_.retransmits);
     reg.registerCounter(prefix + "poisoned_drops",
                         &stats_.poisonedDrops);
+    reg.registerCounter(prefix + "csum_fails", &stats_.csumFails);
 }
 
 void
@@ -490,6 +491,15 @@ Nic::stepRx(Cycle now)
             stats_.poisonedDrops.inc();
             MDW_TRACE_EVENT(tracer_, WormEvent::PoisonDrop, now,
                             flit.pkt->id, flit.pkt->msg, id_, true, 0);
+        } else if (flit.pkt->taint && flit.pkt->taint->tainted()) {
+            // The payload checksum fails: a link let corruption slip
+            // past its CRC somewhere on this replication branch. The
+            // delivery is discarded (never reported to the tracker,
+            // so the message can only complete with verified copies);
+            // the source's retransmission path re-covers us.
+            stats_.csumFails.inc();
+            MDW_TRACE_EVENT(tracer_, WormEvent::PoisonDrop, now,
+                            flit.pkt->id, flit.pkt->msg, id_, true, 1);
         } else {
             deliver(rxCurrent_, now);
         }

@@ -139,6 +139,9 @@ struct NicStats
     Counter retransmits;
     /** Packets discarded at ejection because a fault mangled them. */
     Counter poisonedDrops;
+    /** Packets whose end-to-end payload checksum failed at delivery
+     *  (corruption evaded the link CRC somewhere upstream). */
+    Counter csumFails;
 };
 
 /** One processing node's network interface. */

@@ -4,6 +4,49 @@
 
 namespace mdw {
 
+std::uint16_t
+crc16(const std::uint64_t *words, std::size_t count)
+{
+    // CRC-16/CCITT-FALSE, bitwise over each word's bytes. Slow-path
+    // only: computed per link traversal when transient faults are
+    // configured, never on the fault-free hot path.
+    std::uint16_t crc = 0xffff;
+    for (std::size_t w = 0; w < count; ++w) {
+        for (int b = 0; b < 8; ++b) {
+            const auto byte =
+                static_cast<std::uint8_t>(words[w] >> (8 * b));
+            crc ^= static_cast<std::uint16_t>(byte) << 8;
+            for (int i = 0; i < 8; ++i) {
+                crc = (crc & 0x8000)
+                          ? static_cast<std::uint16_t>((crc << 1) ^
+                                                       0x1021)
+                          : static_cast<std::uint16_t>(crc << 1);
+            }
+        }
+    }
+    return crc;
+}
+
+std::uint16_t
+Flit::computeCrc() const
+{
+    const std::uint64_t words[3] = {
+        pkt ? static_cast<std::uint64_t>(pkt->id) : 0,
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(seq))
+         << 32) |
+            linkSeq,
+        errorMask,
+    };
+    return crc16(words, 3);
+}
+
+void
+Flit::seal(std::uint32_t linkSequence)
+{
+    linkSeq = linkSequence;
+    crc = computeCrc();
+}
+
 std::string
 Flit::toString() const
 {

@@ -6,6 +6,7 @@
 #ifndef MDW_MESSAGE_FLIT_HH
 #define MDW_MESSAGE_FLIT_HH
 
+#include <cstdint>
 #include <string>
 
 #include "message/packet.hh"
@@ -13,14 +14,31 @@
 namespace mdw {
 
 /**
+ * CRC-16/CCITT over a small word sequence. Models the per-flit link
+ * CRC: the simulator has no real bit payload, so the protected
+ * "contents" are the flit's identity words (packet id, flit index,
+ * link sequence number) plus an error mask that corruption injects.
+ */
+std::uint16_t crc16(const std::uint64_t *words, std::size_t count);
+
+/**
  * One flit of a worm. Identity is (packet, sequence index); head,
- * header and tail status are derived from the index so a flit is two
- * machine words plus a shared descriptor reference.
+ * header and tail status are derived from the index. The link layer
+ * additionally stamps each wire traversal with a per-link sequence
+ * number and a CRC over the flit identity, checked at every receiver
+ * (zero cost when the transient-fault subsystem is off).
  */
 struct Flit
 {
     PacketPtr pkt;
     int seq = 0;
+
+    /** Per-link sequence number of this traversal (link layer). */
+    std::uint32_t linkSeq = 0;
+    /** Link CRC over (packet id, seq, linkSeq, error mask). */
+    std::uint16_t crc = 0;
+    /** Accumulated corruption injected on the wire (0 = clean). */
+    std::uint16_t errorMask = 0;
 
     Flit() = default;
     Flit(PacketPtr p, int s) : pkt(std::move(p)), seq(s) {}
@@ -29,6 +47,17 @@ struct Flit
     bool isTail() const { return seq == pkt->totalFlits() - 1; }
     /** True for flits belonging to the routing header. */
     bool isHeader() const { return seq < pkt->headerFlits; }
+
+    /** CRC the sender should stamp for the current contents. */
+    std::uint16_t computeCrc() const;
+    /** Stamp @p linkSequence and a matching CRC (sender side). */
+    void seal(std::uint32_t linkSequence);
+    /** Receiver-side check: does the stamped CRC match the
+     *  contents? */
+    bool crcOk() const { return crc == computeCrc(); }
+    /** Flip payload bits on the wire (@p mask must be nonzero); the
+     *  stamped CRC now mismatches unless the corruption collides. */
+    void corrupt(std::uint16_t mask) { errorMask ^= mask; }
 
     std::string toString() const;
 };

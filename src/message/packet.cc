@@ -45,6 +45,13 @@ pruneBranch(const PacketPtr &parent, DestSet branchDests)
         return parent;
     PacketDesc branch = *parent;
     branch.dests = std::move(branchDests);
+    if (parent->taint) {
+        // New replication branch, new integrity node: corruption on
+        // one branch must not taint its siblings, but corruption
+        // upstream of the split (the parent chain) taints them all.
+        branch.taint = std::make_shared<PacketTaint>();
+        branch.taint->parent = parent->taint;
+    }
     return std::make_shared<const PacketDesc>(std::move(branch));
 }
 

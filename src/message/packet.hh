@@ -44,6 +44,41 @@ enum class PacketKind
 
 const char *toString(PacketKind kind);
 
+/**
+ * Integrity state of one replication branch of a worm.
+ *
+ * Flits are regenerated from the shared descriptor at every hop, so
+ * per-flit state cannot survive a link; the payload-corruption bit
+ * instead hangs off the descriptor. Every pruneBranch() creates a
+ * child node chained to the parent's, so marking a branch corrupted
+ * taints exactly that replication subtree (descriptors downstream of
+ * the corrupting link) and leaves sibling branches clean. The NIC
+ * walks the chain at delivery — the end-to-end payload checksum.
+ *
+ * Nodes are allocated only when the network enables integrity
+ * tracking (transient faults configured); otherwise the pointer
+ * stays null and the fault-free path is untouched.
+ */
+struct PacketTaint
+{
+    /** A link corrupted this branch's payload undetectably. */
+    bool corrupted = false;
+    /** Integrity state inherited from the pre-replication worm. */
+    std::shared_ptr<const PacketTaint> parent;
+
+    /** True if this branch or any ancestor saw corruption. */
+    bool
+    tainted() const
+    {
+        for (const PacketTaint *t = this; t != nullptr;
+             t = t->parent.get()) {
+            if (t->corrupted)
+                return true;
+        }
+        return false;
+    }
+};
+
 /** Immutable description of one packet (worm). */
 struct PacketDesc
 {
@@ -82,6 +117,14 @@ struct PacketDesc
     /** Software-tree depth of this carrier (0 = sent by the root). */
     int swPhase = 0;
 
+    /**
+     * Integrity node of this replication branch; null unless the
+     * network tracks end-to-end integrity. The node (not the
+     * descriptor) is mutable: a link that lets corruption slip past
+     * its CRC sets taint->corrupted on the branch it carried.
+     */
+    std::shared_ptr<PacketTaint> taint;
+
     int totalFlits() const { return headerFlits + payloadFlits; }
 
     std::string toString() const;
@@ -107,17 +150,29 @@ class PacketFactory
         proto.id = nextPacket_++;
         if (proto.msg == 0)
             proto.msg = nextMsg_++;
+        if (integrity_)
+            proto.taint = std::make_shared<PacketTaint>();
         return std::make_shared<const PacketDesc>(std::move(proto));
     }
 
     /** Reserve a message id (for multi-packet/multi-phase messages). */
     MsgId newMsgId() { return nextMsg_++; }
 
+    /**
+     * Give every future packet a root integrity node (end-to-end
+     * checksum tracking). Enabled by the network when transient
+     * faults are configured; off by default so the fault-free path
+     * allocates nothing extra.
+     */
+    void enableIntegrityTracking() { integrity_ = true; }
+    bool integrityTracking() const { return integrity_; }
+
     PacketId packetsCreated() const { return nextPacket_ - 1; }
 
   private:
     PacketId nextPacket_ = 1;
     MsgId nextMsg_ = 1;
+    bool integrity_ = false;
 };
 
 } // namespace mdw

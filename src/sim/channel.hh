@@ -25,6 +25,34 @@
 
 namespace mdw {
 
+/**
+ * Optional per-channel link-layer hook (transient-fault subsystem).
+ *
+ * When attached, send() consults the hook to resolve the item's
+ * *final* arrival cycle — the hook may model corruption, NAK/replay
+ * rounds and flap outages by returning a later cycle (or kNoCycle to
+ * drop the item on a dead link) — and receive() lets it verify the
+ * delivered item. Arrivals must stay monotone so the channel remains
+ * a FIFO; the default (no hook) path is byte-identical to a plain
+ * fixed-delay channel.
+ */
+template <typename T>
+class ChannelHook
+{
+  public:
+    virtual ~ChannelHook() = default;
+
+    /**
+     * Resolve the final arrival cycle of @p item sent at @p now.
+     * May mutate the item (stamp sequence numbers / CRCs). Returns
+     * kNoCycle to drop the item instead of delivering it.
+     */
+    virtual Cycle onSend(T &item, Cycle now) = 0;
+
+    /** Called when the receiver takes delivery of @p item. */
+    virtual void onReceive(const T &item) = 0;
+};
+
 /** One-item-per-cycle unidirectional link with fixed delay. */
 template <typename T>
 class Channel
@@ -51,10 +79,30 @@ class Channel
         lastSend_ = now;
         sentYet_ = true;
         ++totalSends_;
-        queue_.push_back(Entry{now + delay_, std::move(item)});
+        Cycle arrival = now + delay_;
+        if (hook_ != nullptr) {
+            arrival = hook_->onSend(item, now);
+            if (arrival == kNoCycle)
+                return; // dropped on a dead/escalated link
+            MDW_ASSERT(arrival >= now + delay_,
+                       "channel %s: hook arrival before wire delay",
+                       name_.c_str());
+            MDW_ASSERT(queue_.empty() ||
+                           arrival >= queue_.back().ready,
+                       "channel %s: hook broke FIFO arrival order",
+                       name_.c_str());
+        }
+        queue_.push_back(Entry{arrival, std::move(item)});
         if (sink_ != nullptr)
-            sink_->requestWake(now + delay_);
+            sink_->requestWake(arrival);
     }
+
+    /**
+     * Attach a link-layer hook (transient-fault subsystem); null
+     * detaches. The channel does not own the hook.
+     */
+    void setHook(ChannelHook<T> *hook) { hook_ = hook; }
+    ChannelHook<T> *hook() const { return hook_; }
 
     /**
      * Register the receiving component so sends wake it if it is
@@ -96,6 +144,8 @@ class Channel
                    name_.c_str());
         T item = std::move(queue_.front().item);
         queue_.pop_front();
+        if (hook_ != nullptr)
+            hook_->onReceive(item);
         return item;
     }
 
@@ -125,6 +175,7 @@ class Channel
     bool sentYet_ = false;
     std::uint64_t totalSends_ = 0;
     Component *sink_ = nullptr;
+    ChannelHook<T> *hook_ = nullptr;
 };
 
 /**

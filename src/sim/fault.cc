@@ -37,12 +37,26 @@ FaultEvent::describe() const
     return buf;
 }
 
+std::string
+FlapWindow::describe() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "link-flap sw%d.p%d @[%llu,%llu)",
+                  sw, port, static_cast<unsigned long long>(start),
+                  static_cast<unsigned long long>(end));
+    return buf;
+}
+
 void
 FaultPlan::finalize()
 {
     std::stable_sort(events.begin(), events.end(),
                      [](const FaultEvent &a, const FaultEvent &b) {
                          return a.when < b.when;
+                     });
+    std::stable_sort(flaps.begin(), flaps.end(),
+                     [](const FlapWindow &a, const FlapWindow &b) {
+                         return a.start < b.start;
                      });
 }
 
@@ -124,6 +138,45 @@ FaultPlan::random(const FaultSpec &spec,
 
     plan.finalize();
     return plan;
+}
+
+void
+FaultPlan::drawTransients(const FaultSpec &spec,
+                          const std::vector<std::pair<SwitchId, int>>
+                              &candidateLinks)
+{
+    ber = spec.ber;
+    residual = spec.residual;
+    transientSeed = spec.seed;
+    if (spec.flaps <= 0)
+        return;
+
+    // 0x33: disjoint from random()'s link (0x11) and switch (0x22)
+    // streams, so turning flaps on never moves the fail-stop draws.
+    Rng flapRng(Rng::streamSeed(spec.seed, 0x33));
+    std::vector<std::size_t> idx(candidateLinks.size());
+    for (std::size_t i = 0; i < idx.size(); ++i)
+        idx[i] = i;
+    const std::size_t nFlaps =
+        std::min<std::size_t>(static_cast<std::size_t>(spec.flaps),
+                              idx.size());
+    if (static_cast<std::size_t>(spec.flaps) > idx.size()) {
+        warn("fault plan: only %zu candidate links for %d requested "
+             "flap windows",
+             idx.size(), spec.flaps);
+    }
+    const Cycle lo = spec.flapMin >= 1 ? spec.flapMin : 1;
+    const Cycle hi = spec.flapMax >= lo ? spec.flapMax : lo;
+    for (std::size_t i = 0; i < nFlaps; ++i) {
+        const std::size_t j = i + flapRng.below(idx.size() - i);
+        std::swap(idx[i], idx[j]);
+        FlapWindow w;
+        w.sw = candidateLinks[idx[i]].first;
+        w.port = candidateLinks[idx[i]].second;
+        w.start = drawCycle(flapRng, spec.start, spec.end);
+        w.end = w.start + drawCycle(flapRng, lo, hi);
+        flaps.push_back(w);
+    }
 }
 
 } // namespace mdw

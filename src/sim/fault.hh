@@ -59,7 +59,8 @@ struct FaultEvent
 /**
  * Shape parameters for a randomly drawn plan (the config-facing
  * knobs: fault.links=, fault.switches=, fault.start=, fault.end=,
- * fault.seed=).
+ * fault.seed=; transients: fault.ber=, fault.residual=, fault.flaps=,
+ * fault.flapMin=, fault.flapMax=).
  */
 struct FaultSpec
 {
@@ -73,7 +74,38 @@ struct FaultSpec
     /** Stream seed for the draw (independent of traffic RNG). */
     std::uint64_t seed = 1;
 
+    // --- Transient regime (link-level, recoverable) -----------------
+    /** Per-flit per-link-traversal corruption probability. */
+    double ber = 0.0;
+    /** Probability a corrupted flit also evades the link CRC (an
+     *  undetected error, caught only by the end-to-end checksum). */
+    double residual = 0.0;
+    /** Number of link-flap (down/up) windows to draw; starts fall in
+     *  [start, end], durations in [flapMin, flapMax]. */
+    int flaps = 0;
+    Cycle flapMin = 64;
+    Cycle flapMax = 1024;
+
     bool empty() const { return links <= 0 && switches <= 0; }
+    /** True when any transient mechanism is configured. */
+    bool transient() const { return ber > 0.0 || flaps > 0; }
+};
+
+/**
+ * One link-flap window: the named link loses every flit whose wire
+ * slot falls in [start, end). The link-level retry rides out short
+ * windows; long ones exhaust the retry budget and escalate to a
+ * fail-stop LinkDown.
+ */
+struct FlapWindow
+{
+    /** Lower-id endpoint of the flapping link, as in FaultEvent. */
+    SwitchId sw = kInvalidSwitch;
+    int port = -1;
+    Cycle start = 0;
+    Cycle end = 0;
+
+    std::string describe() const;
 };
 
 /** An ordered (by cycle) list of scheduled failures. */
@@ -81,13 +113,37 @@ struct FaultPlan
 {
     std::vector<FaultEvent> events;
 
-    bool empty() const { return events.empty(); }
+    // --- Transient schedule (interpreted by the link layer) ---------
+    /** Per-flit per-traversal corruption probability on every
+     *  switch-switch link. */
+    double ber = 0.0;
+    /** Probability a corrupted flit evades the link CRC. */
+    double residual = 0.0;
+    /** Stream seed for per-link corruption draws. */
+    std::uint64_t transientSeed = 1;
+    /** Scheduled link-flap windows (sorted by start in finalize()). */
+    std::vector<FlapWindow> flaps;
+
+    bool hasTransients() const { return ber > 0.0 || !flaps.empty(); }
+    bool empty() const { return events.empty() && !hasTransients(); }
 
     /** Append one event (kept unsorted until finalize()). */
     void add(FaultEvent event) { events.push_back(event); }
 
     /** Sort events by cycle (stable: ties keep insertion order). */
     void finalize();
+
+    /**
+     * Draw the transient schedule from @p spec: the BER applies to
+     * every link; spec.flaps windows land on distinct candidate links
+     * at uniform cycles in [spec.start, spec.end] with uniform
+     * durations in [spec.flapMin, spec.flapMax]. Uses streams disjoint
+     * from random()'s, so adding transients never perturbs which
+     * links fail-stop. Deterministic in @p spec alone.
+     */
+    void drawTransients(const FaultSpec &spec,
+                        const std::vector<std::pair<SwitchId, int>>
+                            &candidateLinks);
 
     /**
      * Draw a random plan: @p spec.links distinct entries from

@@ -392,6 +392,14 @@ toString(WormEvent event)
         return "poison_drop";
       case WormEvent::Retransmit:
         return "retransmit";
+      case WormEvent::CrcFail:
+        return "crc_fail";
+      case WormEvent::Nak:
+        return "nak";
+      case WormEvent::Replay:
+        return "replay";
+      case WormEvent::LinkFlap:
+        return "link_flap";
     }
     return "unknown";
 }

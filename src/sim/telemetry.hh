@@ -181,6 +181,14 @@ enum class WormEvent : std::uint8_t
     PoisonDrop,
     /** Whole-message retransmission round issued by a source NIC. */
     Retransmit,
+    /** Link CRC caught a corrupted flit at a receiver (arg = port). */
+    CrcFail,
+    /** Receiver NAKed; the sender will replay (arg = port). */
+    Nak,
+    /** Link-level retransmission of one flit (arg = attempt). */
+    Replay,
+    /** A link-flap window started losing traffic (arg = port). */
+    LinkFlap,
 };
 
 const char *toString(WormEvent event);

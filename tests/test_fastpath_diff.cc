@@ -171,6 +171,28 @@ const Scenario kScenarios[] = {
      "irr.extraLinks=6 degree=4 load=0.08"},
     // ablation_uproute.
     {"deterministic_up", "upPolicy=deterministic load=0.08"},
+    // fig_integrity: transient faults. BER with residual errors
+    // exercises NAK/replay resolution plus the end-to-end checksum.
+    {"transient_ber",
+     "fault.ber=1e-3 fault.residual=0.05 nic.retransmitTimeout=3000 "
+     "load=0.05"},
+    {"transient_ber_ib",
+     "arch=ib fault.ber=5e-4 nic.retransmitTimeout=3000 load=0.05"},
+    // Short flap windows ride out on link-level retry alone.
+    {"transient_flaps",
+     "fault.flaps=2 fault.start=600 fault.end=1400 fault.flapMin=4 "
+     "fault.flapMax=12 nic.retransmitTimeout=3000 load=0.05"},
+    // A long flap exhausts the retry budget and escalates into the
+    // fail-stop rerouting/tombstone machinery mid-run.
+    {"transient_flap_escalates",
+     "fault.flaps=1 fault.start=600 fault.end=900 fault.flapMin=400 "
+     "fault.flapMax=600 link.retryLimit=4 nic.retransmitTimeout=3000 "
+     "load=0.05"},
+    // Everything at once, on the software scheme.
+    {"transient_kitchen_sink",
+     "scheme=sw fault.links=1 fault.ber=5e-4 fault.residual=0.1 "
+     "fault.flaps=1 fault.start=600 fault.end=1200 fault.flapMin=8 "
+     "fault.flapMax=20 nic.retransmitTimeout=3000 load=0.05"},
     // Traced run: metric equality plus event-sequence equality below.
     {"traced",
      "telemetry.trace=1 telemetry.traceCapacity=65536 load=0.05"},
@@ -178,6 +200,9 @@ const Scenario kScenarios[] = {
      "telemetry.trace=1 telemetry.traceCapacity=65536 load=0.05 "
      "fault.links=1 fault.start=600 fault.end=1200 "
      "nic.retransmitTimeout=3000"},
+    {"traced_transient",
+     "telemetry.trace=1 telemetry.traceCapacity=65536 load=0.05 "
+     "fault.ber=1e-3 fault.residual=0.05 nic.retransmitTimeout=3000"},
 };
 
 class FastPathDiff : public ::testing::TestWithParam<Scenario>
@@ -201,6 +226,10 @@ TEST(FastPathDiffTrace, EventSequencesIdentical)
          {"telemetry.trace=1 telemetry.traceCapacity=65536 load=0.05",
           "telemetry.trace=1 telemetry.traceCapacity=65536 load=0.05 "
           "fault.links=1 fault.start=600 fault.end=1200 "
+          "nic.retransmitTimeout=3000",
+          // crc_fail/nak/replay events must land on identical cycles.
+          "telemetry.trace=1 telemetry.traceCapacity=65536 load=0.05 "
+          "fault.ber=1e-3 fault.residual=0.05 "
           "nic.retransmitTimeout=3000"}) {
         const Config config = withTokens(tokens);
         const ExperimentResult slow = runMode(config, false);
@@ -284,13 +313,25 @@ TEST(FastPathProperty, RandomConfigsBitIdentical)
         tokens << "mcastFraction=0." << pick(0, 3) << " ";
         tokens << "seed=" << (trial + 1) << " ";
         tokens << "traffic.seed=" << (trial + 101) << " ";
-        if (pick(0, 1) == 1) {
-            tokens << "fault.links=" << pick(1, 2)
-                   << " fault.switches=" << pick(0, 1)
-                   << " fault.start=300 fault.end=900"
+        const bool failStop = pick(0, 1) == 1;
+        const bool transient = pick(0, 2) == 0;
+        if (failStop || transient) {
+            tokens << "fault.start=300 fault.end=900"
                    << " fault.seed=" << (trial + 7)
                    << " nic.retransmitTimeout=" << pick(15, 25) * 100
                    << " ";
+        }
+        if (failStop) {
+            tokens << "fault.links=" << pick(1, 2)
+                   << " fault.switches=" << pick(0, 1) << " ";
+        }
+        if (transient) {
+            tokens << "fault.ber=" << pick(1, 8) << "e-4 ";
+            if (pick(0, 1) == 1)
+                tokens << "fault.residual=0.1 ";
+            if (pick(0, 1) == 1)
+                tokens << "fault.flaps=1 fault.flapMin=8 "
+                       << "fault.flapMax=48 ";
         }
         SCOPED_TRACE("repro: " + tokens.str());
         expectIdentical(tokens.str());

@@ -5,6 +5,9 @@
  * audit, and the non-aborting deadlock watchdog diagnosis.
  */
 
+#include <cstdio>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "core/presets.hh"
@@ -608,6 +611,288 @@ TEST(Resilience, RetransmitTimersFireFromSleep)
     EXPECT_EQ(completed[0], completed[1]);
     EXPECT_EQ(retransmits[0], retransmits[1]);
     EXPECT_EQ(finished[0], finished[1]);
+}
+
+// --- Transient-fault edge cases (link-level retry subsystem) -------
+
+/**
+ * A retry-exhaustion escalation racing a planned fail-stop on the
+ * same link must be a no-op the second time around: the fault is
+ * counted once, applied once, and the run carries on.
+ */
+TEST(Resilience, EscalationOnAlreadyDeadLinkIsNoOp)
+{
+    NetworkConfig config = defaultNetwork();
+    config.fatTreeK = 4;
+    config.fatTreeN = 2;
+    // A vanishing BER instantiates the link layers without actually
+    // corrupting anything in this short run.
+    config.faultSpec.ber = 1e-15;
+    config.nic.retransmitTimeout = 2500;
+
+    FatTree scratch(4, 2);
+    const auto links = firstLinks(scratch, 1);
+    ASSERT_EQ(links.size(), 1u);
+    FaultEvent e;
+    e.kind = FaultKind::LinkDown;
+    e.when = 10;
+    e.sw = links[0].first;
+    e.port = links[0].second;
+    config.faultPlan.add(e);
+
+    Network net(config);
+    net.armWatchdog(30000);
+    net.sim().run(20);
+    EXPECT_EQ(net.resilience()->faultsApplied(), 1u);
+
+    // The fail-stop reached both directions' ARQ layers.
+    LinkLayer *fwd = net.linkLayer(e.sw, static_cast<PortId>(e.port));
+    ASSERT_NE(fwd, nullptr);
+    EXPECT_TRUE(fwd->dead());
+    const PortPeer &peer =
+        net.topology().graph().peer(e.sw, static_cast<PortId>(e.port));
+    LinkLayer *rev = net.linkLayer(peer.sw, peer.port);
+    ASSERT_NE(rev, nullptr);
+    EXPECT_TRUE(rev->dead());
+
+    // A late escalation report for the same link (e.g. a replayed
+    // flit timing out just as the planned fault landed) is absorbed.
+    net.resilience()->escalateLink(e.sw, e.port, net.sim().now());
+    net.sim().run(10);
+    EXPECT_EQ(net.resilience()->faultsApplied(), 1u);
+
+    // Traffic still flows around the dead link.
+    DestSet dests(net.numHosts());
+    for (NodeId d : {5, 9, 14})
+        dests.set(d);
+    net.nic(0).postMulticast(dests, 32, net.sim().now());
+    ASSERT_TRUE(
+        net.sim().runUntil([&net] { return net.idle(); }, 200000));
+    EXPECT_EQ(net.tracker().totalCompleted(), 1u);
+    EXPECT_EQ(net.tracker().partialCompleted(), 0u);
+}
+
+/** A fault scheduled for cycle 0 applies before any flit moves. */
+TEST(Resilience, CycleZeroFaultIsValid)
+{
+    NetworkConfig config = defaultNetwork();
+    config.fatTreeK = 4;
+    config.fatTreeN = 2;
+
+    FatTree scratch(4, 2);
+    const auto links = firstLinks(scratch, 1);
+    FaultEvent e;
+    e.kind = FaultKind::LinkDown;
+    e.when = 0;
+    e.sw = links[0].first;
+    e.port = links[0].second;
+    config.faultPlan.add(e);
+
+    Network net(config);
+    net.armWatchdog(30000);
+    net.nic(0).postUnicast(13, 32, 0);
+    ASSERT_TRUE(
+        net.sim().runUntil([&net] { return net.idle(); }, 200000));
+    EXPECT_EQ(net.resilience()->faultsApplied(), 1u);
+    EXPECT_FALSE(net.sim().deadlockDetected());
+    EXPECT_EQ(net.tracker().totalCompleted(), 1u);
+
+    std::string why;
+    net.sim().runUntil(
+        [&net] { return net.checkQuiescent(nullptr); }, 4096);
+    EXPECT_TRUE(net.checkQuiescent(&why)) << why;
+}
+
+/** A flap window opening at cycle 0 (link born flapping) is legal:
+ *  the retry layer rides it out from the very first traversal. */
+TEST(Resilience, CycleZeroFlapWindowIsValid)
+{
+    NetworkConfig config = defaultNetwork();
+    config.fatTreeK = 4;
+    config.fatTreeN = 2;
+    config.nic.retransmitTimeout = 2500;
+
+    FatTree scratch(4, 2);
+    const auto links = firstLinks(scratch, 1);
+    FlapWindow flap;
+    flap.sw = links[0].first;
+    flap.port = links[0].second;
+    flap.start = 0;
+    flap.end = 12; // well inside the default retry budget
+    config.faultPlan.flaps.push_back(flap);
+
+    Network net(config);
+    ASSERT_NE(net.linkLayer(flap.sw, static_cast<PortId>(flap.port)),
+              nullptr);
+    net.armWatchdog(30000);
+    DestSet dests(net.numHosts());
+    for (NodeId d : {4, 9, 14})
+        dests.set(d);
+    net.nic(0).postMulticast(dests, 32, 0);
+    ASSERT_TRUE(
+        net.sim().runUntil([&net] { return net.idle(); }, 200000));
+    EXPECT_EQ(net.tracker().totalCompleted(), 1u);
+    EXPECT_EQ(net.resilience()->linkEscalations(), 0u);
+
+    std::string why;
+    net.sim().runUntil(
+        [&net] { return net.checkQuiescent(nullptr); }, 4096);
+    EXPECT_TRUE(net.checkQuiescent(&why)) << why;
+}
+
+/**
+ * The full escalation handoff: a retry-exhaustion report schedules a
+ * fail-stop LinkDown, rerouting kicks in, both directions' layers go
+ * dead, and the report from the opposite direction deduplicates.
+ */
+TEST(Resilience, EscalationHandsOffToFailStopMachinery)
+{
+    NetworkConfig config = defaultNetwork();
+    config.fatTreeK = 4;
+    config.fatTreeN = 2;
+    config.faultSpec.ber = 1e-15; // instantiate the link layers
+    config.nic.retransmitTimeout = 2500;
+
+    Network net(config);
+    net.armWatchdog(30000);
+    FatTree scratch(4, 2);
+    const auto links = firstLinks(scratch, 1);
+    const SwitchId sw = links[0].first;
+    const PortId port = links[0].second;
+
+    net.resilience()->escalateLink(sw, port, 5);
+    EXPECT_EQ(net.resilience()->linkEscalations(), 1u);
+    net.sim().run(20);
+    EXPECT_EQ(net.resilience()->faultsApplied(), 1u);
+    EXPECT_TRUE(net.linkLayer(sw, port)->dead());
+    const PortPeer &peer = net.topology().graph().peer(sw, port);
+    EXPECT_TRUE(net.linkLayer(peer.sw, peer.port)->dead());
+
+    // The other direction's layer reporting the same physical link
+    // must not schedule a second fault.
+    net.resilience()->escalateLink(peer.sw, peer.port,
+                                   net.sim().now());
+    net.sim().run(10);
+    EXPECT_EQ(net.resilience()->linkEscalations(), 1u);
+    EXPECT_EQ(net.resilience()->faultsApplied(), 1u);
+
+    // Rerouting still delivers everything.
+    DestSet dests(net.numHosts());
+    for (NodeId d : {5, 9, 14})
+        dests.set(d);
+    net.nic(0).postMulticast(dests, 32, net.sim().now());
+    ASSERT_TRUE(
+        net.sim().runUntil([&net] { return net.idle(); }, 200000));
+    EXPECT_EQ(net.tracker().totalCompleted(), 1u);
+
+    // The diagnosis dump (what a watchdog trip captures) reports the
+    // per-direction ARQ state: replay-buffer occupancy, sequence
+    // numbers, last-NAK cycle, and the escalated link.
+    FILE *tmp = std::tmpfile();
+    ASSERT_NE(tmp, nullptr);
+    net.dumpState(tmp);
+    std::rewind(tmp);
+    std::string dump;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), tmp)) > 0)
+        dump.append(buf, got);
+    std::fclose(tmp);
+    EXPECT_NE(dump.find("link layers"), std::string::npos);
+    EXPECT_NE(dump.find("unacked"), std::string::npos);
+    EXPECT_NE(dump.find("last NAK"), std::string::npos);
+    EXPECT_NE(dump.find("escalated/dead"), std::string::npos);
+}
+
+/** Transient schedules draw deterministically and within bounds. */
+TEST(FaultPlan, TransientDrawIsDeterministic)
+{
+    std::vector<std::pair<SwitchId, int>> links;
+    for (int i = 0; i < 12; ++i)
+        links.emplace_back(static_cast<SwitchId>(i / 4), i % 4 + 4);
+
+    FaultSpec spec;
+    spec.ber = 2e-4;
+    spec.residual = 0.05;
+    spec.flaps = 3;
+    spec.start = 100;
+    spec.end = 900;
+    spec.flapMin = 50;
+    spec.flapMax = 200;
+    spec.seed = 11;
+
+    FaultPlan a, b;
+    a.drawTransients(spec, links);
+    b.drawTransients(spec, links);
+    EXPECT_EQ(a.ber, spec.ber);
+    EXPECT_EQ(a.residual, spec.residual);
+    ASSERT_EQ(a.flaps.size(), 3u);
+    for (std::size_t i = 0; i < a.flaps.size(); ++i) {
+        EXPECT_EQ(a.flaps[i].sw, b.flaps[i].sw);
+        EXPECT_EQ(a.flaps[i].port, b.flaps[i].port);
+        EXPECT_EQ(a.flaps[i].start, b.flaps[i].start);
+        EXPECT_EQ(a.flaps[i].end, b.flaps[i].end);
+        EXPECT_GE(a.flaps[i].start, spec.start);
+        EXPECT_LE(a.flaps[i].start, spec.end);
+        const Cycle dur = a.flaps[i].end - a.flaps[i].start;
+        EXPECT_GE(dur, spec.flapMin);
+        EXPECT_LE(dur, spec.flapMax);
+    }
+    // Distinct links.
+    for (std::size_t i = 0; i < a.flaps.size(); ++i)
+        for (std::size_t j = i + 1; j < a.flaps.size(); ++j)
+            EXPECT_FALSE(a.flaps[i].sw == a.flaps[j].sw &&
+                         a.flaps[i].port == a.flaps[j].port);
+}
+
+/**
+ * End-to-end integrity acceptance: under sustained BER with residual
+ * (CRC-evading) errors, every completed multicast was verified — the
+ * tainted copies were discarded at the NIC checksum and re-sent — and
+ * nothing leaks.
+ */
+TEST(Resilience, ResidualErrorsAreCaughtEndToEnd)
+{
+    NetworkConfig config = defaultNetwork();
+    config.fatTreeK = 4;
+    config.fatTreeN = 2;
+    config.faultSpec.ber = 2e-3;
+    config.faultSpec.residual = 0.2;
+    config.nic.retransmitTimeout = 2500;
+
+    Network net(config);
+    TrafficParams traffic;
+    traffic.pattern = TrafficPattern::MultipleMulticast;
+    traffic.load = 0.08;
+    traffic.payloadFlits = 32;
+    traffic.mcastDegree = 6;
+    traffic.seed = 13;
+    traffic.stopCycle = 3000;
+    SyntheticTraffic source(net.numHosts(), traffic);
+    net.attachTraffic(&source);
+
+    net.armWatchdog(50000);
+    net.sim().run(3000);
+    ASSERT_TRUE(
+        net.sim().runUntil([&net] { return net.idle(); }, 500000));
+    EXPECT_FALSE(net.sim().deadlockDetected());
+
+    std::uint64_t csum_fails = 0;
+    for (NodeId n = 0; n < static_cast<NodeId>(net.numHosts()); ++n)
+        csum_fails += net.nic(n).stats().csumFails.value();
+    EXPECT_GT(csum_fails, 0u) << "residual errors never materialized; "
+                                 "raise ber/residual";
+
+    // No silently corrupted delivery: every message the tracker calls
+    // complete had all its copies re-delivered clean.
+    EXPECT_EQ(net.tracker().totalCompleted(), source.generated());
+    EXPECT_EQ(net.tracker().partialCompleted(), 0u);
+    EXPECT_EQ(net.tracker().inFlight(), 0u);
+
+    std::string why;
+    net.sim().runUntil(
+        [&net] { return net.checkQuiescent(nullptr); }, 4096);
+    EXPECT_TRUE(net.checkQuiescent(&why)) << why;
 }
 
 } // namespace
