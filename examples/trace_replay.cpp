@@ -6,7 +6,12 @@
  * network with recorded or hand-crafted patterns instead of
  * synthetic arrivals.
  *
- * Run: ./trace_replay [key=value ...]  (e.g. trace=/path/to/file)
+ * Run: ./trace_replay [key=value ...]  (e.g. trace=/path/to/file).
+ * With v2=1 (and no trace=) the demo pattern is a dependency-carrying
+ * v2 trace instead: a binary-tree reduction into node 0, a release
+ * multicast gated on the reduction, and a final acknowledgement wave
+ * gated on the release — each stage issued only after the completions
+ * of the stage before it.
  */
 
 #include <cstdio>
@@ -28,7 +33,54 @@ main(int argc, char **argv)
     Network net(netcfg);
 
     std::string path = cli.getString("trace", "");
-    if (path.empty()) {
+    const bool v2 = cli.getBool("v2", false);
+    if (path.empty() && v2) {
+        // Dependency-carrying demo: reduce -> release -> acknowledge.
+        path = "/tmp/mdworm_demo_v2.trace";
+        std::vector<TraceEvent> events;
+        std::uint64_t next_id = 0;
+        std::vector<std::uint64_t> prev_stage;
+        for (int stride = 1; stride < 16; stride *= 2) {
+            std::vector<std::uint64_t> stage;
+            for (NodeId n = 0; n < 16;
+                 n = static_cast<NodeId>(n + 2 * stride)) {
+                TraceEvent reduce;
+                reduce.id = ++next_id;
+                reduce.deps = prev_stage;
+                reduce.when = 0;
+                reduce.src = static_cast<NodeId>(n + stride);
+                reduce.spec.dest = n;
+                reduce.spec.payloadFlits = 16;
+                stage.push_back(reduce.id);
+                events.push_back(std::move(reduce));
+            }
+            prev_stage = std::move(stage);
+        }
+        TraceEvent release;
+        release.id = ++next_id;
+        release.deps = prev_stage;
+        release.when = 0;
+        release.src = 0;
+        release.spec.multicast = true;
+        release.spec.dests = DestSet(16);
+        for (NodeId n = 1; n < 16; ++n)
+            release.spec.dests.set(n);
+        release.spec.payloadFlits = 64;
+        const std::uint64_t release_id = release.id;
+        events.push_back(std::move(release));
+        for (NodeId n = 1; n < 16; ++n) {
+            TraceEvent ack;
+            ack.id = ++next_id;
+            ack.deps = {release_id};
+            ack.when = 0;
+            ack.src = n;
+            ack.spec.dest = 0;
+            ack.spec.payloadFlits = 8;
+            events.push_back(std::move(ack));
+        }
+        TraceTraffic::writeFile(path, events);
+        std::printf("wrote v2 dependency trace to %s\n", path.c_str());
+    } else if (path.empty()) {
         // No trace given: write a demo pattern — a neighbor shift,
         // two staggered multicasts, and a reduction-like fan-in.
         path = "/tmp/mdworm_demo.trace";
@@ -94,5 +146,16 @@ main(int argc, char **argv)
     std::printf("deliveries: %llu\n",
                 static_cast<unsigned long long>(
                     tracker.totalDeliveries()));
+
+    // Closed-loop accounting: every trace event must have retired.
+    const std::uint64_t retired =
+        tracker.totalCompleted() + tracker.partialCompleted();
+    if (retired != trace.size()) {
+        std::printf("ERROR: %llu of %zu events retired\n",
+                    static_cast<unsigned long long>(retired),
+                    trace.size());
+        return 1;
+    }
+    std::printf("all %zu events completed\n", trace.size());
     return 0;
 }

@@ -73,6 +73,24 @@ def check_integrity_metrics(path, metrics):
              "host.csum_fails metric registered")
 
 
+def check_workload_metrics(path, metrics):
+    """Cross-check closed-loop workload accounting when present.
+
+    Closed-loop runs (workload.kind = collective or trace) report the
+    workload.* rollup; on a drained run every injected message retired
+    either fully or as a partial (unreachable write-off), so posted
+    must equal completed + partial exactly.
+    """
+    if "workload.posted" not in metrics:
+        return
+    posted = metrics["workload.posted"]
+    completed = metrics.get("workload.completed", 0)
+    partial = metrics.get("workload.partial", 0)
+    if completed + partial != posted:
+        fail(f"{path}: workload imbalance: posted={posted} != "
+             f"completed={completed} + partial={partial}")
+
+
 def check_report(path, expect_metrics=()):
     objs = machine_lines(path)
     if not objs:
@@ -109,6 +127,7 @@ def check_report(path, expect_metrics=()):
     if missing:
         fail(f"{path}: expected metrics never reported: {missing}")
     check_integrity_metrics(path, section)
+    check_workload_metrics(path, section)
     print(f"validate_report: OK report {path} "
           f"({len(section)} metrics)")
 

@@ -5,6 +5,8 @@
 
 #include "core/sweep.hh"
 #include "sim/logging.hh"
+#include "workload/kernels.hh"
+#include "workload/trace.hh"
 
 namespace mdw {
 
@@ -35,6 +37,9 @@ ExperimentResult
 Experiment::run()
 {
     Network net(network_);
+
+    if (traffic_.kind != WorkloadKind::Synthetic)
+        return runClosedLoop(net);
 
     TrafficParams traffic = traffic_;
     traffic.stopCycle = params_.warmup + params_.measure;
@@ -113,6 +118,123 @@ Experiment::run()
     if (result.drained && !result.deadlocked) {
         // A drained network can still have credits on the wire at the
         // cycle idleness was detected; give them a moment to land.
+        net.sim().runUntil(
+            [&net] { return net.checkQuiescent(nullptr); }, 4096);
+        std::string why;
+        result.quiescent = net.checkQuiescent(&why);
+        if (!result.quiescent)
+            warn("network not quiescent after drain: %s", why.c_str());
+    } else {
+        result.quiescent = false;
+    }
+    return result;
+}
+
+ExperimentResult
+Experiment::runClosedLoop(Network &net)
+{
+    std::unique_ptr<Workload> workload;
+    CollectiveKernelWorkload *kernels = nullptr;
+    switch (traffic_.kind) {
+      case WorkloadKind::Collective: {
+        auto k = std::make_unique<CollectiveKernelWorkload>(
+            net.numHosts(), traffic_);
+        kernels = k.get();
+        workload = std::move(k);
+        break;
+      }
+      case WorkloadKind::Trace: {
+        if (traffic_.tracePath.empty())
+            fatal("workload.kind=trace needs workload.trace=<path>");
+        workload = std::make_unique<TraceTraffic>(
+            TraceTraffic::fromFile(traffic_.tracePath,
+                                   net.numHosts()));
+        break;
+      }
+      case WorkloadKind::Synthetic:
+        MDW_ASSERT(false, "synthetic workloads use the open-loop run");
+    }
+    net.attachWorkload(workload.get());
+    // No warmup/measure split: a closed-loop run is bounded by its
+    // own dependency structure, so the whole run is the measurement.
+    net.tracker().setWindow(0, kNoCycle);
+
+    ExperimentResult result;
+    result.offeredLoad = 0.0;
+    result.expectedDelivered = 0.0;
+
+    if (params_.watchdogQuiet > 0)
+        net.armWatchdog(params_.watchdogQuiet);
+
+    Workload *w = workload.get();
+    result.drained = net.sim().runUntil(
+        [&net, w] { return w->exhausted() && net.idle(); },
+        params_.drainLimit);
+    result.deadlocked = net.sim().deadlockDetected();
+    result.cyclesRun = net.sim().now();
+
+    // As in the open-loop path: capture everything *before* the
+    // quiescence settle advances the clock.
+    result.metrics = net.metricsSnapshot();
+    result.metrics.setCounter("experiment.end_backlog_packets",
+                              net.totalTxBacklog());
+
+    const McastTracker &tracker = net.tracker();
+    result.metrics.setGauge("experiment.latency.unicast.p95",
+                            tracker.unicastHist().percentile(0.95));
+    result.metrics.setGauge("experiment.latency.mcast_last.p95",
+                            tracker.mcastLastHist().percentile(0.95));
+
+    const double node_cycles =
+        static_cast<double>(net.numHosts()) *
+        static_cast<double>(result.cyclesRun);
+    result.metrics.setGauge(
+        "experiment.delivered_load",
+        node_cycles > 0.0
+            ? static_cast<double>(tracker.windowDeliveredFlits()) /
+                  node_cycles
+            : 0.0);
+    result.saturated = result.deadlocked || !result.drained;
+
+    // Whole-run link utilization (no measurement sub-window).
+    const std::vector<std::uint64_t> tx = net.portTxSnapshot();
+    double mean_util = 0.0, peak_util = 0.0;
+    if (!tx.empty() && result.cyclesRun > 0) {
+        double sum = 0.0;
+        for (const std::uint64_t flits : tx) {
+            const double util =
+                static_cast<double>(flits) /
+                static_cast<double>(result.cyclesRun);
+            sum += util;
+            peak_util = std::max(peak_util, util);
+        }
+        mean_util = sum / static_cast<double>(tx.size());
+    }
+    result.metrics.setGauge("experiment.link_util.mean", mean_util);
+    result.metrics.setGauge("experiment.link_util.max", peak_util);
+
+    // Closed-loop accounting: on a drained run every injected message
+    // retired (posted == completed + partial), which validate_report
+    // cross-checks from the report stream.
+    result.metrics.setCounter(
+        "workload.posted",
+        result.metrics.sumCounters("messages_posted"));
+    result.metrics.setCounter("workload.completed",
+                              tracker.totalCompleted());
+    result.metrics.setCounter("workload.partial",
+                              tracker.partialCompleted());
+    if (kernels != nullptr) {
+        result.metrics.setSampler("workload.round_cycles",
+                                  kernels->roundCycles());
+        result.metrics.setCounter("workload.rounds",
+                                  kernels->roundsCompleted());
+    }
+
+    if (net.telemetry().tracer())
+        result.trace =
+            std::make_shared<const WormTrace>(net.traceSnapshot());
+
+    if (result.drained && !result.deadlocked) {
         net.sim().runUntil(
             [&net] { return net.checkQuiescent(nullptr); }, 4096);
         std::string why;

@@ -220,6 +220,16 @@ class Experiment
     double deliveryMultiplier() const;
 
   private:
+    /**
+     * Closed-loop run (workload.kind = collective or trace): no
+     * warmup/measure split -- the workload runs to exhaustion (or
+     * drainLimit, whichever first) with the measurement window open
+     * for the whole run, and the snapshot gains the workload.*
+     * accounting counters (posted == completed + partial on any
+     * drained run).
+     */
+    ExperimentResult runClosedLoop(Network &net);
+
     NetworkConfig network_;
     TrafficParams traffic_;
     ExperimentParams params_;

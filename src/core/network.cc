@@ -546,10 +546,17 @@ Network::switchAt(SwitchId id)
 }
 
 void
-Network::attachTraffic(TrafficSource *source)
+Network::attachWorkload(Workload *workload)
 {
     for (auto &nic : nics_)
-        nic->setTrafficSource(source);
+        nic->setWorkload(workload);
+    workload->setWakeHook([this](NodeId node, Cycle when) {
+        nic(node).requestWake(when);
+    });
+    tracker_.setCompletionHook(
+        [workload](MsgId msg, NodeId src, Cycle now) {
+            workload->onCompleted(msg, src, now);
+        });
 }
 
 bool

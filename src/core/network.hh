@@ -135,8 +135,19 @@ class Network
     Nic &nic(NodeId id);
     SwitchBase &switchAt(SwitchId id);
 
-    /** Attach one workload source to every NIC (not owned). */
-    void attachTraffic(TrafficSource *source);
+    /**
+     * Attach one workload to every NIC (not owned) and wire its
+     * closed-loop plumbing: the tracker's completion hook feeds
+     * Workload::onCompleted, and the workload's wake hook rouses the
+     * sleeping NIC of a node that a completion released work for.
+     */
+    void attachWorkload(Workload *workload);
+
+    /** Pre-redesign name of attachWorkload(). */
+    void attachTraffic(TrafficSource *source)
+    {
+        attachWorkload(source);
+    }
 
     /** Largest packet (header + payload) the system can produce. */
     int maxPacketFlits() const { return maxPacketFlits_; }

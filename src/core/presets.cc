@@ -1,6 +1,74 @@
 #include "core/presets.hh"
 
+#include <set>
+
+#include "sim/logging.hh"
+
 namespace mdw {
+
+namespace {
+
+/** Warn (once per key per process) about a deprecated spelling. */
+void
+warnDeprecatedKey(const std::string &oldKey, const std::string &newKey)
+{
+    static std::set<std::string> warned;
+    if (warned.insert(oldKey).second)
+        warn("config key '%s' is deprecated; use '%s'", oldKey.c_str(),
+             newKey.c_str());
+}
+
+// Aliased getters: read the canonical workload.* key, accepting the
+// pre-redesign spelling as a warn-once fallback. The legacy key is
+// read first so both spellings count as consumed (the unknown-key
+// check below would otherwise trip), with the canonical key winning
+// when both are present.
+
+std::string
+aliasedString(const Config &config, const char *newKey,
+              const char *oldKey, std::string dflt)
+{
+    if (config.has(oldKey)) {
+        warnDeprecatedKey(oldKey, newKey);
+        dflt = config.getString(oldKey, dflt);
+    }
+    return config.getString(newKey, dflt);
+}
+
+double
+aliasedDouble(const Config &config, const char *newKey,
+              const char *oldKey, double dflt)
+{
+    if (config.has(oldKey)) {
+        warnDeprecatedKey(oldKey, newKey);
+        dflt = config.getDouble(oldKey, dflt);
+    }
+    return config.getDouble(newKey, dflt);
+}
+
+std::int64_t
+aliasedInt(const Config &config, const char *newKey, const char *oldKey,
+           std::int64_t dflt)
+{
+    if (config.has(oldKey)) {
+        warnDeprecatedKey(oldKey, newKey);
+        dflt = config.getInt(oldKey, dflt);
+    }
+    return config.getInt(newKey, dflt);
+}
+
+std::uint64_t
+aliasedU64(const Config &config, const char *newKey, const char *oldKey,
+           std::uint64_t dflt)
+{
+    if (config.has(oldKey)) {
+        warnDeprecatedKey(oldKey, newKey);
+        dflt = config.getU64(oldKey, dflt);
+    }
+    return config.getU64(newKey, dflt);
+}
+
+} // namespace
 
 const char *
 toString(Scheme scheme)
@@ -190,9 +258,23 @@ applyOverrides(const Config &config, NetworkConfig &network,
     // cycle-accurate oracle for debugging).
     network.fastPath = config.getBool("sim.fastPath", network.fastPath);
 
-    // Traffic.
-    const std::string pattern =
-        config.getString("pattern", toString(traffic.pattern));
+    // Workload. Canonical keys are workload.*; the pre-redesign bare
+    // spellings (pattern, load, ...) and traffic.seed remain as
+    // warn-once deprecation aliases, workload.* winning when both
+    // appear.
+    const std::string kind =
+        config.getString("workload.kind", toString(traffic.kind));
+    if (kind == "synthetic") {
+        traffic.kind = WorkloadKind::Synthetic;
+    } else if (kind == "collective") {
+        traffic.kind = WorkloadKind::Collective;
+    } else if (kind == "trace") {
+        traffic.kind = WorkloadKind::Trace;
+    } else {
+        fatal("unknown workload kind '%s'", kind.c_str());
+    }
+    const std::string pattern = aliasedString(
+        config, "workload.pattern", "pattern", toString(traffic.pattern));
     if (pattern == "uniform-unicast") {
         traffic.pattern = TrafficPattern::UniformUnicast;
     } else if (pattern == "multiple-multicast") {
@@ -204,18 +286,44 @@ applyOverrides(const Config &config, NetworkConfig &network,
     } else {
         fatal("unknown traffic pattern '%s'", pattern.c_str());
     }
-    traffic.load = config.getDouble("load", traffic.load);
-    traffic.payloadFlits = static_cast<int>(
-        config.getInt("payload", traffic.payloadFlits));
-    traffic.mcastDegree = static_cast<int>(
-        config.getInt("degree", traffic.mcastDegree));
+    traffic.load =
+        aliasedDouble(config, "workload.load", "load", traffic.load);
+    traffic.payloadFlits = static_cast<int>(aliasedInt(
+        config, "workload.payload", "payload", traffic.payloadFlits));
+    traffic.mcastDegree = static_cast<int>(aliasedInt(
+        config, "workload.degree", "degree", traffic.mcastDegree));
     traffic.mcastFraction =
-        config.getDouble("mcastFraction", traffic.mcastFraction);
+        aliasedDouble(config, "workload.mcastFraction", "mcastFraction",
+                      traffic.mcastFraction);
     traffic.hotFraction =
-        config.getDouble("hotFraction", traffic.hotFraction);
-    traffic.hotNode = static_cast<NodeId>(
-        config.getInt("hotNode", traffic.hotNode));
-    traffic.seed = config.getU64("traffic.seed", traffic.seed);
+        aliasedDouble(config, "workload.hotFraction", "hotFraction",
+                      traffic.hotFraction);
+    traffic.hotNode = static_cast<NodeId>(aliasedInt(
+        config, "workload.hotNode", "hotNode", traffic.hotNode));
+    traffic.seed = aliasedU64(config, "workload.seed", "traffic.seed",
+                              traffic.seed);
+
+    // Closed-loop knobs (workload.kind = collective | trace).
+    const std::string op = config.getString("workload.collective",
+                                            toString(traffic.collective));
+    if (op == "barrier") {
+        traffic.collective = CollectiveOp::Barrier;
+    } else if (op == "allreduce") {
+        traffic.collective = CollectiveOp::Allreduce;
+    } else if (op == "invalidate") {
+        traffic.collective = CollectiveOp::Invalidate;
+    } else {
+        fatal("unknown collective op '%s'", op.c_str());
+    }
+    traffic.rounds = static_cast<int>(
+        config.getInt("workload.rounds", traffic.rounds));
+    traffic.groups = static_cast<int>(
+        config.getInt("workload.groups", traffic.groups));
+    traffic.groupSize = static_cast<int>(
+        config.getInt("workload.groupSize", traffic.groupSize));
+    traffic.think = config.getU64("workload.think", traffic.think);
+    traffic.tracePath =
+        config.getString("workload.trace", traffic.tracePath);
 
     // Faults and recovery.
     network.faultSpec.links = static_cast<int>(

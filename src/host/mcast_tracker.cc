@@ -61,11 +61,11 @@ McastTracker::onDelivered(MsgId msg, NodeId dest, Cycle now,
         windowFlits_ += static_cast<std::uint64_t>(payloadFlits);
 
     if (rec.arrived + rec.unreachable == rec.expected)
-        finish(it);
+        finish(it, now);
 }
 
 bool
-McastTracker::markUnreachable(MsgId msg, NodeId dest)
+McastTracker::markUnreachable(MsgId msg, NodeId dest, Cycle now)
 {
     MDW_ASSERT(resilient_, "markUnreachable on a strict tracker");
     auto it = live_.find(msg);
@@ -77,7 +77,7 @@ McastTracker::markUnreachable(MsgId msg, NodeId dest)
     ++rec.unreachable;
     ++unreachableDests_;
     if (rec.arrived + rec.unreachable == rec.expected)
-        finish(it);
+        finish(it, now);
     return true;
 }
 
@@ -96,9 +96,12 @@ McastTracker::isDelivered(MsgId msg, NodeId dest) const
 }
 
 void
-McastTracker::finish(std::unordered_map<MsgId, Record>::iterator it)
+McastTracker::finish(std::unordered_map<MsgId, Record>::iterator it,
+                     Cycle now)
 {
     Record &rec = it->second;
+    const MsgId msg = it->first;
+    const NodeId src = rec.src;
     const bool partial = rec.unreachable > 0;
     if (rec.measured) {
         // Partially-delivered messages never feed the latency
@@ -127,6 +130,8 @@ McastTracker::finish(std::unordered_map<MsgId, Record>::iterator it)
     if (resilient_)
         completedIds_.insert(it->first);
     live_.erase(it);
+    if (onComplete_)
+        onComplete_(msg, src, now);
 }
 
 void

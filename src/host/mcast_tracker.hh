@@ -14,6 +14,7 @@
 #define MDW_HOST_MCAST_TRACKER_HH
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -35,6 +36,21 @@ class McastTracker
                      int payloadFlits);
 
     /**
+     * Called whenever a message retires (all destinations delivered
+     * or written off), with its id, source and the retiring cycle.
+     * Fires after the tracker's own state is updated, so
+     * isComplete(msg) is true inside the hook. Closed-loop workloads
+     * hang off this to release dependent messages.
+     */
+    using CompletionHook = std::function<void(MsgId, NodeId, Cycle)>;
+
+    void
+    setCompletionHook(CompletionHook hook)
+    {
+        onComplete_ = std::move(hook);
+    }
+
+    /**
      * Switch to resilient accounting (fault injection / NIC
      * retransmission): redundant copies at a destination are
      * deduplicated instead of panicking, copies of already-completed
@@ -51,7 +67,7 @@ class McastTracker
      * delivered. Returns false if the message already completed or
      * the destination was already delivered/marked.
      */
-    bool markUnreachable(MsgId msg, NodeId dest);
+    bool markUnreachable(MsgId msg, NodeId dest, Cycle now);
 
     /**
      * Has @p dest's copy of @p msg been delivered (or the destination
@@ -124,7 +140,8 @@ class McastTracker
     };
 
     /** Retire a record whose destinations are all accounted for. */
-    void finish(std::unordered_map<MsgId, Record>::iterator it);
+    void finish(std::unordered_map<MsgId, Record>::iterator it,
+                Cycle now);
 
     std::unordered_map<MsgId, Record> live_;
     std::size_t measuredLive_ = 0;
@@ -147,6 +164,8 @@ class McastTracker
     std::uint64_t duplicates_ = 0;
     std::uint64_t partialCompleted_ = 0;
     std::uint64_t unreachableDests_ = 0;
+
+    CompletionHook onComplete_;
 };
 
 } // namespace mdw

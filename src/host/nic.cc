@@ -108,7 +108,7 @@ void
 Nic::launch(MsgId msg, const DestSet &dests, bool multicast,
             int payloadFlits, Cycle now)
 {
-    const DestSet remaining = pruneUnreachable(msg, dests);
+    const DestSet remaining = pruneUnreachable(msg, dests, now);
     if (remaining.empty())
         return;
     if (params_.retransmitTimeout > 0) {
@@ -132,7 +132,7 @@ Nic::launch(MsgId msg, const DestSet &dests, bool multicast,
 }
 
 DestSet
-Nic::pruneUnreachable(MsgId msg, const DestSet &dests)
+Nic::pruneUnreachable(MsgId msg, const DestSet &dests, Cycle now)
 {
     if (!txFailed_ && !reachable_)
         return dests;
@@ -145,7 +145,7 @@ Nic::pruneUnreachable(MsgId msg, const DestSet &dests)
                        "NIC %d: unreachable destination %d without a "
                        "resilient tracker",
                        id_, dest);
-            tracker_->markUnreachable(msg, dest);
+            tracker_->markUnreachable(msg, dest, now);
         }
     }
     return remaining;
@@ -375,7 +375,7 @@ Nic::checkRetransmits(Cycle now)
             const bool routable =
                 !txFailed_ && (!reachable_ || reachable_->test(dest));
             if (!routable || p.attempts >= params_.maxRetransmits)
-                tracker_->markUnreachable(msg, dest);
+                tracker_->markUnreachable(msg, dest, now);
             else
                 resend.set(dest);
         }
@@ -405,10 +405,12 @@ Nic::pollSource(Cycle now)
     std::vector<MessageSpec> specs;
     source_->poll(id_, now, specs);
     for (const MessageSpec &spec : specs) {
+        MsgId msg;
         if (spec.multicast)
-            postMulticast(spec.dests, spec.payloadFlits, now);
+            msg = postMulticast(spec.dests, spec.payloadFlits, now);
         else
-            postUnicast(spec.dest, spec.payloadFlits, now);
+            msg = postUnicast(spec.dest, spec.payloadFlits, now);
+        source_->onPosted(id_, spec.token, msg, now);
     }
 }
 
@@ -540,6 +542,8 @@ Nic::deliver(const PacketPtr &pkt, Cycle now)
         message_payload = rx.payload;
         rxMessages_.erase(pkt->msg);
     }
+    if (source_)
+        source_->onDelivered(pkt->msg, id_, now);
     tracker_->onDelivered(pkt->msg, id_, now, message_payload);
     if (onDelivery_)
         onDelivery_(*pkt, message_payload, now);

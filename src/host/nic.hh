@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "host/mcast_tracker.hh"
+#include "host/workload.hh"
 #include "message/encoding.hh"
 #include "message/flit.hh"
 #include "sim/channel.hh"
@@ -46,40 +47,6 @@ enum class McastScheme
 };
 
 const char *toString(McastScheme scheme);
-
-/** A message the workload asks a NIC to send. */
-struct MessageSpec
-{
-    bool multicast = false;
-    NodeId dest = kInvalidNode; // unicast
-    DestSet dests{0};           // multicast
-    int payloadFlits = 64;
-};
-
-/** Pull interface the workload layer implements. */
-class TrafficSource
-{
-  public:
-    virtual ~TrafficSource() = default;
-
-    /** Append messages node @p node creates at cycle @p now. */
-    virtual void poll(NodeId node, Cycle now,
-                      std::vector<MessageSpec> &out) = 0;
-
-    /**
-     * Earliest cycle >= @p now at which poll() may yield a message
-     * for @p node, or kNoCycle if it never will again. Lets the
-     * fast-path kernel put an idle NIC to sleep between arrivals. The
-     * default -- "maybe right now" -- keeps the NIC polling every
-     * cycle, which is always correct.
-     */
-    virtual Cycle
-    nextArrival(NodeId node, Cycle now)
-    {
-        (void)node;
-        return now;
-    }
-};
 
 /** NIC configuration. */
 struct NicParams
@@ -171,7 +138,11 @@ class Nic : public Component
         return ReceivePolicy{params_.rxWindowFlits, false};
     }
 
-    /** Attach a workload source polled every cycle (not owned). */
+    /** Attach a workload polled every cycle (not owned). The NIC
+     *  also feeds the workload's onPosted/onDelivered hooks. */
+    void setWorkload(Workload *workload) { source_ = workload; }
+
+    /** Pre-redesign name of setWorkload(). */
     void setTrafficSource(TrafficSource *source) { source_ = source; }
 
     /**
@@ -289,7 +260,8 @@ class Nic : public Component
     void sendCopies(MsgId msg, const DestSet &dests, bool multicast,
                     int payloadFlits, Cycle now);
     /** Filter dests through reachability, writing the rest off. */
-    DestSet pruneUnreachable(MsgId msg, const DestSet &dests);
+    DestSet pruneUnreachable(MsgId msg, const DestSet &dests,
+                             Cycle now);
     /** First transmission: prune, arm the retry timer, send. */
     void launch(MsgId msg, const DestSet &dests, bool multicast,
                 int payloadFlits, Cycle now);
@@ -307,7 +279,7 @@ class Nic : public Component
     NicParams params_;
     PacketFactory *factory_;
     McastTracker *tracker_;
-    TrafficSource *source_ = nullptr;
+    Workload *source_ = nullptr;
 
     // Injection side.
     Channel<Flit> *txOut_ = nullptr;

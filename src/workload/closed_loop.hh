@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Base machinery for closed-loop workloads: a per-node priority queue
+ * of scheduled emissions, token bookkeeping that maps the NIC's
+ * message ids back to workload-level operations, and enforcement of
+ * the release rule (a hook observing cycle t may schedule no earlier
+ * than t+1) that keeps the idle-skipping fast path bit-identical to
+ * the cycle-accurate oracle.
+ *
+ * Subclasses implement the actual dependency logic in
+ * onTokenCompleted()/onTokenDelivered() and emit with scheduleSend().
+ */
+
+#ifndef MDW_WORKLOAD_CLOSED_LOOP_HH
+#define MDW_WORKLOAD_CLOSED_LOOP_HH
+
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "host/workload.hh"
+
+namespace mdw {
+
+/** Workload base that emits scheduled sends and tracks completions. */
+class ClosedLoopWorkload : public Workload
+{
+  public:
+    explicit ClosedLoopWorkload(std::size_t numHosts);
+
+    void poll(NodeId node, Cycle now,
+              std::vector<MessageSpec> &out) override;
+
+    Cycle nextArrival(NodeId node, Cycle now) override;
+
+    void onPosted(NodeId src, std::uint64_t token, MsgId msg,
+                  Cycle now) override;
+
+    void onDelivered(MsgId msg, NodeId node, Cycle now) override;
+
+    void onCompleted(MsgId msg, NodeId src, Cycle now) override;
+
+    std::size_t numHosts() const { return queues_.size(); }
+
+    /** Emissions scheduled but not yet handed to a NIC. */
+    std::size_t queuedEmissions() const { return queued_; }
+
+    /** Emissions handed to a NIC so far (scheduled minus queued). */
+    std::size_t emittedCount() const { return scheduled_ - queued_; }
+
+  protected:
+    /**
+     * Schedule @p spec to leave @p node at cycle @p when; @p token
+     * (non-zero) identifies the send in the onToken* callbacks.
+     * When called from inside a notification hook observing cycle t,
+     * @p when must be at least t+1 (asserted): reacting in the same
+     * cycle would make results depend on component step order.
+     */
+    void scheduleSend(NodeId node, Cycle when, MessageSpec spec,
+                      std::uint64_t token);
+
+    /** One copy of the send tagged @p token landed at @p at. */
+    virtual void
+    onTokenDelivered(std::uint64_t token, NodeId at, Cycle now)
+    {
+        (void)token;
+        (void)at;
+        (void)now;
+    }
+
+    /** The send tagged @p token fully retired at cycle @p now. */
+    virtual void onTokenCompleted(std::uint64_t token, Cycle now) = 0;
+
+  private:
+    struct Emission
+    {
+        Cycle when = 0;
+        std::uint64_t seq = 0; // schedule order breaks when-ties
+        MessageSpec spec;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Emission &a, const Emission &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+    using EmissionQueue =
+        std::priority_queue<Emission, std::vector<Emission>, Later>;
+
+    std::vector<EmissionQueue> queues_;
+    std::unordered_map<MsgId, std::uint64_t> tokenOf_;
+    std::uint64_t seq_ = 0;
+    std::size_t queued_ = 0;
+    std::size_t scheduled_ = 0;
+
+    /** Release-rule bookkeeping: set while dispatching a hook. */
+    bool inHook_ = false;
+    Cycle hookCycle_ = 0;
+};
+
+} // namespace mdw
+
+#endif // MDW_WORKLOAD_CLOSED_LOOP_HH

@@ -1,0 +1,174 @@
+#include "workload/kernels.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace mdw {
+
+namespace {
+
+/** Payload of a control message (barrier token, release). */
+constexpr int kControlFlits = 4;
+
+} // namespace
+
+CollectiveKernelWorkload::CollectiveKernelWorkload(
+    std::size_t numHosts, const WorkloadParams &params)
+    : ClosedLoopWorkload(numHosts), params_(params)
+{
+    MDW_ASSERT(params.kind == WorkloadKind::Collective,
+               "kernel workload built from a %s config",
+               toString(params.kind));
+    MDW_ASSERT(params.rounds >= 1, "collective needs rounds >= 1");
+    MDW_ASSERT(params.groups >= 1, "collective needs groups >= 1");
+    MDW_ASSERT(params.groupSize == 0 ||
+                   (params.groupSize >= 2 &&
+                    static_cast<std::size_t>(params.groupSize) <=
+                        numHosts),
+               "group size %d invalid for %zu hosts", params.groupSize,
+               numHosts);
+    MDW_ASSERT(params.payloadFlits > 0, "payload must be positive");
+
+    Rng rng(params.seed);
+    groups_.resize(static_cast<std::size_t>(params.groups));
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        Group &grp = groups_[g];
+        if (params.groups == 1 && params.groupSize == 0) {
+            // The whole machine, root 0 (the E10/E13 headline shape).
+            grp.members.resize(numHosts);
+            for (std::size_t i = 0; i < numHosts; ++i)
+                grp.members[i] = static_cast<NodeId>(i);
+        } else {
+            std::size_t size =
+                static_cast<std::size_t>(params.groupSize);
+            if (size == 0) {
+                // Heavy-tailed communicator sizes: geometric over
+                // octaves (half the tenants double in size), capped
+                // at the machine.
+                size = 2;
+                while (size < numHosts && rng.chance(0.5))
+                    size *= 2;
+                size = std::min(size, numHosts);
+            }
+            std::vector<NodeId> pool(numHosts);
+            for (std::size_t i = 0; i < numHosts; ++i)
+                pool[i] = static_cast<NodeId>(i);
+            rng.shuffle(pool);
+            grp.members.assign(pool.begin(),
+                               pool.begin() +
+                                   static_cast<std::ptrdiff_t>(size));
+        }
+        grp.others = DestSet(numHosts);
+        for (std::size_t i = 1; i < grp.members.size(); ++i)
+            grp.others.set(grp.members[i]);
+
+        // Desynchronize tenants so multi-tenant runs are not in
+        // artificial lockstep; a single group starts immediately.
+        const Cycle jitter =
+            groups_.size() > 1 ? rng.below(128) : 0;
+        startRound(g, params.startCycle + jitter);
+    }
+}
+
+std::uint64_t
+CollectiveKernelWorkload::newToken(std::size_t g)
+{
+    const std::uint64_t token = ++nextToken_;
+    tokenGroup_.emplace(token, g);
+    return token;
+}
+
+void
+CollectiveKernelWorkload::startRound(std::size_t g, Cycle at)
+{
+    Group &grp = groups_[g];
+    grp.roundStart = at;
+    const NodeId root = grp.members[0];
+    const int payload = params_.collective == CollectiveOp::Barrier
+                            ? kControlFlits
+                            : params_.payloadFlits;
+
+    if (params_.collective == CollectiveOp::Invalidate) {
+        // The directory owner of this round multicasts invalidations
+        // to every sharer; the round is done when all copies land.
+        const std::size_t size = grp.members.size();
+        const NodeId owner =
+            grp.members[static_cast<std::size_t>(grp.round) % size];
+        DestSet sharers(grp.others.size());
+        for (const NodeId m : grp.members) {
+            if (m != owner)
+                sharers.set(m);
+        }
+        grp.phase = Phase::Release;
+        grp.waiting = 1;
+        MessageSpec spec;
+        spec.multicast = true;
+        spec.dests = std::move(sharers);
+        spec.payloadFlits = payload;
+        scheduleSend(owner, at, std::move(spec), newToken(g));
+        return;
+    }
+
+    // Barrier / allreduce: gather to the root first.
+    grp.phase = Phase::Gather;
+    grp.waiting = grp.members.size() - 1;
+    for (std::size_t i = 1; i < grp.members.size(); ++i) {
+        MessageSpec spec;
+        spec.multicast = false;
+        spec.dest = root;
+        spec.payloadFlits = payload;
+        scheduleSend(grp.members[i], at, std::move(spec),
+                     newToken(g));
+    }
+}
+
+void
+CollectiveKernelWorkload::onTokenCompleted(std::uint64_t token,
+                                           Cycle now)
+{
+    const auto it = tokenGroup_.find(token);
+    MDW_ASSERT(it != tokenGroup_.end(), "unknown kernel token %llu",
+               static_cast<unsigned long long>(token));
+    const std::size_t g = it->second;
+    tokenGroup_.erase(it);
+
+    Group &grp = groups_[g];
+    MDW_ASSERT(grp.waiting > 0, "group %zu completion underflow", g);
+    if (--grp.waiting > 0)
+        return;
+
+    if (grp.phase == Phase::Gather) {
+        // Every arrival landed at the root: release the result (the
+        // +1 is the release rule; see host/workload.hh).
+        grp.phase = Phase::Release;
+        grp.waiting = 1;
+        MessageSpec spec;
+        spec.multicast = true;
+        spec.dests = grp.others;
+        spec.payloadFlits =
+            params_.collective == CollectiveOp::Barrier
+                ? kControlFlits
+                : params_.payloadFlits;
+        scheduleSend(grp.members[0], now + 1, std::move(spec),
+                     newToken(g));
+        return;
+    }
+    finishRound(g, now);
+}
+
+void
+CollectiveKernelWorkload::finishRound(std::size_t g, Cycle now)
+{
+    Group &grp = groups_[g];
+    roundCycles_.add(static_cast<double>(now - grp.roundStart));
+    ++grp.round;
+    if (grp.round >= params_.rounds) {
+        ++doneGroups_;
+        return;
+    }
+    startRound(g, now + 1 + params_.think);
+}
+
+} // namespace mdw

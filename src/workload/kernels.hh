@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Closed-loop collective kernels composed from the modeled message
+ * primitives: iterated barrier (gather-to-root control unicasts, then
+ * a multicast release), allreduce (the same shape with a reduce
+ * payload), and cache-invalidation storms (a rotating owner
+ * multicasts invalidations to the sharers; their "acks" are the
+ * delivery completions of the multicast itself). With groups > 1 the
+ * generator becomes multi-tenant: many independent communicator
+ * groups with (by default) heavy-tailed sizes progress concurrently,
+ * each gated by its own completions.
+ *
+ * The per-round completion time lands in roundCycles() -- the E13
+ * metric (allreduce/barrier completion time x system size x scheme).
+ */
+
+#ifndef MDW_WORKLOAD_KERNELS_HH
+#define MDW_WORKLOAD_KERNELS_HH
+
+#include "sim/stats.hh"
+#include "workload/closed_loop.hh"
+#include "workload/traffic.hh"
+
+namespace mdw {
+
+/** Iterated collective kernels over one or more communicator groups. */
+class CollectiveKernelWorkload : public ClosedLoopWorkload
+{
+  public:
+    CollectiveKernelWorkload(std::size_t numHosts,
+                             const WorkloadParams &params);
+
+    bool
+    exhausted() const override
+    {
+        return doneGroups_ == groups_.size();
+    }
+
+    /** Completion time of every finished round, across all groups. */
+    const Sampler &roundCycles() const { return roundCycles_; }
+
+    /** Rounds finished so far, across all groups. */
+    std::uint64_t roundsCompleted() const
+    {
+        return static_cast<std::uint64_t>(roundCycles_.count());
+    }
+
+    std::size_t numGroups() const { return groups_.size(); }
+
+    /** Members of group @p g (members[0] is the root). */
+    const std::vector<NodeId> &groupMembers(std::size_t g) const
+    {
+        return groups_[g].members;
+    }
+
+  protected:
+    void onTokenCompleted(std::uint64_t token, Cycle now) override;
+
+  private:
+    enum class Phase
+    {
+        Gather,  ///< members -> root unicasts in flight
+        Release, ///< root -> members multicast in flight
+    };
+
+    struct Group
+    {
+        std::vector<NodeId> members; ///< members[0] = root
+        DestSet others{0};           ///< members minus the root
+        int round = 0;
+        Phase phase = Phase::Gather;
+        /** Outstanding completions before the phase advances. */
+        std::size_t waiting = 0;
+        Cycle roundStart = 0;
+    };
+
+    void startRound(std::size_t g, Cycle at);
+    void finishRound(std::size_t g, Cycle now);
+    std::uint64_t newToken(std::size_t g);
+
+    WorkloadParams params_;
+    std::vector<Group> groups_;
+    std::size_t doneGroups_ = 0;
+    /** Token -> owning group index. */
+    std::unordered_map<std::uint64_t, std::size_t> tokenGroup_;
+    std::uint64_t nextToken_ = 0;
+    Sampler roundCycles_;
+};
+
+} // namespace mdw
+
+#endif // MDW_WORKLOAD_KERNELS_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -9,15 +10,45 @@
 
 namespace mdw {
 
-TraceTraffic::TraceTraffic(std::size_t numHosts)
-    : numHosts_(numHosts), nodes_(numHosts)
+namespace {
+
+constexpr const char *kV2Magic = "# mdw-trace/2";
+
+/** Parse a comma-separated id list; fatal() via @p where on junk. */
+std::vector<std::uint64_t>
+parseIdList(const std::string &list, const std::string &path,
+            int line_no)
 {
-    MDW_ASSERT(numHosts >= 2, "trace needs at least two hosts");
+    std::vector<std::uint64_t> ids;
+    std::istringstream items(list);
+    std::string item;
+    while (std::getline(items, item, ',')) {
+        if (item.empty())
+            continue;
+        char *end = nullptr;
+        const unsigned long long id =
+            std::strtoull(item.c_str(), &end, 10);
+        if (end == item.c_str() || *end != '\0' || id == 0) {
+            fatal("%s:%d: bad dependency id '%s'", path.c_str(),
+                  line_no, item.c_str());
+        }
+        ids.push_back(id);
+    }
+    return ids;
+}
+
+} // namespace
+
+TraceTraffic::TraceTraffic(std::size_t numHosts)
+    : ClosedLoopWorkload(numHosts), numHosts_(numHosts)
+{
 }
 
 void
 TraceTraffic::add(TraceEvent event)
 {
+    MDW_ASSERT(!resolved_,
+               "trace events cannot be added after replay started");
     MDW_ASSERT(event.src >= 0 &&
                    static_cast<std::size_t>(event.src) < numHosts_,
                "trace source %d out of range", event.src);
@@ -35,32 +66,107 @@ TraceTraffic::add(TraceEvent event)
                    "trace destination %d invalid", event.spec.dest);
     }
     MDW_ASSERT(event.spec.payloadFlits > 0, "trace payload invalid");
-    auto &queue = nodes_[static_cast<std::size_t>(event.src)];
-    queue.events.push_back(std::move(event));
-    queue.sorted = false;
-    ++pending_;
-    ++total_;
+    MDW_ASSERT(event.id != 0 || event.deps.empty(),
+               "trace event with dependencies needs an id");
+    if (event.id != 0) {
+        const bool inserted =
+            byId_.emplace(event.id, events_.size()).second;
+        if (!inserted)
+            fatal("duplicate trace event id %llu",
+                  static_cast<unsigned long long>(event.id));
+    }
+    events_.push_back(std::move(event));
+}
+
+void
+TraceTraffic::resolveDependencies()
+{
+    if (resolved_)
+        return;
+    resolved_ = true;
+    const std::size_t n = events_.size();
+    dependents_.assign(n, {});
+    indegree_.assign(n, 0);
+    readyAt_.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (const std::uint64_t dep : events_[i].deps) {
+            const auto it = byId_.find(dep);
+            if (it == byId_.end())
+                fatal("trace event %llu depends on unknown id %llu",
+                      static_cast<unsigned long long>(events_[i].id),
+                      static_cast<unsigned long long>(dep));
+            dependents_[it->second].push_back(i);
+            ++indegree_[i];
+        }
+    }
+
+    // Kahn's algorithm: if the zero-indegree wave cannot reach every
+    // event, the leftovers form at least one dependency cycle.
+    std::vector<std::size_t> frontier;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (indegree_[i] == 0)
+            frontier.push_back(i);
+    }
+    std::vector<std::size_t> degree = indegree_;
+    std::size_t reached = frontier.size();
+    while (!frontier.empty()) {
+        const std::size_t i = frontier.back();
+        frontier.pop_back();
+        for (const std::size_t d : dependents_[i]) {
+            if (--degree[d] == 0) {
+                frontier.push_back(d);
+                ++reached;
+            }
+        }
+    }
+    if (reached != n) {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (degree[i] != 0)
+                fatal("dependency cycle involving trace event %llu",
+                      static_cast<unsigned long long>(events_[i].id));
+        }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (indegree_[i] == 0)
+            release(i);
+    }
+}
+
+void
+TraceTraffic::release(std::size_t index)
+{
+    const TraceEvent &event = events_[index];
+    scheduleSend(event.src, std::max(event.when, readyAt_[index]),
+                 event.spec, index + 1);
 }
 
 void
 TraceTraffic::poll(NodeId node, Cycle now,
                    std::vector<MessageSpec> &out)
 {
-    auto &queue = nodes_.at(static_cast<std::size_t>(node));
-    if (!queue.sorted) {
-        std::stable_sort(queue.events.begin() +
-                             static_cast<std::ptrdiff_t>(queue.next),
-                         queue.events.end(),
-                         [](const TraceEvent &a, const TraceEvent &b) {
-                             return a.when < b.when;
-                         });
-        queue.sorted = true;
-    }
-    while (queue.next < queue.events.size() &&
-           queue.events[queue.next].when <= now) {
-        out.push_back(queue.events[queue.next].spec);
-        ++queue.next;
-        --pending_;
+    resolveDependencies();
+    ClosedLoopWorkload::poll(node, now, out);
+}
+
+Cycle
+TraceTraffic::nextArrival(NodeId node, Cycle now)
+{
+    resolveDependencies();
+    return ClosedLoopWorkload::nextArrival(node, now);
+}
+
+void
+TraceTraffic::onTokenCompleted(std::uint64_t token, Cycle now)
+{
+    const std::size_t index = static_cast<std::size_t>(token) - 1;
+    for (const std::size_t d : dependents_[index]) {
+        // The release rule: a completion at cycle t enables dependent
+        // sends no earlier than t+1.
+        readyAt_[d] = std::max(readyAt_[d], now + 1);
+        MDW_ASSERT(indegree_[d] > 0, "dependency count underflow");
+        if (--indegree_[d] == 0)
+            release(d);
     }
 }
 
@@ -74,16 +180,41 @@ TraceTraffic::fromFile(const std::string &path, std::size_t numHosts)
     TraceTraffic trace(numHosts);
     std::string line;
     int line_no = 0;
+    bool v2 = false;
+    bool first = true;
+    /** v2: event id -> defining line (for dependency diagnostics). */
+    std::unordered_map<std::uint64_t, int> lineOf;
     while (std::getline(in, line)) {
         ++line_no;
+        if (first) {
+            first = false;
+            if (line.rfind(kV2Magic, 0) == 0) {
+                v2 = true;
+                continue;
+            }
+        }
         const auto hash = line.find('#');
         if (hash != std::string::npos)
             line.resize(hash);
         std::istringstream fields(line);
+
+        TraceEvent event;
         unsigned long long when = 0;
         long src = 0;
         std::string kind;
-        if (!(fields >> when >> src >> kind)) {
+        bool parsed = false;
+        if (v2) {
+            unsigned long long id = 0;
+            parsed =
+                static_cast<bool>(fields >> id >> when >> src >> kind);
+            if (parsed && id == 0)
+                fatal("%s:%d: event id must be positive", path.c_str(),
+                      line_no);
+            event.id = id;
+        } else {
+            parsed = static_cast<bool>(fields >> when >> src >> kind);
+        }
+        if (!parsed) {
             // Blank or comment-only line.
             std::istringstream blank(line);
             std::string token;
@@ -93,7 +224,6 @@ TraceTraffic::fromFile(const std::string &path, std::size_t numHosts)
             continue;
         }
 
-        TraceEvent event;
         event.when = when;
         event.src = static_cast<NodeId>(src);
         if (kind == "U" || kind == "u") {
@@ -135,8 +265,41 @@ TraceTraffic::fromFile(const std::string &path, std::size_t numHosts)
             fatal("%s:%d: unknown event kind '%s'", path.c_str(),
                   line_no, kind.c_str());
         }
+
+        std::string trailing;
+        if (fields >> trailing) {
+            if (!v2 || trailing.rfind("deps=", 0) != 0)
+                fatal("%s:%d: unexpected trailing token '%s'",
+                      path.c_str(), line_no, trailing.c_str());
+            event.deps =
+                parseIdList(trailing.substr(5), path, line_no);
+        }
+        if (fields >> trailing)
+            fatal("%s:%d: unexpected trailing token '%s'",
+                  path.c_str(), line_no, trailing.c_str());
+
+        if (v2) {
+            if (!lineOf.emplace(event.id, line_no).second)
+                fatal("%s:%d: duplicate event id %llu", path.c_str(),
+                      line_no,
+                      static_cast<unsigned long long>(event.id));
+        }
         trace.add(std::move(event));
     }
+
+    // Validate dependency targets with line numbers while we still
+    // have them (resolveDependencies would fatal without locations).
+    if (v2) {
+        for (const TraceEvent &event : trace.events_) {
+            for (const std::uint64_t dep : event.deps) {
+                if (!lineOf.count(dep))
+                    fatal("%s:%d: unknown dependency id %llu",
+                          path.c_str(), lineOf.at(event.id),
+                          static_cast<unsigned long long>(dep));
+            }
+        }
+    }
+    trace.resolveDependencies();
     return trace;
 }
 
@@ -144,28 +307,53 @@ void
 TraceTraffic::writeFile(const std::string &path,
                         const std::vector<TraceEvent> &events)
 {
+    const bool v2 =
+        std::any_of(events.begin(), events.end(),
+                    [](const TraceEvent &e) {
+                        return e.id != 0 || !e.deps.empty();
+                    });
     std::ofstream out(path);
     if (!out)
         fatal("cannot write trace file '%s'", path.c_str());
-    out << "# mdworm trace: <cycle> <src> U <dest> <payload>\n"
-        << "#              <cycle> <src> M <payload> <d1,d2,...>\n";
+    if (v2) {
+        out << kV2Magic
+            << ": <id> <cycle> <src> U <dest> <payload> [deps=...]\n"
+            << "#             <id> <cycle> <src> M <payload> "
+               "<d1,d2,...> [deps=...]\n";
+    } else {
+        out << "# mdworm trace: <cycle> <src> U <dest> <payload>\n"
+            << "#              <cycle> <src> M <payload> <d1,d2,...>\n";
+    }
     for (const TraceEvent &event : events) {
+        if (v2) {
+            if (event.id == 0)
+                fatal("v2 trace event without an id (when=%llu)",
+                      static_cast<unsigned long long>(event.when));
+            out << event.id << ' ';
+        }
         if (event.spec.multicast) {
             out << event.when << ' ' << event.src << " M "
                 << event.spec.payloadFlits << ' ';
-            bool first = true;
+            bool firstDest = true;
             event.spec.dests.forEach([&](NodeId d) {
-                if (!first)
+                if (!firstDest)
                     out << ',';
-                first = false;
+                firstDest = false;
                 out << d;
             });
-            out << '\n';
         } else {
             out << event.when << ' ' << event.src << " U "
-                << event.spec.dest << ' ' << event.spec.payloadFlits
-                << '\n';
+                << event.spec.dest << ' ' << event.spec.payloadFlits;
         }
+        if (!event.deps.empty()) {
+            out << " deps=";
+            for (std::size_t i = 0; i < event.deps.size(); ++i) {
+                if (i)
+                    out << ',';
+                out << event.deps[i];
+            }
+        }
+        out << '\n';
     }
 }
 

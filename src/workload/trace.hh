@@ -4,32 +4,51 @@
  * from memory or from a text trace file, so recorded or hand-crafted
  * communication patterns can be fed through the simulator.
  *
- * Trace file format — one event per line, '#' starts a comment:
+ * Format v1 — one event per line, '#' starts a comment:
  *
  *     <cycle> <src> U <dest> <payloadFlits>
  *     <cycle> <src> M <payloadFlits> <dest1,dest2,...>
+ *
+ * Format v2 (dependency-carrying; first line is the `# mdw-trace/2`
+ * magic) prefixes every event with a unique positive id and accepts
+ * an optional trailing dependency list:
+ *
+ *     <id> <cycle> <src> U <dest> <payloadFlits> [deps=<id1,id2,...>]
+ *     <id> <cycle> <src> M <payloadFlits> <d1,d2,...> [deps=...]
+ *
+ * A v2 event is released at max(<cycle>, last dependency completion
+ * + 1): <cycle> is its earliest issue time, and the +1 is the release
+ * rule that keeps the idle-skipping fast path bit-identical to the
+ * cycle-accurate oracle (see host/workload.hh).
  */
 
 #ifndef MDW_WORKLOAD_TRACE_HH
 #define MDW_WORKLOAD_TRACE_HH
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
-#include "host/nic.hh"
+#include "workload/closed_loop.hh"
 
 namespace mdw {
 
 /** One posting in a trace. */
 struct TraceEvent
 {
+    /** v2: unique positive event id (0 = v1 event, cannot be a
+     *  dependency target). */
+    std::uint64_t id = 0;
+    /** v2: ids whose *completion* this event waits for. */
+    std::vector<std::uint64_t> deps;
+    /** Earliest cycle the event may issue. */
     Cycle when = 0;
     NodeId src = kInvalidNode;
     MessageSpec spec;
 };
 
-/** Replays TraceEvents through the TrafficSource interface. */
-class TraceTraffic : public TrafficSource
+/** Replays TraceEvents through the closed-loop Workload interface. */
+class TraceTraffic : public ClosedLoopWorkload
 {
   public:
     /** Empty trace over a universe of @p numHosts nodes. */
@@ -39,34 +58,61 @@ class TraceTraffic : public TrafficSource
     static TraceTraffic fromFile(const std::string &path,
                                  std::size_t numHosts);
 
-    /** Serialize @p events to @p path in the trace format. */
+    /** Serialize @p events to @p path (v2 iff any event carries an id
+     *  or dependencies; mixing id-less events into a v2 trace is
+     *  fatal). */
     static void writeFile(const std::string &path,
                           const std::vector<TraceEvent> &events);
 
-    /** Append one event (validated against the universe). */
+    /** Append one event (validated against the universe). Only legal
+     *  before resolveDependencies()/the first poll. */
     void add(TraceEvent event);
+
+    /**
+     * Freeze the event list: resolve dependency ids, fatal() on an
+     * unknown id or a dependency cycle, and schedule every
+     * dependency-free event. Called implicitly by the first
+     * poll()/nextArrival() and by fromFile().
+     */
+    void resolveDependencies();
 
     void poll(NodeId node, Cycle now,
               std::vector<MessageSpec> &out) override;
 
-    /** Events not yet handed out. */
-    std::size_t pending() const { return pending_; }
+    Cycle nextArrival(NodeId node, Cycle now) override;
+
+    bool exhausted() const override { return pending() == 0; }
+
+    /** Events not yet handed to a NIC (blocked or scheduled). */
+    std::size_t
+    pending() const
+    {
+        return events_.size() - emittedCount();
+    }
 
     /** Total events loaded. */
-    std::size_t size() const { return total_; }
+    std::size_t size() const { return events_.size(); }
+
+    /** The loaded events, in insertion order (round-trip tests). */
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+  protected:
+    void onTokenCompleted(std::uint64_t token, Cycle now) override;
 
   private:
+    void release(std::size_t index);
+
     std::size_t numHosts_;
-    /** Per node, events sorted by cycle with a replay cursor. */
-    struct NodeQueue
-    {
-        std::vector<TraceEvent> events;
-        std::size_t next = 0;
-        bool sorted = false;
-    };
-    std::vector<NodeQueue> nodes_;
-    std::size_t pending_ = 0;
-    std::size_t total_ = 0;
+    std::vector<TraceEvent> events_;
+    /** Explicit (non-zero) event id -> index in events_. */
+    std::unordered_map<std::uint64_t, std::size_t> byId_;
+    /** Per event, indices of the events waiting on its completion. */
+    std::vector<std::vector<std::size_t>> dependents_;
+    /** Unsatisfied dependencies per event. */
+    std::vector<std::size_t> indegree_;
+    /** Earliest release allowed by completed dependencies. */
+    std::vector<Cycle> readyAt_;
+    bool resolved_ = false;
 };
 
 } // namespace mdw

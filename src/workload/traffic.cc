@@ -20,6 +20,34 @@ toString(TrafficPattern pattern)
     return "?";
 }
 
+const char *
+toString(WorkloadKind kind)
+{
+    switch (kind) {
+      case WorkloadKind::Synthetic:
+        return "synthetic";
+      case WorkloadKind::Collective:
+        return "collective";
+      case WorkloadKind::Trace:
+        return "trace";
+    }
+    return "?";
+}
+
+const char *
+toString(CollectiveOp op)
+{
+    switch (op) {
+      case CollectiveOp::Barrier:
+        return "barrier";
+      case CollectiveOp::Allreduce:
+        return "allreduce";
+      case CollectiveOp::Invalidate:
+        return "invalidate";
+    }
+    return "?";
+}
+
 SyntheticTraffic::SyntheticTraffic(std::size_t numHosts,
                                    const TrafficParams &params)
     : numHosts_(numHosts), params_(params)
@@ -158,34 +186,38 @@ SyntheticTraffic::randomDests(NodeState &state, NodeId self, int degree)
 void
 ScriptedTraffic::post(Cycle when, NodeId node, MessageSpec spec)
 {
-    script_[{when, node}].push_back(std::move(spec));
+    script_[node][when].push_back(std::move(spec));
     ++pending_;
 }
 
 Cycle
 ScriptedTraffic::nextArrival(NodeId node, Cycle now)
 {
-    // Scripts are tiny; a linear scan over the ordered map finds the
-    // node's earliest future posting.
-    for (const auto &entry : script_) {
-        if (entry.first.first >= now && entry.first.second == node)
-            return entry.first.first;
-    }
-    return kNoCycle;
+    const auto it = script_.find(node);
+    if (it == script_.end() || it->second.empty())
+        return kNoCycle;
+    const Cycle when = it->second.begin()->first;
+    // Defensive: an overdue posting keeps the caller polling.
+    return when < now ? now : when;
 }
 
 void
 ScriptedTraffic::poll(NodeId node, Cycle now,
                       std::vector<MessageSpec> &out)
 {
-    const auto it = script_.find({now, node});
+    const auto it = script_.find(node);
     if (it == script_.end())
         return;
-    for (MessageSpec &spec : it->second) {
-        out.push_back(std::move(spec));
-        --pending_;
+    auto &byCycle = it->second;
+    while (!byCycle.empty() && byCycle.begin()->first <= now) {
+        for (MessageSpec &spec : byCycle.begin()->second) {
+            out.push_back(std::move(spec));
+            --pending_;
+        }
+        byCycle.erase(byCycle.begin());
     }
-    script_.erase(it);
+    if (byCycle.empty())
+        script_.erase(it);
 }
 
 } // namespace mdw

@@ -10,9 +10,10 @@
 #define MDW_WORKLOAD_TRAFFIC_HH
 
 #include <map>
+#include <string>
 #include <vector>
 
-#include "host/nic.hh"
+#include "host/workload.hh"
 #include "sim/rng.hh"
 
 namespace mdw {
@@ -32,9 +33,38 @@ enum class TrafficPattern
 
 const char *toString(TrafficPattern pattern);
 
-/** Parameters of a synthetic workload. */
-struct TrafficParams
+/** Which family of workload an experiment drives. */
+enum class WorkloadKind
 {
+    /** Open-loop Bernoulli arrivals (the paper's evaluation mode). */
+    Synthetic,
+    /** Closed-loop collective kernels (workload/kernels.hh). */
+    Collective,
+    /** Trace replay, optionally dependency-carrying (workload/trace.hh). */
+    Trace,
+};
+
+const char *toString(WorkloadKind kind);
+
+/** Which collective kernel a Collective workload iterates. */
+enum class CollectiveOp
+{
+    /** Gather-to-root control messages, then a multicast release. */
+    Barrier,
+    /** Reduce tree to the root, then a payload-carrying multicast. */
+    Allreduce,
+    /** A rotating owner multicasts invalidations to the sharers. */
+    Invalidate,
+};
+
+const char *toString(CollectiveOp op);
+
+/** Parameters of a generated workload (all kinds). */
+struct WorkloadParams
+{
+    WorkloadKind kind = WorkloadKind::Synthetic;
+
+    // --- Synthetic (open-loop) -------------------------------------
     TrafficPattern pattern = TrafficPattern::MultipleMulticast;
     /**
      * Offered load in *payload* flits per node per cycle, counting
@@ -57,10 +87,32 @@ struct TrafficParams
     Cycle startCycle = 0;
     /** Generation stops at this cycle (kNoCycle = never). */
     Cycle stopCycle = kNoCycle;
+
+    // --- Collective (closed-loop) ----------------------------------
+    CollectiveOp collective = CollectiveOp::Allreduce;
+    /** Iterations per communicator group. */
+    int rounds = 8;
+    /** Independent communicator groups (multi-tenant when > 1). */
+    int groups = 1;
+    /**
+     * Members per group: 0 = every host (single group) or a
+     * heavy-tailed random size per group (multi-tenant); >= 2 fixes
+     * the size. Membership is drawn from `seed`.
+     */
+    int groupSize = 0;
+    /** Think-time cycles between a round's completion and the next. */
+    Cycle think = 0;
+
+    // --- Trace replay ----------------------------------------------
+    /** Trace file to replay (workload.kind=trace). */
+    std::string tracePath;
 };
 
+/** Pre-redesign name (the struct used to cover synthetic only). */
+using TrafficParams = WorkloadParams;
+
 /** Open-loop Bernoulli-arrival workload generator. */
-class SyntheticTraffic : public TrafficSource
+class SyntheticTraffic : public Workload
 {
   public:
     SyntheticTraffic(std::size_t numHosts, const TrafficParams &params);
@@ -99,7 +151,7 @@ class SyntheticTraffic : public TrafficSource
  * Deterministic scripted workload for tests and examples: an explicit
  * list of (cycle, node, message) postings.
  */
-class ScriptedTraffic : public TrafficSource
+class ScriptedTraffic : public Workload
 {
   public:
     /** Schedule @p spec to be posted by @p node at cycle @p when. */
@@ -108,13 +160,18 @@ class ScriptedTraffic : public TrafficSource
     void poll(NodeId node, Cycle now,
               std::vector<MessageSpec> &out) override;
 
+    /** Exact per-node lookup (O(log n)): the fast path sleeps the
+     *  NIC straight through to its next scripted posting. */
     Cycle nextArrival(NodeId node, Cycle now) override;
+
+    bool exhausted() const override { return pending_ == 0; }
 
     /** Postings not yet handed out. */
     std::size_t pending() const { return pending_; }
 
   private:
-    std::map<std::pair<Cycle, NodeId>, std::vector<MessageSpec>> script_;
+    /** Per node, postings keyed by cycle. */
+    std::map<NodeId, std::map<Cycle, std::vector<MessageSpec>>> script_;
     std::size_t pending_ = 0;
 };
 

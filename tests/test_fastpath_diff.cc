@@ -38,7 +38,6 @@ baseOverrides()
     config.set("measure", "2000");
     config.set("drainLimit", "60000");
     config.set("watchdog", "40000");
-    config.set("load", "0.1");
     return config;
 }
 
@@ -133,76 +132,126 @@ struct Scenario
 const Scenario kScenarios[] = {
     // fig_throughput / fig_multiple_multicast: the three schemes
     // under multiple multicast, light and heavy load.
-    {"throughput_cb_hw", "arch=cb scheme=hw load=0.05"},
-    {"throughput_ib_hw", "arch=ib scheme=hw load=0.05"},
-    {"throughput_sw_umin", "arch=cb scheme=sw load=0.05"},
-    {"throughput_cb_hw_hot", "arch=cb scheme=hw load=0.3"},
+    {"throughput_cb_hw", "arch=cb scheme=hw workload.load=0.05"},
+    {"throughput_ib_hw", "arch=ib scheme=hw workload.load=0.05"},
+    {"throughput_sw_umin", "arch=cb scheme=sw workload.load=0.05"},
+    {"throughput_cb_hw_hot", "arch=cb scheme=hw workload.load=0.3"},
     // fig_bimodal: unicast background with a multicast fraction.
-    {"bimodal", "pattern=bimodal mcastFraction=0.1 load=0.15"},
+    {"bimodal",
+     "workload.pattern=bimodal workload.mcastFraction=0.1 "
+     "workload.load=0.15"},
+    // The deprecated bare spellings must keep working (warn-once
+    // aliases onto workload.*).
+    {"legacy_traffic_keys",
+     "pattern=bimodal mcastFraction=0.1 load=0.15 traffic.seed=42"},
     // fig_degree: wide fan-out.
-    {"degree16", "degree=16 load=0.08"},
+    {"degree16", "workload.degree=16 workload.load=0.08"},
     // fig_msg_length: segmentation and reassembly.
-    {"segmented", "payload=256 maxPayload=64 load=0.08"},
+    {"segmented",
+     "workload.payload=256 maxPayload=64 workload.load=0.08"},
     // fig_system_size: small and medium systems.
-    {"size_16", "k=4 n=2 load=0.08"},
-    {"size_8", "k=2 n=3 load=0.08 degree=4"},
+    {"size_16", "k=4 n=2 workload.load=0.08"},
+    {"size_8", "k=2 n=3 workload.load=0.08 workload.degree=4"},
     // fig_resilience: faults, rerouting, retransmission.
     {"resilience",
      "fault.links=2 fault.switches=1 fault.start=600 fault.end=1400 "
-     "nic.retransmitTimeout=3000 load=0.05"},
+     "nic.retransmitTimeout=3000 workload.load=0.05"},
     {"resilience_ib",
      "arch=ib fault.links=2 fault.start=600 fault.end=1400 "
-     "nic.retransmitTimeout=3000 load=0.05"},
+     "nic.retransmitTimeout=3000 workload.load=0.05"},
     // ablation_routing.
-    {"routing_up_path", "routing=replicate-on-up-path load=0.08"},
+    {"routing_up_path",
+     "routing=replicate-on-up-path workload.load=0.08"},
     // ablation_cbsize.
-    {"cb_small", "cb.chunks=64 payload=32 maxPayload=32 load=0.08"},
+    {"cb_small",
+     "cb.chunks=64 workload.payload=32 maxPayload=32 "
+     "workload.load=0.08"},
     // ablation_encoding.
-    {"multiport", "encoding=multiport load=0.08"},
+    {"multiport", "encoding=multiport workload.load=0.08"},
     // ablation_hotspot.
-    {"hotspot", "pattern=hot-spot hotFraction=0.3 load=0.1"},
+    {"hotspot",
+     "workload.pattern=hot-spot workload.hotFraction=0.3 "
+     "workload.load=0.1"},
     // ablation_ibsize.
-    {"ib_big", "arch=ib ib.buffer=128 load=0.08"},
+    {"ib_big", "arch=ib ib.buffer=128 workload.load=0.08"},
     // ablation_replication.
-    {"sync_replication", "arch=ib replication=synchronous load=0.05"},
+    {"sync_replication",
+     "arch=ib replication=synchronous workload.load=0.05"},
     // ablation_topology.
     {"irregular",
      "topo=irregular irr.switches=12 irr.radix=6 irr.hosts=16 "
-     "irr.extraLinks=6 degree=4 load=0.08"},
+     "irr.extraLinks=6 workload.degree=4 workload.load=0.08"},
     // ablation_uproute.
-    {"deterministic_up", "upPolicy=deterministic load=0.08"},
+    {"deterministic_up", "upPolicy=deterministic workload.load=0.08"},
     // fig_integrity: transient faults. BER with residual errors
     // exercises NAK/replay resolution plus the end-to-end checksum.
     {"transient_ber",
      "fault.ber=1e-3 fault.residual=0.05 nic.retransmitTimeout=3000 "
-     "load=0.05"},
+     "workload.load=0.05"},
     {"transient_ber_ib",
-     "arch=ib fault.ber=5e-4 nic.retransmitTimeout=3000 load=0.05"},
+     "arch=ib fault.ber=5e-4 nic.retransmitTimeout=3000 "
+     "workload.load=0.05"},
     // Short flap windows ride out on link-level retry alone.
     {"transient_flaps",
      "fault.flaps=2 fault.start=600 fault.end=1400 fault.flapMin=4 "
-     "fault.flapMax=12 nic.retransmitTimeout=3000 load=0.05"},
+     "fault.flapMax=12 nic.retransmitTimeout=3000 workload.load=0.05"},
     // A long flap exhausts the retry budget and escalates into the
     // fail-stop rerouting/tombstone machinery mid-run.
     {"transient_flap_escalates",
      "fault.flaps=1 fault.start=600 fault.end=900 fault.flapMin=400 "
      "fault.flapMax=600 link.retryLimit=4 nic.retransmitTimeout=3000 "
-     "load=0.05"},
+     "workload.load=0.05"},
     // Everything at once, on the software scheme.
     {"transient_kitchen_sink",
      "scheme=sw fault.links=1 fault.ber=5e-4 fault.residual=0.1 "
      "fault.flaps=1 fault.start=600 fault.end=1200 fault.flapMin=8 "
-     "fault.flapMax=20 nic.retransmitTimeout=3000 load=0.05"},
+     "fault.flapMax=20 nic.retransmitTimeout=3000 workload.load=0.05"},
     // Traced run: metric equality plus event-sequence equality below.
     {"traced",
-     "telemetry.trace=1 telemetry.traceCapacity=65536 load=0.05"},
+     "telemetry.trace=1 telemetry.traceCapacity=65536 "
+     "workload.load=0.05"},
     {"traced_faulty",
-     "telemetry.trace=1 telemetry.traceCapacity=65536 load=0.05 "
-     "fault.links=1 fault.start=600 fault.end=1200 "
+     "telemetry.trace=1 telemetry.traceCapacity=65536 "
+     "workload.load=0.05 fault.links=1 fault.start=600 fault.end=1200 "
      "nic.retransmitTimeout=3000"},
     {"traced_transient",
-     "telemetry.trace=1 telemetry.traceCapacity=65536 load=0.05 "
-     "fault.ber=1e-3 fault.residual=0.05 nic.retransmitTimeout=3000"},
+     "telemetry.trace=1 telemetry.traceCapacity=65536 "
+     "workload.load=0.05 fault.ber=1e-3 fault.residual=0.05 "
+     "nic.retransmitTimeout=3000"},
+    // fig_collectives: closed-loop workloads. Sleeping nodes must be
+    // woken by the delivery/completion events that gate each phase,
+    // in both scheduler modes, on identical cycles.
+    {"closed_barrier",
+     "workload.kind=collective workload.collective=barrier "
+     "workload.rounds=4"},
+    {"closed_allreduce",
+     "workload.kind=collective workload.collective=allreduce "
+     "workload.rounds=3"},
+    {"closed_allreduce_sw",
+     "scheme=sw workload.kind=collective "
+     "workload.collective=allreduce workload.rounds=3"},
+    {"closed_allreduce_ib",
+     "arch=ib workload.kind=collective "
+     "workload.collective=allreduce workload.rounds=3"},
+    {"closed_invalidate",
+     "workload.kind=collective workload.collective=invalidate "
+     "workload.rounds=6"},
+    // Multi-tenant: many groups with heavy-tailed sizes, jittered
+    // starts, and think time between rounds (idle gaps the fast path
+    // must sleep through without missing a wake).
+    {"closed_multitenant",
+     "workload.kind=collective workload.collective=allreduce "
+     "workload.rounds=3 workload.groups=6 workload.think=40"},
+    {"closed_traced",
+     "telemetry.trace=1 telemetry.traceCapacity=65536 "
+     "workload.kind=collective workload.collective=barrier "
+     "workload.rounds=4"},
+    // Faults during a collective: write-offs (partial completions)
+    // must release closed-loop waiters identically in both modes.
+    {"closed_barrier_faults",
+     "workload.kind=collective workload.collective=barrier "
+     "workload.rounds=4 fault.links=2 fault.start=200 fault.end=900 "
+     "nic.retransmitTimeout=3000"},
 };
 
 class FastPathDiff : public ::testing::TestWithParam<Scenario>
@@ -254,6 +303,35 @@ TEST(FastPathDiffTrace, EventSequencesIdentical)
     }
 }
 
+// Dependency-carrying trace replay: each event's release cycle is a
+// function of earlier completions, so the scheduler modes only agree
+// if delivery/completion wakes land on identical cycles throughout
+// the dependency graph.
+TEST(FastPathDiff, ClosedLoopTraceReplay)
+{
+    const std::string path =
+        ::testing::TempDir() + "fastpath_deps.trace";
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fputs("# mdw-trace/2\n"
+                   // A chain, a multicast fan-out, and a join that
+                   // waits on two different completion times.
+                   "1 0 0 U 1 32\n"
+                   "2 0 1 U 2 32 deps=1\n"
+                   "3 0 2 M 16 8,9,10,11 deps=2\n"
+                   "4 5 8 U 0 16 deps=3\n"
+                   "5 5 9 U 0 16 deps=3\n"
+                   "6 0 3 U 4 64\n"
+                   "7 0 63 M 32 0,1,2,3 deps=6\n"
+                   "8 0 10 U 11 8 deps=3,7\n",
+                   f);
+        std::fclose(f);
+    }
+    expectIdentical("workload.kind=trace workload.trace=" + path);
+    std::remove(path.c_str());
+}
+
 // The fast path must actually retire idle components, or it is just
 // overhead: after an uncontended run drains, the whole tick set
 // should be asleep.
@@ -293,7 +371,7 @@ TEST(FastPathProperty, RandomConfigsBitIdentical)
     for (int trial = 0; trial < 100; ++trial) {
         std::ostringstream tokens;
         tokens << "warmup=300 measure=800 drainLimit=30000 "
-               << "watchdog=20000 pattern=bimodal ";
+               << "watchdog=20000 workload.pattern=bimodal ";
         if (pick(0, 1) == 0) {
             tokens << "topo=fat-tree k=" << (pick(0, 1) ? 2 : 4)
                    << " n=2 ";
@@ -307,12 +385,12 @@ TEST(FastPathProperty, RandomConfigsBitIdentical)
         }
         tokens << "arch=" << (pick(0, 1) ? "cb" : "ib") << " ";
         tokens << "scheme=" << (pick(0, 3) == 0 ? "sw" : "hw") << " ";
-        tokens << "load=0.0" << pick(2, 9) << " ";
-        tokens << "payload=" << (8 << pick(0, 3)) << " ";
-        tokens << "degree=" << pick(2, 3) << " ";
-        tokens << "mcastFraction=0." << pick(0, 3) << " ";
+        tokens << "workload.load=0.0" << pick(2, 9) << " ";
+        tokens << "workload.payload=" << (8 << pick(0, 3)) << " ";
+        tokens << "workload.degree=" << pick(2, 3) << " ";
+        tokens << "workload.mcastFraction=0." << pick(0, 3) << " ";
         tokens << "seed=" << (trial + 1) << " ";
-        tokens << "traffic.seed=" << (trial + 101) << " ";
+        tokens << "workload.seed=" << (trial + 101) << " ";
         const bool failStop = pick(0, 1) == 1;
         const bool transient = pick(0, 2) == 0;
         if (failStop || transient) {

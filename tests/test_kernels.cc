@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for the closed-loop collective kernels: manual-poll phase
+ * sequencing (gather gates the release, rounds gate each other),
+ * owner rotation for invalidation storms, multi-tenant membership,
+ * and end-to-end runs whose message accounting must balance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/network.hh"
+#include "core/presets.hh"
+#include "workload/kernels.hh"
+
+namespace mdw {
+namespace {
+
+WorkloadParams
+kernelParams(CollectiveOp op, int rounds)
+{
+    WorkloadParams params;
+    params.kind = WorkloadKind::Collective;
+    params.collective = op;
+    params.rounds = rounds;
+    return params;
+}
+
+// Play the NIC by hand: gather unicasts appear at cycle 0, the
+// release multicast only after the *last* gather completion, and no
+// earlier than that completion + 1 (the release rule).
+TEST(CollectiveKernel, BarrierPhaseSequencing)
+{
+    CollectiveKernelWorkload w(4, kernelParams(CollectiveOp::Barrier, 1));
+
+    std::vector<MessageSpec> out;
+    w.poll(0, 0, out);
+    EXPECT_TRUE(out.empty()) << "the root has nothing to gather";
+    for (NodeId n = 1; n < 4; ++n) {
+        out.clear();
+        EXPECT_EQ(w.nextArrival(n, 0), 0u);
+        w.poll(n, 0, out);
+        ASSERT_EQ(out.size(), 1u) << "node " << n;
+        EXPECT_FALSE(out[0].multicast);
+        EXPECT_EQ(out[0].dest, 0);
+        // Post it as message id = node number.
+        w.onPosted(n, out[0].token, static_cast<MsgId>(n), 0);
+    }
+
+    w.onCompleted(1, 1, 8);
+    w.onCompleted(2, 2, 9);
+    out.clear();
+    w.poll(0, 9, out);
+    EXPECT_TRUE(out.empty()) << "released before the last gather";
+
+    w.onCompleted(3, 3, 10);
+    EXPECT_EQ(w.nextArrival(0, 10), 11u) << "release rule: t+1";
+    w.poll(0, 10, out);
+    EXPECT_TRUE(out.empty());
+    w.poll(0, 11, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_TRUE(out[0].multicast);
+    EXPECT_EQ(out[0].dests, DestSet::of(4, {1, 2, 3}));
+
+    EXPECT_FALSE(w.exhausted());
+    w.onPosted(0, out[0].token, 99, 11);
+    w.onCompleted(99, 0, 30);
+    EXPECT_TRUE(w.exhausted());
+    EXPECT_EQ(w.roundsCompleted(), 1u);
+    EXPECT_DOUBLE_EQ(w.roundCycles().mean(), 30.0);
+}
+
+TEST(CollectiveKernel, InvalidateRotatesOwner)
+{
+    WorkloadParams params = kernelParams(CollectiveOp::Invalidate, 2);
+    CollectiveKernelWorkload w(4, params);
+
+    std::vector<MessageSpec> out;
+    w.poll(0, 0, out);
+    ASSERT_EQ(out.size(), 1u) << "round 0 owner is node 0";
+    EXPECT_TRUE(out[0].multicast);
+    EXPECT_EQ(out[0].dests, DestSet::of(4, {1, 2, 3}));
+    w.onPosted(0, out[0].token, 7, 0);
+    w.onCompleted(7, 0, 5);
+
+    // Round 1 rotates to node 1 and starts at completion + 1 + think.
+    out.clear();
+    EXPECT_EQ(w.nextArrival(1, 6), 6u);
+    w.poll(1, 6, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].dests, DestSet::of(4, {0, 2, 3}));
+    w.onPosted(1, out[0].token, 8, 6);
+    w.onCompleted(8, 1, 12);
+    EXPECT_TRUE(w.exhausted());
+    EXPECT_EQ(w.roundsCompleted(), 2u);
+}
+
+TEST(CollectiveKernel, MultiTenantMembership)
+{
+    WorkloadParams params = kernelParams(CollectiveOp::Allreduce, 1);
+    params.groups = 6;
+    CollectiveKernelWorkload w(16, params);
+
+    ASSERT_EQ(w.numGroups(), 6u);
+    for (std::size_t g = 0; g < w.numGroups(); ++g) {
+        const std::vector<NodeId> &members = w.groupMembers(g);
+        EXPECT_GE(members.size(), 2u) << "group " << g;
+        EXPECT_LE(members.size(), 16u) << "group " << g;
+        std::set<NodeId> unique(members.begin(), members.end());
+        EXPECT_EQ(unique.size(), members.size())
+            << "duplicate member in group " << g;
+        for (const NodeId m : members) {
+            EXPECT_GE(m, 0);
+            EXPECT_LT(m, 16);
+        }
+    }
+    // Same seed, same membership: the generator is deterministic.
+    CollectiveKernelWorkload w2(16, params);
+    for (std::size_t g = 0; g < w.numGroups(); ++g)
+        EXPECT_EQ(w.groupMembers(g), w2.groupMembers(g)) << g;
+}
+
+void
+runToExhaustion(Network &net, CollectiveKernelWorkload &w)
+{
+    net.attachWorkload(&w);
+    net.tracker().setWindow(0, kNoCycle);
+    net.armWatchdog(100000);
+    ASSERT_TRUE(net.sim().runUntil(
+        [&net, &w] { return w.exhausted() && net.idle(); }, 500000));
+    // Accounting must balance: every posted message retired.
+    const MetricsSnapshot metrics = net.metricsSnapshot();
+    EXPECT_EQ(metrics.sumCounters("messages_posted"),
+              net.tracker().totalCompleted() +
+                  net.tracker().partialCompleted());
+    EXPECT_EQ(net.tracker().inFlight(), 0u);
+}
+
+TEST(CollectiveKernel, BarrierEndToEnd)
+{
+    NetworkConfig config = defaultNetwork();
+    config.fatTreeN = 2; // 16 hosts
+    Network net(config);
+    CollectiveKernelWorkload w(net.numHosts(),
+                               kernelParams(CollectiveOp::Barrier, 3));
+    runToExhaustion(net, w);
+    EXPECT_EQ(w.roundsCompleted(), 3u);
+    // Per round: 15 gather unicasts + 1 release multicast.
+    EXPECT_EQ(net.tracker().totalCompleted(), 3u * 16u);
+}
+
+TEST(CollectiveKernel, AllreduceEndToEnd)
+{
+    NetworkConfig config = defaultNetwork();
+    config.fatTreeN = 2;
+    Network net(config);
+    WorkloadParams params = kernelParams(CollectiveOp::Allreduce, 2);
+    params.think = 25;
+    CollectiveKernelWorkload w(net.numHosts(), params);
+    runToExhaustion(net, w);
+    EXPECT_EQ(w.roundsCompleted(), 2u);
+    EXPECT_EQ(net.tracker().totalCompleted(), 2u * 16u);
+    EXPECT_GT(w.roundCycles().mean(), 0.0);
+}
+
+TEST(CollectiveKernel, InvalidateEndToEnd)
+{
+    NetworkConfig config = defaultNetwork();
+    config.fatTreeN = 2;
+    Network net(config);
+    CollectiveKernelWorkload w(
+        net.numHosts(), kernelParams(CollectiveOp::Invalidate, 5));
+    runToExhaustion(net, w);
+    EXPECT_EQ(w.roundsCompleted(), 5u);
+    // One multicast per round.
+    EXPECT_EQ(net.tracker().totalCompleted(), 5u);
+}
+
+TEST(CollectiveKernel, MultiTenantEndToEnd)
+{
+    NetworkConfig config = defaultNetwork();
+    config.fatTreeN = 2;
+    Network net(config);
+    WorkloadParams params = kernelParams(CollectiveOp::Allreduce, 2);
+    params.groups = 4;
+    params.think = 10;
+    CollectiveKernelWorkload w(net.numHosts(), params);
+    runToExhaustion(net, w);
+    EXPECT_EQ(w.roundsCompleted(), 4u * 2u);
+    EXPECT_EQ(w.roundCycles().count(), 8u);
+}
+
+TEST(CollectiveKernelDeath, BadParamsPanic)
+{
+    WorkloadParams params = kernelParams(CollectiveOp::Barrier, 1);
+    params.groupSize = 1;
+    EXPECT_DEATH(CollectiveKernelWorkload(16, params), "group size");
+    params.groupSize = 0;
+    params.rounds = 0;
+    EXPECT_DEATH(CollectiveKernelWorkload(16, params), "rounds");
+    params.rounds = 1;
+    params.kind = WorkloadKind::Synthetic;
+    EXPECT_DEATH(CollectiveKernelWorkload(16, params), "synthetic");
+}
+
+} // namespace
+} // namespace mdw

@@ -136,6 +136,171 @@ TEST(TraceTrafficDeath, InvalidEventPanics)
     EXPECT_DEATH(trace.add(unicastEvent(0, 99, 1, 8)), "out of range");
 }
 
+TEST(TraceTraffic, ExactNextArrival)
+{
+    TraceTraffic trace(16);
+    trace.add(unicastEvent(100, 0, 7, 32));
+    trace.add(unicastEvent(7, 3, 1, 8));
+    EXPECT_EQ(trace.nextArrival(0, 0), 100u);
+    EXPECT_EQ(trace.nextArrival(3, 0), 7u);
+    EXPECT_EQ(trace.nextArrival(1, 0), kNoCycle);
+    // An overdue posting is reported as "now", never in the past.
+    EXPECT_EQ(trace.nextArrival(3, 20), 20u);
+    std::vector<MessageSpec> out;
+    trace.poll(3, 20, out);
+    EXPECT_EQ(out.size(), 1u);
+    EXPECT_EQ(trace.nextArrival(3, 20), kNoCycle);
+}
+
+TEST(TraceTraffic, V2FileRoundTrip)
+{
+    const std::string path = tempPath("roundtrip_v2.trace");
+    std::vector<TraceEvent> events;
+    events.push_back(unicastEvent(100, 0, 7, 32));
+    events.back().id = 1;
+    events.push_back(mcastEvent(200, 3, {1, 8, 15}, 64));
+    events.back().id = 2;
+    events.back().deps = {1};
+    events.push_back(unicastEvent(0, 8, 0, 16));
+    events.back().id = 5;
+    events.back().deps = {1, 2};
+    TraceTraffic::writeFile(path, events);
+
+    {
+        std::ifstream in(path);
+        std::string first;
+        std::getline(in, first);
+        EXPECT_EQ(first.rfind("# mdw-trace/2", 0), 0u)
+            << "v2 trace must open with the magic line";
+    }
+
+    TraceTraffic trace = TraceTraffic::fromFile(path, 16);
+    ASSERT_EQ(trace.size(), 3u);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const TraceEvent &want = events[i];
+        const TraceEvent &got = trace.events()[i];
+        EXPECT_EQ(got.id, want.id) << "event " << i;
+        EXPECT_EQ(got.deps, want.deps) << "event " << i;
+        EXPECT_EQ(got.when, want.when) << "event " << i;
+        EXPECT_EQ(got.src, want.src) << "event " << i;
+        EXPECT_EQ(got.spec.multicast, want.spec.multicast);
+        EXPECT_EQ(got.spec.payloadFlits, want.spec.payloadFlits);
+        if (want.spec.multicast)
+            EXPECT_EQ(got.spec.dests, want.spec.dests);
+        else
+            EXPECT_EQ(got.spec.dest, want.spec.dest);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceTrafficDeath, V2MalformedLinesAreFatalWithLineNumbers)
+{
+    const std::string path = tempPath("bad_v2.trace");
+    {
+        std::ofstream out(path);
+        out << "# mdw-trace/2\n"
+            << "0 5 1 U 2 16\n"; // id 0 is reserved for v1 events
+    }
+    EXPECT_DEATH((void)TraceTraffic::fromFile(path, 16),
+                 ":2: event id must be positive");
+    {
+        std::ofstream out(path);
+        out << "# mdw-trace/2\n"
+            << "1 5 1 U 2 16\n"
+            << "2 6 2 U 3 16 deps=zig\n";
+    }
+    EXPECT_DEATH((void)TraceTraffic::fromFile(path, 16),
+                 ":3: bad dependency id 'zig'");
+    {
+        std::ofstream out(path);
+        out << "# mdw-trace/2\n"
+            << "1 5 1 U 2 16\n"
+            << "1 6 2 U 3 16\n";
+    }
+    EXPECT_DEATH((void)TraceTraffic::fromFile(path, 16),
+                 ":3: duplicate event id 1");
+    {
+        // deps= on a v1 trace (no magic) is a trailing-junk error.
+        std::ofstream out(path);
+        out << "5 1 U 2 16 deps=1\n";
+    }
+    EXPECT_DEATH((void)TraceTraffic::fromFile(path, 16),
+                 ":1: unexpected trailing token 'deps=1'");
+    std::remove(path.c_str());
+}
+
+TEST(TraceTrafficDeath, V2UnknownDependencyIsFatal)
+{
+    const std::string path = tempPath("unknown_dep.trace");
+    {
+        std::ofstream out(path);
+        out << "# mdw-trace/2\n"
+            << "1 5 1 U 2 16\n"
+            << "2 6 2 U 3 16 deps=1,99\n";
+    }
+    EXPECT_DEATH((void)TraceTraffic::fromFile(path, 16),
+                 ":3: unknown dependency id 99");
+    std::remove(path.c_str());
+}
+
+TEST(TraceTrafficDeath, DependencyCycleIsFatal)
+{
+    TraceTraffic trace(8);
+    TraceEvent a = unicastEvent(0, 0, 1, 8);
+    a.id = 1;
+    a.deps = {3};
+    TraceEvent b = unicastEvent(0, 1, 2, 8);
+    b.id = 2;
+    b.deps = {1};
+    TraceEvent c = unicastEvent(0, 2, 3, 8);
+    c.id = 3;
+    c.deps = {2};
+    trace.add(a);
+    trace.add(b);
+    trace.add(c);
+    EXPECT_DEATH(trace.resolveDependencies(), "dependency cycle");
+}
+
+// Manual-poll unit for the dependency gate and the release rule: a
+// dependent event stays invisible until its dependency *completes*,
+// and then releases no earlier than completion + 1.
+TEST(TraceTraffic, DependencyHoldsEventUntilCompletion)
+{
+    TraceTraffic trace(8);
+    TraceEvent first = unicastEvent(0, 0, 1, 8);
+    first.id = 1;
+    TraceEvent second = unicastEvent(0, 2, 3, 8);
+    second.id = 2;
+    second.deps = {1};
+    trace.add(first);
+    trace.add(second);
+
+    std::vector<MessageSpec> out;
+    trace.poll(2, 0, out);
+    EXPECT_TRUE(out.empty()) << "dependent event released too early";
+    EXPECT_EQ(trace.nextArrival(2, 0), kNoCycle);
+
+    trace.poll(0, 0, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].token, 1u);
+
+    // Play the NIC: post it as message 77, then complete at cycle 10.
+    trace.onPosted(0, out[0].token, 77, 0);
+    trace.onCompleted(77, 0, 10);
+
+    // The release rule: visible at 11, not 10.
+    EXPECT_EQ(trace.nextArrival(2, 10), 11u);
+    out.clear();
+    trace.poll(2, 10, out);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(trace.nextArrival(2, 11), 11u);
+    trace.poll(2, 11, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].token, 2u);
+    EXPECT_EQ(trace.pending(), 0u);
+    EXPECT_TRUE(trace.exhausted());
+}
+
 TEST(TraceTraffic, DrivesANetworkEndToEnd)
 {
     NetworkConfig config = defaultNetwork();

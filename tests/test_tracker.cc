@@ -106,9 +106,9 @@ TEST(TrackerResilient, PartialCompletionUnderUnreachableDests)
     t.enableResilience();
     t.expectMessage(3, 0, 3, 100, true);
     t.onDelivered(3, 1, 200, 8);
-    EXPECT_TRUE(t.markUnreachable(3, 2));
-    EXPECT_FALSE(t.markUnreachable(3, 2)) << "already written off";
-    EXPECT_FALSE(t.markUnreachable(3, 1)) << "already delivered";
+    EXPECT_TRUE(t.markUnreachable(3, 2, 250));
+    EXPECT_FALSE(t.markUnreachable(3, 2, 250)) << "already written off";
+    EXPECT_FALSE(t.markUnreachable(3, 1, 250)) << "already delivered";
     EXPECT_FALSE(t.isComplete(3));
     t.onDelivered(3, 4, 300, 8);
     EXPECT_TRUE(t.isComplete(3));
@@ -118,7 +118,7 @@ TEST(TrackerResilient, PartialCompletionUnderUnreachableDests)
     // Partial completions never feed the latency samplers.
     EXPECT_EQ(t.mcastLastLatency().count(), 0u);
     // markUnreachable after completion reports "no record".
-    EXPECT_FALSE(t.markUnreachable(3, 5));
+    EXPECT_FALSE(t.markUnreachable(3, 5, 350));
 }
 
 TEST(TrackerResilient, FullyUnreachableMessageCompletesPartially)
@@ -126,8 +126,8 @@ TEST(TrackerResilient, FullyUnreachableMessageCompletesPartially)
     McastTracker t;
     t.enableResilience();
     t.expectMessage(9, 2, 2, 0, true);
-    EXPECT_TRUE(t.markUnreachable(9, 5));
-    EXPECT_TRUE(t.markUnreachable(9, 6));
+    EXPECT_TRUE(t.markUnreachable(9, 5, 10));
+    EXPECT_TRUE(t.markUnreachable(9, 6, 11));
     EXPECT_TRUE(t.isComplete(9));
     EXPECT_EQ(t.inFlight(), 0u);
     EXPECT_EQ(t.partialCompleted(), 1u);
@@ -141,7 +141,7 @@ TEST(TrackerResilient, ResetStatsClearsRecoveryCounters)
     t.expectMessage(1, 0, 2, 0, true);
     t.onDelivered(1, 1, 5, 8);
     t.onDelivered(1, 1, 6, 8);
-    t.markUnreachable(1, 2);
+    t.markUnreachable(1, 2, 7);
     EXPECT_EQ(t.duplicateDeliveries(), 1u);
     t.resetStats();
     EXPECT_EQ(t.duplicateDeliveries(), 0u);

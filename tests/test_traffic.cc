@@ -225,5 +225,34 @@ TEST(ScriptedTraffic, DeliversAtExactCycles)
     EXPECT_EQ(script.pending(), 0u);
 }
 
+// The exact next-event lookup that lets the fast path sleep a NIC
+// straight through to its next scripted posting.
+TEST(ScriptedTraffic, ExactNextArrival)
+{
+    ScriptedTraffic script;
+    MessageSpec spec;
+    spec.dest = 3;
+    spec.payloadFlits = 7;
+    script.post(10, 1, spec);
+    script.post(40, 1, spec);
+    script.post(20, 2, spec);
+
+    EXPECT_EQ(script.nextArrival(1, 0), 10u);
+    EXPECT_EQ(script.nextArrival(2, 0), 20u);
+    EXPECT_EQ(script.nextArrival(0, 0), kNoCycle) << "unscripted node";
+    // An overdue posting is reported as "now", never in the past.
+    EXPECT_EQ(script.nextArrival(1, 15), 15u);
+
+    std::vector<MessageSpec> out;
+    script.poll(1, 15, out);
+    EXPECT_EQ(out.size(), 1u);
+    EXPECT_EQ(script.nextArrival(1, 15), 40u);
+    script.poll(1, 40, out);
+    EXPECT_EQ(script.nextArrival(1, 41), kNoCycle);
+    EXPECT_FALSE(script.exhausted());
+    script.poll(2, 20, out);
+    EXPECT_TRUE(script.exhausted());
+}
+
 } // namespace
 } // namespace mdw
