@@ -244,6 +244,9 @@ Experiment::runClosedLoop(Network &net)
     } else {
         result.quiescent = false;
     }
+    // The workload dies with this scope; the network must not retain
+    // hooks into it.
+    net.detachWorkload();
     return result;
 }
 

@@ -548,6 +548,8 @@ Network::switchAt(SwitchId id)
 void
 Network::attachWorkload(Workload *workload)
 {
+    detachWorkload();
+    workload_ = workload;
     for (auto &nic : nics_)
         nic->setWorkload(workload);
     workload->setWakeHook([this](NodeId node, Cycle when) {
@@ -557,6 +559,18 @@ Network::attachWorkload(Workload *workload)
         [workload](MsgId msg, NodeId src, Cycle now) {
             workload->onCompleted(msg, src, now);
         });
+}
+
+void
+Network::detachWorkload()
+{
+    if (workload_ == nullptr)
+        return;
+    for (auto &nic : nics_)
+        nic->setWorkload(nullptr);
+    tracker_.setCompletionHook(nullptr);
+    workload_->setWakeHook(nullptr);
+    workload_ = nullptr;
 }
 
 bool

@@ -140,8 +140,23 @@ class Network
      * closed-loop plumbing: the tracker's completion hook feeds
      * Workload::onCompleted, and the workload's wake hook rouses the
      * sleeping NIC of a node that a completion released work for.
+     *
+     * Lifetime: message retirements call back into the workload, and
+     * the workload's wake() calls back into this network, so the pair
+     * must stay alive together for as long as the simulation can run.
+     * Call detachWorkload() to sever both directions before
+     * destroying either side ahead of the other. Attaching a second
+     * workload implicitly detaches the first.
      */
     void attachWorkload(Workload *workload);
+
+    /**
+     * Disconnect the attached workload (no-op when none is): clears
+     * the NIC pointers, the tracker completion hook, and the
+     * workload's back-reference to this network, after which either
+     * side may be destroyed independently.
+     */
+    void detachWorkload();
 
     /** Pre-redesign name of attachWorkload(). */
     void attachTraffic(TrafficSource *source)
@@ -282,6 +297,9 @@ class Network
 
     std::unique_ptr<ResilienceManager> resilience_;
     std::unique_ptr<WatchdogDiagnosis> diagnosis_;
+
+    /** Attached by attachWorkload(); not owned. */
+    Workload *workload_ = nullptr;
 };
 
 } // namespace mdw

@@ -77,13 +77,19 @@ Nic::connectRx(Channel<Flit> *in, CreditChannel *creditOut)
 }
 
 MsgId
-Nic::postUnicast(NodeId dest, int payloadFlits, Cycle now)
+Nic::postUnicast(NodeId dest, int payloadFlits, Cycle now,
+                 std::uint64_t token)
 {
     MDW_ASSERT(dest != id_, "NIC %d unicast to itself", id_);
     MDW_ASSERT(payloadFlits > 0, "empty payload");
     const MsgId msg = factory_->newMsgId();
     tracker_->expectMessage(msg, id_, 1, now, false);
     stats_.messagesPosted.inc();
+    // Before launch(): write-offs inside launch() can retire the
+    // message synchronously, and the completion hook must find the
+    // token already registered.
+    if (source_)
+        source_->onPosted(id_, token, msg, now);
 
     DestSet dests(numHosts_);
     dests.set(dest);
@@ -92,7 +98,8 @@ Nic::postUnicast(NodeId dest, int payloadFlits, Cycle now)
 }
 
 MsgId
-Nic::postMulticast(const DestSet &dests, int payloadFlits, Cycle now)
+Nic::postMulticast(const DestSet &dests, int payloadFlits, Cycle now,
+                   std::uint64_t token)
 {
     MDW_ASSERT(!dests.empty(), "multicast with no destinations");
     MDW_ASSERT(!dests.test(id_), "NIC %d multicast includes itself",
@@ -100,6 +107,8 @@ Nic::postMulticast(const DestSet &dests, int payloadFlits, Cycle now)
     const MsgId msg = factory_->newMsgId();
     tracker_->expectMessage(msg, id_, dests.count(), now, true);
     stats_.messagesPosted.inc();
+    if (source_)
+        source_->onPosted(id_, token, msg, now);
     launch(msg, dests, true, payloadFlits, now);
     return msg;
 }
@@ -405,12 +414,13 @@ Nic::pollSource(Cycle now)
     std::vector<MessageSpec> specs;
     source_->poll(id_, now, specs);
     for (const MessageSpec &spec : specs) {
-        MsgId msg;
+        // The post itself invokes source_->onPosted() before the
+        // message can possibly complete (see postUnicast()).
         if (spec.multicast)
-            msg = postMulticast(spec.dests, spec.payloadFlits, now);
+            postMulticast(spec.dests, spec.payloadFlits, now,
+                          spec.token);
         else
-            msg = postUnicast(spec.dest, spec.payloadFlits, now);
-        source_->onPosted(id_, spec.token, msg, now);
+            postUnicast(spec.dest, spec.payloadFlits, now, spec.token);
     }
 }
 

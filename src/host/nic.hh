@@ -161,18 +161,24 @@ class Nic : public Component
     }
 
     /**
-     * Post a unicast message (application API).
+     * Post a unicast message (application API). @p token is the
+     * workload correlation id reported through Workload::onPosted
+     * (0 = untracked); the workload learns the message id *before*
+     * the send is launched, because pruning unreachable destinations
+     * can retire the message synchronously inside the post.
      * @return The message id (for delivery-callback matching).
      */
-    MsgId postUnicast(NodeId dest, int payloadFlits, Cycle now);
+    MsgId postUnicast(NodeId dest, int payloadFlits, Cycle now,
+                      std::uint64_t token = 0);
 
     /**
      * Post a multicast message; expands per the configured scheme
-     * and encoding. @p dests must not contain this node.
+     * and encoding. @p dests must not contain this node. @p token as
+     * for postUnicast().
      * @return The message id (for delivery-callback matching).
      */
     MsgId postMulticast(const DestSet &dests, int payloadFlits,
-                        Cycle now);
+                        Cycle now, std::uint64_t token = 0);
 
     /**
      * Emit a 2-flit hardware-barrier arrival token for @p group

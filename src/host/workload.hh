@@ -79,9 +79,14 @@ class Workload
     }
 
     /**
-     * A spec polled from this workload was posted by @p src's NIC and
-     * assigned @p msg. @p token is the spec's correlation id (0 for
-     * untracked specs).
+     * A message was posted by @p src's NIC and assigned @p msg.
+     * @p token is the originating spec's correlation id (0 for
+     * untracked specs and for messages posted directly through the
+     * NIC API, e.g. by the collective engine). Invoked *before* the
+     * send leaves the NIC, so it always precedes onDelivered() and
+     * onCompleted() for @p msg — even when a post retires
+     * synchronously because every destination is written off as
+     * unreachable.
      */
     virtual void
     onPosted(NodeId src, std::uint64_t token, MsgId msg, Cycle now)

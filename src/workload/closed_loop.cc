@@ -89,7 +89,6 @@ ClosedLoopWorkload::scheduleSend(NodeId node, Cycle when,
     spec.token = token;
     Emission emission;
     emission.when = when;
-    emission.seq = seq_++;
     emission.spec = std::move(spec);
     queues_[static_cast<std::size_t>(node)].push(std::move(emission));
     ++queued_;

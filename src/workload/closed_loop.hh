@@ -55,6 +55,14 @@ class ClosedLoopWorkload : public Workload
      * When called from inside a notification hook observing cycle t,
      * @p when must be at least t+1 (asserted): reacting in the same
      * cycle would make results depend on component step order.
+     *
+     * Tokens must be unique among pending sends and *mode
+     * independent*: two emissions for the same node at the same cycle
+     * are handed to the NIC in token order, because the oracle and
+     * the fast path do not share intra-cycle hook arrival order.
+     * Derive tokens from the logical operation (trace event index,
+     * per-group sequence number, ...), never from a counter bumped in
+     * hook order across independent dependency chains.
      */
     void scheduleSend(NodeId node, Cycle when, MessageSpec spec,
                       std::uint64_t token);
@@ -75,8 +83,7 @@ class ClosedLoopWorkload : public Workload
     struct Emission
     {
         Cycle when = 0;
-        std::uint64_t seq = 0; // schedule order breaks when-ties
-        MessageSpec spec;
+        MessageSpec spec; // spec.token breaks when-ties
     };
     struct Later
     {
@@ -85,7 +92,10 @@ class ClosedLoopWorkload : public Workload
         {
             if (a.when != b.when)
                 return a.when > b.when;
-            return a.seq > b.seq;
+            // The token, not schedule order: two same-cycle releases
+            // may be scheduled by hooks whose arrival order the two
+            // scheduler modes do not share.
+            return a.spec.token > b.spec.token;
         }
     };
     using EmissionQueue =
@@ -93,7 +103,6 @@ class ClosedLoopWorkload : public Workload
 
     std::vector<EmissionQueue> queues_;
     std::unordered_map<MsgId, std::uint64_t> tokenOf_;
-    std::uint64_t seq_ = 0;
     std::size_t queued_ = 0;
     std::size_t scheduled_ = 0;
 

@@ -75,7 +75,13 @@ CollectiveKernelWorkload::CollectiveKernelWorkload(
 std::uint64_t
 CollectiveKernelWorkload::newToken(std::size_t g)
 {
-    const std::uint64_t token = ++nextToken_;
+    // Tokens break same-cycle emission ties in the base class, so
+    // they must not depend on cross-group hook arrival order (which
+    // the two scheduler modes need not share). Each group's sends are
+    // totally ordered by its own dependency chain, so a per-group
+    // sequence interleaved with the group index is mode independent.
+    const std::uint64_t token =
+        groups_[g].tokenSeq++ * groups_.size() + g + 1;
     tokenGroup_.emplace(token, g);
     return token;
 }

@@ -72,6 +72,8 @@ class CollectiveKernelWorkload : public ClosedLoopWorkload
         /** Outstanding completions before the phase advances. */
         std::size_t waiting = 0;
         Cycle roundStart = 0;
+        /** This group's own send count (token derivation). */
+        std::uint64_t tokenSeq = 0;
     };
 
     void startRound(std::size_t g, Cycle at);
@@ -83,7 +85,6 @@ class CollectiveKernelWorkload : public ClosedLoopWorkload
     std::size_t doneGroups_ = 0;
     /** Token -> owning group index. */
     std::unordered_map<std::uint64_t, std::size_t> tokenGroup_;
-    std::uint64_t nextToken_ = 0;
     Sampler roundCycles_;
 };
 

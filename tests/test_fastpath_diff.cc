@@ -324,7 +324,16 @@ TEST(FastPathDiff, ClosedLoopTraceReplay)
                    "5 5 9 U 0 16 deps=3\n"
                    "6 0 3 U 4 64\n"
                    "7 0 63 M 32 0,1,2,3 deps=6\n"
-                   "8 0 10 U 11 8 deps=3,7\n",
+                   "8 0 10 U 11 8 deps=3,7\n"
+                   // Two symmetric intra-switch sends complete on the
+                   // same cycle; each releases an event at node 40, so
+                   // the two releases land same-node same-cycle from
+                   // *distinct* completions -- the emission order must
+                   // not depend on intra-cycle hook arrival order.
+                   "9 0 20 U 21 32\n"
+                   "10 0 24 U 25 32\n"
+                   "11 0 40 U 41 8 deps=9\n"
+                   "12 0 40 U 42 8 deps=10\n",
                    f);
         std::fclose(f);
     }

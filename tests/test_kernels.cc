@@ -192,6 +192,62 @@ TEST(CollectiveKernel, MultiTenantEndToEnd)
     EXPECT_EQ(w.roundCycles().count(), 8u);
 }
 
+// Two same-node, same-cycle emissions released by *different*
+// completions observed in the same cycle must be handed to the NIC in
+// an order independent of the hook arrival order -- the oracle and
+// the fast path do not guarantee the same intra-cycle completion
+// order, so hook order must never leak into message-id assignment.
+class ForkJoinWorkload : public ClosedLoopWorkload
+{
+  public:
+    explicit ForkJoinWorkload(std::size_t numHosts)
+        : ClosedLoopWorkload(numHosts)
+    {
+        for (std::uint64_t token : {1u, 2u}) {
+            MessageSpec spec;
+            spec.dest = static_cast<NodeId>(token);
+            spec.payloadFlits = 8;
+            scheduleSend(3, 0, spec, token);
+        }
+    }
+
+  protected:
+    void
+    onTokenCompleted(std::uint64_t token, Cycle now) override
+    {
+        if (token >= 100)
+            return;
+        // Completion of seed k releases follow-up k+100 from node 0.
+        MessageSpec spec;
+        spec.dest = 2;
+        spec.payloadFlits = 8;
+        scheduleSend(0, now + 1, spec, token + 100);
+    }
+};
+
+TEST(ClosedLoop, SameCycleReleasesIgnoreHookArrivalOrder)
+{
+    std::vector<std::uint64_t> orders[2];
+    for (int swap = 0; swap < 2; ++swap) {
+        ForkJoinWorkload w(4);
+        std::vector<MessageSpec> out;
+        w.poll(3, 0, out);
+        ASSERT_EQ(out.size(), 2u);
+        w.onPosted(3, out[0].token, 11, 0);
+        w.onPosted(3, out[1].token, 12, 0);
+        // Both seeds complete at cycle 9, observed in either order.
+        w.onCompleted(swap ? 12 : 11, 3, 9);
+        w.onCompleted(swap ? 11 : 12, 3, 9);
+        out.clear();
+        w.poll(0, 10, out);
+        ASSERT_EQ(out.size(), 2u);
+        for (const MessageSpec &spec : out)
+            orders[swap].push_back(spec.token);
+    }
+    EXPECT_EQ(orders[0], orders[1])
+        << "emission order depends on completion hook order";
+}
+
 TEST(CollectiveKernelDeath, BadParamsPanic)
 {
     WorkloadParams params = kernelParams(CollectiveOp::Barrier, 1);

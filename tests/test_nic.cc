@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "core/presets.hh"
+#include "workload/closed_loop.hh"
 
 namespace mdw {
 namespace {
@@ -154,6 +155,58 @@ TEST(Nic, SwListOverheadGrowsCarrierHeaders)
         return net.tracker().mcastLastLatency().mean();
     };
     EXPECT_GT(latency(true), latency(false));
+}
+
+// A post whose destinations are all written off retires synchronously
+// *inside* the post. The workload must still observe onPosted before
+// onCompleted, or the completion is dropped against an unregistered
+// token and the dependent send below never releases.
+class WriteOffChainWorkload : public ClosedLoopWorkload
+{
+  public:
+    explicit WriteOffChainWorkload(std::size_t numHosts)
+        : ClosedLoopWorkload(numHosts)
+    {
+        MessageSpec first; // from the NIC whose tx will be dead
+        first.dest = 1;
+        first.payloadFlits = 8;
+        scheduleSend(0, 0, first, 1);
+    }
+
+    bool exhausted() const override { return completions_ == 2; }
+    int completions() const { return completions_; }
+
+  protected:
+    void
+    onTokenCompleted(std::uint64_t token, Cycle now) override
+    {
+        ++completions_;
+        if (token != 1)
+            return;
+        MessageSpec next; // released by the written-off send
+        next.dest = 3;
+        next.payloadFlits = 8;
+        scheduleSend(2, now + 1, next, 2);
+    }
+
+  private:
+    int completions_ = 0;
+};
+
+TEST(Nic, SynchronousWriteOffStillReleasesDependents)
+{
+    Network net(smallConfig());
+    net.tracker().enableResilience();
+    WriteOffChainWorkload w(net.numHosts());
+    net.attachWorkload(&w);
+    net.nic(0).failTx();
+    net.armWatchdog(10000);
+    ASSERT_TRUE(net.sim().runUntil(
+        [&net, &w] { return w.exhausted() && net.idle(); }, 100000))
+        << "dependent send never released after a synchronous "
+           "write-off (completions=" << w.completions() << ")";
+    EXPECT_EQ(net.tracker().partialCompleted(), 1u);
+    EXPECT_EQ(net.tracker().totalCompleted(), 1u);
 }
 
 TEST(Nic, TracksDeliveredPayload)
