@@ -17,11 +17,18 @@
  * path is slower than the oracle on an uncontended case, which is the
  * CI perf-smoke gate.
  *
- * Usage: micro_fastpath [quick=1] [check=1] [report=1]
+ * Wall times are best-of-reps (default 3): single-shot timings on a
+ * shared host swing by tens of percent, and the minimum is the
+ * standard low-noise estimator. Both modes get the same treatment, so
+ * the comparison stays honest.
+ *
+ * Usage: micro_fastpath [quick=1] [check=1] [report=1] [reps=3]
  *                       [out=BENCH_fastpath.json]
  */
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -78,6 +85,8 @@ main(int argc, char **argv)
     const bool report = cli.getBool("report", false);
     const std::string out =
         cli.getString("out", "BENCH_fastpath.json");
+    const unsigned reps = static_cast<unsigned>(
+        std::max<std::uint64_t>(1, cli.getU64("reps", 3)));
 
     banner("fastpath", "idle-skipping scheduler vs cycle oracle",
            "4-ary n-tree, multiple multicast (see case table)");
@@ -102,17 +111,24 @@ main(int argc, char **argv)
             hosts *= static_cast<std::size_t>(network.fatTreeK);
         row.hosts = hosts;
 
-        network.fastPath = false;
-        auto start = std::chrono::steady_clock::now();
-        Experiment slowExp(network, traffic, params);
-        const ExperimentResult slow = slowExp.run();
-        row.slowMs = msSince(start);
+        // Alternate slow/fast reps so machine-load drift hits both
+        // modes equally; keep each mode's best time.
+        ExperimentResult slow, fast;
+        for (unsigned r = 0; r < reps; ++r) {
+            network.fastPath = false;
+            auto start = std::chrono::steady_clock::now();
+            slow = Experiment(network, traffic, params).run();
+            const double slowMs = msSince(start);
+            if (r == 0 || slowMs < row.slowMs)
+                row.slowMs = slowMs;
 
-        network.fastPath = true;
-        start = std::chrono::steady_clock::now();
-        Experiment fastExp(network, traffic, params);
-        const ExperimentResult fast = fastExp.run();
-        row.fastMs = msSince(start);
+            network.fastPath = true;
+            start = std::chrono::steady_clock::now();
+            fast = Experiment(network, traffic, params).run();
+            const double fastMs = msSince(start);
+            if (r == 0 || fastMs < row.fastMs)
+                row.fastMs = fastMs;
+        }
 
         row.cycles = slow.cyclesRun;
         row.identical = identicalResults(slow, fast);

@@ -73,6 +73,50 @@ def check_integrity_metrics(path, metrics):
              "host.csum_fails metric registered")
 
 
+def check_shards(path, shards, metrics):
+    """Cross-check the per-shard rollup of a sharded run.
+
+    The shards record carries every parallel shard plus the serial
+    bucket; the switch counters summed over all entries must reproduce
+    the flat network.* rollups bit for bit (sharding must never lose
+    or double-count work).
+    """
+    effective = shards.get("effective")
+    entries = shards.get("entries")
+    if not isinstance(effective, int) or effective < 1:
+        fail(f"{path}: shards.effective is not a positive int")
+    if not isinstance(entries, list) or len(entries) != effective + 1:
+        fail(f"{path}: expected {effective + 1} shard entries "
+             f"(parallel + serial), got "
+             f"{len(entries) if isinstance(entries, list) else entries!r}")
+    if not entries[-1].get("serial"):
+        fail(f"{path}: last shard entry is not the serial bucket")
+    for i, entry in enumerate(entries):
+        for key in ("shard", "components", "steps", "boundary_sends",
+                    "wall_ms", "flits_in", "flits_out",
+                    "packets_routed", "replications",
+                    "reservation_stall_cycles"):
+            if key not in entry:
+                fail(f"{path}: shard entry {i} is missing '{key}'")
+    rollup = {
+        "flits_in": "network.flits_in",
+        "flits_out": "network.flits_out",
+        "packets_routed": "network.packets_routed",
+        "replications": "network.replications",
+        "reservation_stall_cycles":
+            "network.reservation_stall_cycles",
+    }
+    for key, metric in rollup.items():
+        if metric not in metrics:
+            continue
+        total = sum(entry[key] for entry in entries)
+        if total != metrics[metric]:
+            fail(f"{path}: per-shard {key} sums to {total} but "
+                 f"{metric}={metrics[metric]}")
+    print(f"validate_report: OK shards {path} "
+          f"({effective} parallel + serial, rollup balanced)")
+
+
 def check_workload_metrics(path, metrics):
     """Cross-check closed-loop workload accounting when present.
 
@@ -128,6 +172,12 @@ def check_report(path, expect_metrics=()):
         fail(f"{path}: expected metrics never reported: {missing}")
     check_integrity_metrics(path, section)
     check_workload_metrics(path, section)
+    shards = [o for o in objs if "shards" in o]
+    if len(shards) > 1:
+        fail(f"{path}: expected at most one shards line, got "
+             f"{len(shards)}")
+    for obj in shards:
+        check_shards(path, obj["shards"], section)
     print(f"validate_report: OK report {path} "
           f"({len(section)} metrics)")
 

@@ -10,6 +10,22 @@
 
 namespace mdw {
 
+namespace {
+
+/** Copy a sharded run's scheduler diagnostics into the result. */
+void
+captureShardStats(const Network &net, ExperimentResult &result)
+{
+    result.effectiveShards = net.effectiveShards();
+    if (result.effectiveShards == 0)
+        return;
+    result.shardStats = net.shardStats();
+    for (std::uint32_t s = 0; s <= result.effectiveShards; ++s)
+        result.shardTotals.push_back(net.totalsForShard(s));
+}
+
+} // namespace
+
 Experiment::Experiment(NetworkConfig network, TrafficParams traffic,
                        ExperimentParams params)
     : network_(std::move(network)), traffic_(traffic), params_(params)
@@ -127,6 +143,7 @@ Experiment::run()
     } else {
         result.quiescent = false;
     }
+    captureShardStats(net, result);
     return result;
 }
 
@@ -244,6 +261,7 @@ Experiment::runClosedLoop(Network &net)
     } else {
         result.quiescent = false;
     }
+    captureShardStats(net, result);
     // The workload dies with this scope; the network must not retain
     // hooks into it.
     net.detachWorkload();

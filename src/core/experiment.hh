@@ -73,6 +73,18 @@ struct ExperimentResult
      */
     std::shared_ptr<const WormTrace> trace;
 
+    /**
+     * Sharded-scheduler diagnostics (empty / zero when the run was
+     * flat): parallel shards in use, per-bucket execution statistics
+     * (entry [effectiveShards] is the serial bucket), and each
+     * shard's switch-counter rollup. Deliberately NOT compared by
+     * identicalResults — the whole point of sharding is that the
+     * results are identical while these wall-clock numbers differ.
+     */
+    std::size_t effectiveShards = 0;
+    std::vector<ShardStat> shardStats;
+    std::vector<NetworkTotals> shardTotals;
+
     // --- Accessors: the pre-snapshot scalar API ---------------------
 
     /** Payload flits/node/cycle delivered in the window. */

@@ -12,6 +12,9 @@ HwBarrierManager::HwBarrierManager(Network &net)
         fatal("hardware barriers require the central-buffer switch "
               "architecture");
     }
+    // The combine units make switches call the (shared, unsynchronized)
+    // packet factory from inside their step — not shard-safe.
+    net_.requireSerial("hardware barriers");
     for (std::size_t s = 0; s < net_.numSwitches(); ++s) {
         auto *cb = dynamic_cast<CentralBufferSwitch *>(
             &net_.switchAt(static_cast<SwitchId>(s)));

@@ -51,6 +51,7 @@ Network::Network(const NetworkConfig &config)
             fast = true;
     }
     sim_.setFastPath(fast);
+    setupSharding();
 }
 
 Network::~Network() = default;
@@ -358,14 +359,20 @@ Network::wire()
 {
     const PortGraph &graph = topo_->graph();
 
-    auto make_flit_channel = [this](const std::string &name) {
+    // src/snk: sending/receiving switch id, or -1 for a NIC endpoint
+    // (the sharding pass uses them to find cross-shard channels).
+    auto make_flit_channel = [this](const std::string &name, int src,
+                                    int snk) {
         flitChannels_.push_back(
             std::make_unique<Channel<Flit>>(name, cfg_.linkDelay));
+        flitEnds_.emplace_back(src, snk);
         return flitChannels_.back().get();
     };
-    auto make_credit_channel = [this](const std::string &name) {
+    auto make_credit_channel = [this](const std::string &name, int src,
+                                      int snk) {
         creditChannels_.push_back(
             std::make_unique<CreditChannel>(name, cfg_.linkDelay));
+        creditEnds_.emplace_back(src, snk);
         return creditChannels_.back().get();
     };
 
@@ -384,10 +391,12 @@ Network::wire()
                                         std::to_string(pa) + "-sw" +
                                         std::to_string(b) + ".p" +
                                         std::to_string(pb);
-                auto *ab = make_flit_channel(tag + ".ab");
-                auto *ba = make_flit_channel(tag + ".ba");
-                auto *cr_ab = make_credit_channel(tag + ".cab");
-                auto *cr_ba = make_credit_channel(tag + ".cba");
+                auto *ab = make_flit_channel(tag + ".ab", a, b);
+                auto *ba = make_flit_channel(tag + ".ba", b, a);
+                // Credits flow against the data direction: cr_ab is
+                // sent by b (as it drains a's flits) back to a.
+                auto *cr_ab = make_credit_channel(tag + ".cab", b, a);
+                auto *cr_ba = make_credit_channel(tag + ".cba", a, b);
                 // Remember the link's identity so the transient-fault
                 // subsystem can attach per-direction ARQ layers.
                 linkRecords_.push_back(
@@ -407,15 +416,17 @@ Network::wire()
                                         "-sw" + std::to_string(a) +
                                         ".p" + std::to_string(pa);
                 if (peer.hostRole != PortPeer::HostRole::Eject) {
-                    auto *inj = make_flit_channel(tag + ".inj");
-                    auto *cr_inj = make_credit_channel(tag + ".cinj");
+                    auto *inj = make_flit_channel(tag + ".inj", -1, a);
+                    auto *cr_inj =
+                        make_credit_channel(tag + ".cinj", a, -1);
                     nic->connectTx(inj, cr_inj,
                                    switches_[a]->receivePolicy(pa));
                     switches_[a]->connectIn(pa, inj, cr_inj);
                 }
                 if (peer.hostRole != PortPeer::HostRole::Inject) {
-                    auto *ej = make_flit_channel(tag + ".ej");
-                    auto *cr_ej = make_credit_channel(tag + ".cej");
+                    auto *ej = make_flit_channel(tag + ".ej", a, -1);
+                    auto *cr_ej =
+                        make_credit_channel(tag + ".cej", -1, a);
                     switches_[a]->connectOut(pa, ej, cr_ej,
                                              nic->receivePolicy());
                     nic->connectRx(ej, cr_ej);
@@ -423,6 +434,95 @@ Network::wire()
             }
         }
     }
+}
+
+void
+Network::setupSharding()
+{
+    std::size_t shards = cfg_.shards;
+    if (const char *env = std::getenv("MDW_SHARDS")) {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0')
+            shards = static_cast<std::size_t>(v);
+    }
+    unsigned threads = cfg_.shardThreads;
+    if (const char *env = std::getenv("MDW_SHARD_THREADS")) {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0')
+            threads = static_cast<unsigned>(v);
+    }
+    cfg_.shards = shards;
+    cfg_.shardThreads = threads;
+    if (shards <= 1)
+        return;
+    // Subsystems whose switch-step or channel behavior reaches shared
+    // state (ARQ link hooks resolve arrivals with shared RNGs; the
+    // resilience layer mutates routing; retransmission needs the
+    // tracker's dedup on paths sharding would reorder) force the flat
+    // fast path. Results are identical either way.
+    if (!sim_.fastPath()) {
+        serialReason_ = "fast path disabled";
+        return;
+    }
+    if (resilience_ != nullptr || tracker_.resilient()) {
+        serialReason_ = "fault/resilience subsystem configured";
+        return;
+    }
+    shardPlan_ = makeShardPlan(topo_->graph(), shards);
+    // Switches (registered first, in id order) go to their planned
+    // shard; everything else — NICs now, engines and test components
+    // registered later — lives in the serial bucket (= index shards).
+    std::vector<std::uint32_t> shardOf(
+        sim_.componentCount(), static_cast<std::uint32_t>(shards));
+    for (std::size_t s = 0; s < switches_.size(); ++s)
+        shardOf[s] = shardPlan_.switchShard[s];
+    // Any channel whose *sender* is a parallel switch and whose
+    // receiver lives in a different bucket must defer its pushes to
+    // the barrier: cross-shard switch links (both data and the
+    // reverse credits) and every switch->NIC direction.
+    auto shardOfEnd = [&](int sw) {
+        return sw < 0 ? static_cast<std::uint32_t>(shards)
+                      : shardPlan_.switchShard[static_cast<std::size_t>(
+                            sw)];
+    };
+    for (std::size_t i = 0; i < flitChannels_.size(); ++i) {
+        const auto [src, snk] = flitEnds_[i];
+        if (src < 0 || shardOfEnd(src) == shardOfEnd(snk))
+            continue;
+        flitChannels_[i]->setBoundary(&sim_, shardOfEnd(src));
+        boundaryFlit_.push_back(flitChannels_[i].get());
+    }
+    for (std::size_t i = 0; i < creditChannels_.size(); ++i) {
+        const auto [src, snk] = creditEnds_[i];
+        if (src < 0 || shardOfEnd(src) == shardOfEnd(snk))
+            continue;
+        creditChannels_[i]->setBoundary(&sim_, shardOfEnd(src));
+        boundaryCredit_.push_back(creditChannels_[i].get());
+    }
+    if (telemetry_.tracer() != nullptr)
+        telemetry_.tracer()->setShards(shards);
+    sim_.setSharding(std::move(shardOf), shards, threads);
+    effectiveShards_ = shards;
+}
+
+void
+Network::requireSerial(const std::string &why)
+{
+    serialReason_ = why;
+    if (effectiveShards_ == 0)
+        return;
+    sim_.clearSharding();
+    for (Channel<Flit> *ch : boundaryFlit_)
+        ch->setBoundary(nullptr, 0);
+    for (CreditChannel *ch : boundaryCredit_)
+        ch->setBoundary(nullptr, 0);
+    boundaryFlit_.clear();
+    boundaryCredit_.clear();
+    if (telemetry_.tracer() != nullptr)
+        telemetry_.tracer()->setShards(0);
+    effectiveShards_ = 0;
 }
 
 void
@@ -656,6 +756,25 @@ Network::checkQuiescent(std::string *why) const
             ok = false;
     }
     return ok;
+}
+
+NetworkTotals
+Network::totalsForShard(std::uint32_t shard) const
+{
+    NetworkTotals totals;
+    for (std::size_t s = 0; s < switches_.size(); ++s) {
+        if (effectiveShards_ == 0 ||
+            shardPlan_.switchShard[s] != shard)
+            continue;
+        const SwitchStats &stats = switches_[s]->stats();
+        totals.flitsIn += stats.flitsIn.value();
+        totals.flitsOut += stats.flitsOut.value();
+        totals.packetsRouted += stats.packetsRouted.value();
+        totals.replications += stats.replications.value();
+        totals.reservationStallCycles +=
+            stats.reservationStallCycles.value();
+    }
+    return totals;
 }
 
 NetworkTotals

@@ -23,6 +23,7 @@
 #include "switch/input_buffer_switch.hh"
 #include "topology/fat_tree.hh"
 #include "topology/irregular.hh"
+#include "topology/partition.hh"
 #include "topology/uni_min.hh"
 
 namespace mdw {
@@ -66,6 +67,25 @@ struct NetworkConfig
      * to fall back to the always-stepped oracle.
      */
     bool fastPath = true;
+
+    /**
+     * Parallel shards for intra-run simulation (sim.shards=; 1 = off;
+     * MDW_SHARDS in the environment overrides). The fabric's switches
+     * are partitioned over the shards and stepped concurrently, with
+     * cross-shard channels buffered through deterministic boundary
+     * mailboxes; results are bit-identical to the flat schedulers for
+     * any shard/thread count. Requires the fast path; silently runs
+     * flat when a serial-only subsystem (faults, link ARQ, hardware
+     * barriers) is configured — see Network::serialReason().
+     */
+    std::size_t shards = 1;
+    /**
+     * Worker threads for the parallel phase (sim.shardThreads=;
+     * 0 = one per shard up to the hardware's concurrency;
+     * MDW_SHARD_THREADS overrides). Thread count never affects
+     * results, only wall-clock.
+     */
+    unsigned shardThreads = 0;
 
     /** Explicit fault schedule (takes precedence over faultSpec). */
     FaultPlan faultPlan;
@@ -239,6 +259,37 @@ class Network
     /** Sum all switches' counters. */
     NetworkTotals totals() const;
 
+    /** Sum the counters of the switches assigned to @p shard. */
+    NetworkTotals totalsForShard(std::uint32_t shard) const;
+
+    /**
+     * Parallel shards actually in use (0 = running flat, either
+     * because sim.shards <= 1 or because a serial-only subsystem
+     * vetoed sharding).
+     */
+    std::size_t effectiveShards() const { return effectiveShards_; }
+
+    /** Why sharding is off ("" when sharded or never requested). */
+    const std::string &serialReason() const { return serialReason_; }
+
+    /** The switch partition (valid when effectiveShards() > 0). */
+    const ShardPlan &shardPlan() const { return shardPlan_; }
+
+    /** Per-shard scheduler statistics; entry [effectiveShards()] is
+     *  the serial bucket. Empty when running flat. */
+    std::vector<ShardStat> shardStats() const
+    {
+        return sim_.shardStats();
+    }
+
+    /**
+     * A subsystem that mutates shared state from inside switch steps
+     * (e.g. the hardware-barrier units calling the packet factory)
+     * declares itself here; if sharding is active it is dissolved —
+     * back to the bit-identical flat fast path.
+     */
+    void requireSerial(const std::string &why);
+
     /** Mean central-queue chunk occupancy over all CB switches. */
     double avgCqChunks() const;
 
@@ -267,6 +318,7 @@ class Network
 
     void build();
     void wire();
+    void setupSharding();
     void installFaults();
     /** Instantiate and attach one LinkLayer per link direction. */
     void installLinkLayers(double ber, double residual,
@@ -290,7 +342,17 @@ class Network
     std::vector<std::unique_ptr<Nic>> nics_;
     std::vector<std::unique_ptr<Channel<Flit>>> flitChannels_;
     std::vector<std::unique_ptr<CreditChannel>> creditChannels_;
+    /** Sending/receiving switch of each channel, by channel index
+     *  (-1 = a NIC endpoint). Drives boundary-channel selection. */
+    std::vector<std::pair<int, int>> flitEnds_;
+    std::vector<std::pair<int, int>> creditEnds_;
     std::vector<LinkRecord> linkRecords_;
+
+    ShardPlan shardPlan_;
+    std::size_t effectiveShards_ = 0;
+    std::string serialReason_;
+    std::vector<Channel<Flit> *> boundaryFlit_;
+    std::vector<CreditChannel *> boundaryCredit_;
     std::vector<std::unique_ptr<LinkLayer>> linkLayers_;
 
     Telemetry telemetry_;

@@ -257,6 +257,12 @@ applyOverrides(const Config &config, NetworkConfig &network,
     // Scheduling mode (results are bit-identical either way; 0 is the
     // cycle-accurate oracle for debugging).
     network.fastPath = config.getBool("sim.fastPath", network.fastPath);
+    // Sharded intra-run parallelism (also bit-identical; see
+    // Network::setupSharding for the serial-only vetoes).
+    network.shards = static_cast<std::size_t>(
+        config.getU64("sim.shards", network.shards));
+    network.shardThreads = static_cast<unsigned>(config.getU64(
+        "sim.shardThreads", network.shardThreads));
 
     // Workload. Canonical keys are workload.*; the pre-redesign bare
     // spellings (pattern, load, ...) and traffic.seed remain as

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "core/network.hh"
+
 namespace mdw {
 
 namespace {
@@ -76,6 +78,62 @@ ReportWriter::metrics(const MetricsSnapshot &snapshot)
 {
     std::fprintf(out_, "# {\"metrics\":%s}\n",
                  snapshot.toJson().c_str());
+}
+
+void
+ReportWriter::shards(const Network &net)
+{
+    const std::size_t effective = net.effectiveShards();
+    if (effective == 0)
+        return;
+    std::vector<NetworkTotals> totals;
+    for (std::uint32_t s = 0; s <= effective; ++s)
+        totals.push_back(net.totalsForShard(s));
+    shardsImpl(effective, net.shardStats(), totals);
+}
+
+void
+ReportWriter::shards(const ExperimentResult &result)
+{
+    if (result.effectiveShards == 0)
+        return;
+    shardsImpl(result.effectiveShards, result.shardStats,
+               result.shardTotals);
+}
+
+void
+ReportWriter::shardsImpl(std::size_t effective,
+                         const std::vector<ShardStat> &stats,
+                         const std::vector<NetworkTotals> &totals)
+{
+    std::fprintf(out_, "# {\"shards\":{\"effective\":%zu,"
+                       "\"entries\":[",
+                 effective);
+    for (std::size_t s = 0; s < stats.size(); ++s) {
+        // The serial bucket (last entry) holds no switches, so its
+        // NetworkTotals are all zero and the sum over entries still
+        // equals the flat rollup.
+        const NetworkTotals &t = totals[s];
+        std::fprintf(
+            out_,
+            "%s{\"shard\":%zu,\"serial\":%s,\"components\":%zu,"
+            "\"steps\":%llu,\"boundary_sends\":%llu,"
+            "\"wall_ms\":%.3f,\"flits_in\":%llu,\"flits_out\":%llu,"
+            "\"packets_routed\":%llu,\"replications\":%llu,"
+            "\"reservation_stall_cycles\":%llu}",
+            s > 0 ? "," : "", s, s == effective ? "true" : "false",
+            stats[s].components,
+            static_cast<unsigned long long>(stats[s].steps),
+            static_cast<unsigned long long>(stats[s].boundarySends),
+            static_cast<double>(stats[s].wallNs) / 1e6,
+            static_cast<unsigned long long>(t.flitsIn),
+            static_cast<unsigned long long>(t.flitsOut),
+            static_cast<unsigned long long>(t.packetsRouted),
+            static_cast<unsigned long long>(t.replications),
+            static_cast<unsigned long long>(
+                t.reservationStallCycles));
+    }
+    std::fprintf(out_, "]}}\n");
 }
 
 void

@@ -14,7 +14,11 @@
  *                 "baseSeed","seedsDerived"}
  *   2. summary — human-readable per-run audit lines (not JSON)
  *   3. metrics — {"metrics":{...}} aggregated MetricsSnapshot
- *   4. status  — {"status":"ok"} or {"status":"fatal"}
+ *   4. shards  — {"shards":{...}} optional per-shard scheduler and
+ *                 switch-counter rollup (sharded runs only); the
+ *                 per-shard counters must sum to the flat network.*
+ *                 metrics (validate_report.py cross-checks this)
+ *   5. status  — {"status":"ok"} or {"status":"fatal"}
  * A truncated stream (missing status, or status "fatal") marks a run
  * that died mid-sweep.
  */
@@ -29,6 +33,8 @@
 #include "sim/telemetry.hh"
 
 namespace mdw {
+
+class Network;
 
 /** Writes one bench's report stream to a FILE (normally stderr). */
 class ReportWriter
@@ -50,6 +56,18 @@ class ReportWriter
     /** Aggregated metrics section, one JSON line. */
     void metrics(const MetricsSnapshot &snapshot);
 
+    /**
+     * Per-shard scheduler statistics and switch-counter rollup of a
+     * sharded run, one JSON line. Entries cover every parallel shard
+     * plus the serial bucket (last, zero switch counters); the switch
+     * counters summed over all entries reproduce the flat network.*
+     * rollups exactly. No-op when @p net is not sharded.
+     */
+    void shards(const Network &net);
+
+    /** Same record from a finished run's captured diagnostics. */
+    void shards(const ExperimentResult &result);
+
     /** Final status marker: "ok" or "fatal". */
     void status(const char *state);
 
@@ -57,6 +75,10 @@ class ReportWriter
     void sweep(const SweepReport &report);
 
   private:
+    void shardsImpl(std::size_t effective,
+                    const std::vector<ShardStat> &stats,
+                    const std::vector<NetworkTotals> &totals);
+
     FILE *out_;
     std::string experiment_;
 };

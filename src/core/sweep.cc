@@ -159,6 +159,12 @@ SweepRunner::run()
         for (std::size_t i = 0; i < runs_.size(); ++i)
             executeOne(i);
     } else {
+        // Inter-run parallelism wins over intra-run parallelism: a
+        // run's shard workers would only oversubscribe the cores the
+        // pool is already using. Results are unaffected (sharding is
+        // bit-identical at any thread count, including 1).
+        for (SweepRun &run : runs_)
+            run.network.shardThreads = 1;
         // Each worker claims the next unstarted run and writes only
         // its own result/record slot, so thread scheduling can affect
         // neither the numbers nor their order.

@@ -1,0 +1,18 @@
+#include "message/pool.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace mdw {
+
+bool
+packetPoolEnabled()
+{
+    static const bool enabled = [] {
+        const char *env = std::getenv("MDW_PACKET_POOL");
+        return env == nullptr || std::strcmp(env, "0") != 0;
+    }();
+    return enabled;
+}
+
+} // namespace mdw

@@ -15,15 +15,65 @@ CreditChannel::send(int count, Cycle now)
     MDW_ASSERT(count > 0, "credit channel %s: non-positive grant %d",
                name_.c_str(), count);
     const Cycle ready = now + delay_;
+    totalSends_ += static_cast<std::uint64_t>(count);
+    if (boundary_) {
+        // inFlight_ is charged at the barrier flush, not here: the
+        // sink's shard decrements it in receive(), so the sending
+        // shard must not touch it mid-phase (the two run
+        // concurrently). Quiescence checks only look between cycles,
+        // when every mailbox has already been flushed.
+        if (!pending_.empty() && pending_.back().ready == ready) {
+            pending_.back().count += count;
+        } else {
+            pending_.push_back(Entry{ready, count});
+        }
+        if (!dirty_) {
+            dirty_ = true;
+            registrar_->boundaryDirty(srcShard_, this);
+        }
+        return;
+    }
+    inFlight_ += count;
     if (!queue_.empty() && queue_.back().ready == ready) {
         queue_.back().count += count;
     } else {
         queue_.push_back(Entry{ready, count});
     }
-    inFlight_ += count;
-    totalSends_ += static_cast<std::uint64_t>(count);
     if (sink_ != nullptr)
         sink_->requestWake(ready);
+}
+
+void
+CreditChannel::setBoundary(BoundaryRegistrar *registrar,
+                           std::uint32_t srcShard)
+{
+    MDW_ASSERT(pending_.empty(),
+               "credit channel %s: mode change with buffered grants",
+               name_.c_str());
+    registrar_ = registrar;
+    srcShard_ = srcShard;
+    boundary_ = registrar != nullptr;
+}
+
+std::size_t
+CreditChannel::flushBoundary()
+{
+    const std::size_t moved = pending_.size();
+    dirty_ = false;
+    if (moved == 0)
+        return 0;
+    const Cycle first = pending_.front().ready;
+    for (const Entry &entry : pending_) {
+        inFlight_ += entry.count;
+        if (!queue_.empty() && queue_.back().ready == entry.ready)
+            queue_.back().count += entry.count;
+        else
+            queue_.push_back(entry);
+    }
+    pending_.clear();
+    if (sink_ != nullptr)
+        sink_->requestWake(first);
+    return moved;
 }
 
 int

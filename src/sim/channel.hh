@@ -18,7 +18,9 @@
 #include <deque>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "sim/boundary.hh"
 #include "sim/component.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
@@ -53,9 +55,19 @@ class ChannelHook
     virtual void onReceive(const T &item) = 0;
 };
 
-/** One-item-per-cycle unidirectional link with fixed delay. */
+/**
+ * One-item-per-cycle unidirectional link with fixed delay.
+ *
+ * When the sending component lives in a parallel shard and the
+ * receiver does not (sharded scheduler), the channel is switched into
+ * *boundary mode*: send() appends to a channel-local mailbox owned by
+ * the sending shard's thread and the simulator moves the mailbox into
+ * the receiver-visible queue at the cycle barrier. Because delay >= 1,
+ * an item sent at cycle t is never observable at t, so the deferred
+ * push is invisible to results.
+ */
 template <typename T>
-class Channel
+class Channel : public BoundaryChannel
 {
   public:
     /**
@@ -92,16 +104,70 @@ class Channel
                        "channel %s: hook broke FIFO arrival order",
                        name_.c_str());
         }
+        if (boundary_) {
+            pending_.push_back(Entry{arrival, std::move(item)});
+            if (!dirty_) {
+                dirty_ = true;
+                registrar_->boundaryDirty(srcShard_, this);
+            }
+            return;
+        }
         queue_.push_back(Entry{arrival, std::move(item)});
         if (sink_ != nullptr)
             sink_->requestWake(arrival);
     }
 
     /**
+     * Switch the channel into boundary mode (see class comment);
+     * @p srcShard is the sending component's shard. Pass null to
+     * revert to direct delivery. Incompatible with a link-layer hook.
+     */
+    void
+    setBoundary(BoundaryRegistrar *registrar, std::uint32_t srcShard)
+    {
+        MDW_ASSERT(registrar == nullptr || hook_ == nullptr,
+                   "channel %s: boundary mode with a link hook",
+                   name_.c_str());
+        MDW_ASSERT(pending_.empty(),
+                   "channel %s: mode change with buffered sends",
+                   name_.c_str());
+        registrar_ = registrar;
+        srcShard_ = srcShard;
+        boundary_ = registrar != nullptr;
+    }
+
+    // BoundaryChannel: barrier drain (main thread; the sending shard
+    // finished its phase, so pending_ is quiescent).
+    std::size_t
+    flushBoundary() override
+    {
+        const std::size_t moved = pending_.size();
+        dirty_ = false;
+        if (moved == 0)
+            return 0;
+        // One wake at the earliest arrival suffices: once awake, the
+        // sink's nextWork() accounts for every queued arrival.
+        const Cycle first = pending_.front().ready;
+        for (Entry &entry : pending_)
+            queue_.push_back(std::move(entry));
+        pending_.clear();
+        if (sink_ != nullptr)
+            sink_->requestWake(first);
+        return moved;
+    }
+
+    /**
      * Attach a link-layer hook (transient-fault subsystem); null
      * detaches. The channel does not own the hook.
      */
-    void setHook(ChannelHook<T> *hook) { hook_ = hook; }
+    void
+    setHook(ChannelHook<T> *hook)
+    {
+        MDW_ASSERT(hook == nullptr || !boundary_,
+                   "channel %s: link hook in boundary mode",
+                   name_.c_str());
+        hook_ = hook;
+    }
     ChannelHook<T> *hook() const { return hook_; }
 
     /**
@@ -150,7 +216,11 @@ class Channel
     }
 
     /** Number of items in flight (sent, not yet received). */
-    std::size_t inFlight() const { return queue_.size(); }
+    std::size_t
+    inFlight() const
+    {
+        return queue_.size() + pending_.size();
+    }
 
     /** Items ever sent over the channel's lifetime. */
     std::uint64_t totalSends() const { return totalSends_; }
@@ -176,6 +246,13 @@ class Channel
     std::uint64_t totalSends_ = 0;
     Component *sink_ = nullptr;
     ChannelHook<T> *hook_ = nullptr;
+    // Boundary mode: mailbox written only by the sending shard's
+    // thread, drained only at the barrier.
+    std::vector<Entry> pending_;
+    BoundaryRegistrar *registrar_ = nullptr;
+    std::uint32_t srcShard_ = 0;
+    bool boundary_ = false;
+    bool dirty_ = false;
 };
 
 /**
@@ -183,7 +260,7 @@ class Channel
  * the same cycle (e.g. when a whole chunk of flits is drained at
  * once); same-cycle grants are merged into one entry.
  */
-class CreditChannel
+class CreditChannel : public BoundaryChannel
 {
   public:
     explicit CreditChannel(std::string name, Cycle delay = 1);
@@ -193,6 +270,13 @@ class CreditChannel
 
     /** Collect all credits that have arrived by @p now. */
     int receive(Cycle now);
+
+    /** Switch to boundary mode (see Channel); null reverts. */
+    void setBoundary(BoundaryRegistrar *registrar,
+                     std::uint32_t srcShard);
+
+    // BoundaryChannel: barrier drain (main thread).
+    std::size_t flushBoundary() override;
 
     /**
      * Register the receiving component so grants wake it if it is
@@ -228,6 +312,11 @@ class CreditChannel
     int inFlight_ = 0;
     std::uint64_t totalSends_ = 0;
     Component *sink_ = nullptr;
+    std::vector<Entry> pending_;
+    BoundaryRegistrar *registrar_ = nullptr;
+    std::uint32_t srcShard_ = 0;
+    bool boundary_ = false;
+    bool dirty_ = false;
 };
 
 } // namespace mdw

@@ -62,8 +62,20 @@ class Component
      * to the current cycle). No-op on the always-stepped path and for
      * unregistered components, so producers may call it
      * unconditionally.
+     *
+     * The hot early-out: while the component is in the tick set the
+     * retire pass re-evaluates nextWork() anyway, so the wake carries
+     * no information — skip the kernel call entirely. The flag stays
+     * set on the always-stepped path and for unregistered components,
+     * where wake() would be a no-op too.
      */
-    void requestWake(Cycle when);
+    void
+    requestWake(Cycle when)
+    {
+        if (schedActive_)
+            return;
+        requestWakeSlow(when);
+    }
 
     /** Diagnostic name. */
     const std::string &name() const { return name_; }
@@ -78,9 +90,17 @@ class Component
   private:
     friend class Simulator;
 
+    void requestWakeSlow(Cycle when);
+
     std::string name_;
     /** Index in the owning Simulator's registration order. */
     std::size_t simIndex_ = 0;
+    /**
+     * True while this component is in its simulator's per-cycle tick
+     * set (always true on the cycle path and before registration).
+     * Maintained by the Simulator; read by requestWake()'s early-out.
+     */
+    char schedActive_ = 1;
 };
 
 } // namespace mdw

@@ -1,47 +1,151 @@
 #include "sim/system.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "sim/logging.hh"
 
 namespace mdw {
 
+namespace shardctx {
+thread_local int current = -1;
+} // namespace shardctx
+
 void
-Component::requestWake(Cycle when)
+Component::requestWakeSlow(Cycle when)
 {
     if (sim_ != nullptr)
         sim_->wake(this, when);
+}
+
+Simulator::Simulator()
+{
+    buckets_.emplace_back();
+}
+
+Simulator::~Simulator()
+{
+    stopPool();
 }
 
 void
 Simulator::add(Component *component)
 {
     MDW_ASSERT(component != nullptr, "registering null component");
-    MDW_ASSERT(!stepping_, "registering a component mid-cycle");
+    MDW_ASSERT(!buckets_[0].stepping,
+               "registering a component mid-cycle");
     component->attach(this);
     component->simIndex_ = components_.size();
+    component->schedActive_ = 1;
     components_.push_back(component);
-    active_.push_back(1);
     wakeAt_.push_back(kNoCycle);
+    retireCheckAt_.push_back(0);
+    busyStreak_.push_back(0);
+    // Late registrations (engines, test components) go to the serial
+    // bucket: only the network's construction-time partition may put
+    // a component in a parallel shard.
+    const std::uint32_t bucket =
+        sharded_ ? static_cast<std::uint32_t>(buckets_.size() - 1)
+                 : 0u;
+    bucketOf_.push_back(bucket);
+    ++buckets_[bucket].size;
     if (fastPath_)
-        runList_.push_back(component->simIndex_);
+        buckets_[bucket].runList.push_back(component->simIndex_);
 }
 
 void
 Simulator::setFastPath(bool on)
 {
-    MDW_ASSERT(!stepping_, "switching scheduling mode mid-cycle");
+    stopPool();
+    sharded_ = false;
     fastPath_ = on;
-    wakeHeap_.clear();
-    runList_.clear();
-    std::fill(active_.begin(), active_.end(), 1);
+    buckets_.clear();
+    buckets_.emplace_back();
+    Bucket &bucket = buckets_[0];
+    bucket.size = components_.size();
+    bucketOf_.assign(components_.size(), 0);
     std::fill(wakeAt_.begin(), wakeAt_.end(), kNoCycle);
+    std::fill(retireCheckAt_.begin(), retireCheckAt_.end(), Cycle{0});
+    std::fill(busyStreak_.begin(), busyStreak_.end(),
+              std::uint8_t{0});
+    for (Component *c : components_)
+        c->schedActive_ = 1;
     if (fastPath_) {
-        runList_.reserve(components_.size());
+        bucket.runList.reserve(components_.size());
         for (std::size_t i = 0; i < components_.size(); ++i)
-            runList_.push_back(i);
+            bucket.runList.push_back(i);
     }
+}
+
+void
+Simulator::setSharding(std::vector<std::uint32_t> shardOf,
+                       std::size_t parallelShards, unsigned threads)
+{
+    MDW_ASSERT(fastPath_,
+               "sharding requires the idle-skipping fast path");
+    MDW_ASSERT(shardOf.size() == components_.size(),
+               "shard map covers %zu of %zu components",
+               shardOf.size(), components_.size());
+    MDW_ASSERT(parallelShards >= 1, "need at least one shard");
+    stopPool();
+    bucketOf_ = std::move(shardOf);
+    buckets_.clear();
+    buckets_.resize(parallelShards + 1);
+    std::fill(wakeAt_.begin(), wakeAt_.end(), kNoCycle);
+    std::fill(retireCheckAt_.begin(), retireCheckAt_.end(), Cycle{0});
+    std::fill(busyStreak_.begin(), busyStreak_.end(),
+              std::uint8_t{0});
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+        const std::uint32_t bucket = bucketOf_[i];
+        MDW_ASSERT(bucket <= parallelShards,
+                   "component %zu mapped to shard %u of %zu", i,
+                   bucket, parallelShards);
+        components_[i]->schedActive_ = 1;
+        ++buckets_[bucket].size;
+        buckets_[bucket].runList.push_back(i);
+    }
+    shardProgress_.assign(parallelShards, 0);
+    sharded_ = true;
+    unsigned workers = threads;
+    if (workers == 0) {
+        workers = std::thread::hardware_concurrency();
+        if (workers == 0)
+            workers = 1;
+    }
+    workers = std::min<unsigned>(
+        workers, static_cast<unsigned>(parallelShards));
+    // The main thread participates in the parallel phase, so a pool
+    // of workers - 1 suffices; workers == 1 runs the shard loop
+    // inline with no pool at all (bit-identical by construction).
+    if (workers > 1)
+        startPool(workers - 1);
+}
+
+void
+Simulator::clearSharding()
+{
+    if (!sharded_)
+        return;
+    setFastPath(fastPath_);
+}
+
+std::vector<ShardStat>
+Simulator::shardStats() const
+{
+    std::vector<ShardStat> stats;
+    if (!sharded_)
+        return stats;
+    stats.reserve(buckets_.size());
+    for (const Bucket &bucket : buckets_) {
+        ShardStat s;
+        s.components = bucket.size;
+        s.steps = bucket.steps;
+        s.boundarySends = bucket.boundarySends;
+        s.wallNs = bucket.wallNs;
+        stats.push_back(s);
+    }
+    return stats;
 }
 
 void
@@ -50,8 +154,23 @@ Simulator::wake(Component *component, Cycle when)
     if (!fastPath_)
         return;
     const std::size_t idx = component->simIndex_;
-    MDW_ASSERT(idx < components_.size() && components_[idx] == component,
+    MDW_ASSERT(idx < components_.size() &&
+                   components_[idx] == component,
                "wake for component not registered here");
+    // During the parallel phase a shard may only wake its own
+    // components (cross-shard sends defer their wakes to the
+    // boundary flush).
+    MDW_ASSERT(shardctx::current < 0 ||
+                   bucketOf_[idx] == static_cast<std::uint32_t>(
+                                         shardctx::current),
+               "cross-shard wake of %s during the parallel phase",
+               component->name().c_str());
+    if (component->schedActive_) {
+        // Already ticking; the retire pass re-evaluates nextWork()
+        // every stepped cycle, which subsumes this wake (and an
+        // immediate activate() would be a no-op anyway).
+        return;
+    }
     if (when <= now_) {
         // Due immediately: join the tick set for this very cycle (or
         // the next one if the traversal already passed this index --
@@ -60,15 +179,11 @@ Simulator::wake(Component *component, Cycle when)
         activate(idx);
         return;
     }
-    if (active_[idx]) {
-        // Already ticking; the retire pass re-evaluates nextWork()
-        // every stepped cycle, which subsumes this future wake.
-        return;
-    }
     if (when < wakeAt_[idx]) {
         wakeAt_[idx] = when;
-        wakeHeap_.push_back(Wake{when, idx});
-        std::push_heap(wakeHeap_.begin(), wakeHeap_.end(),
+        Bucket &bucket = buckets_[bucketOf_[idx]];
+        bucket.wakeHeap.push_back(Wake{when, idx});
+        std::push_heap(bucket.wakeHeap.begin(), bucket.wakeHeap.end(),
                        std::greater<Wake>());
     }
 }
@@ -76,29 +191,35 @@ Simulator::wake(Component *component, Cycle when)
 void
 Simulator::activate(std::size_t idx)
 {
-    if (active_[idx])
+    Component *component = components_[idx];
+    if (component->schedActive_)
         return;
-    active_[idx] = 1;
-    const auto it =
-        std::lower_bound(runList_.begin(), runList_.end(), idx);
+    component->schedActive_ = 1;
+    busyStreak_[idx] = 0;
+    retireCheckAt_[idx] = 0;
+    Bucket &bucket = buckets_[bucketOf_[idx]];
+    const auto it = std::lower_bound(bucket.runList.begin(),
+                                     bucket.runList.end(), idx);
     const auto pos =
-        static_cast<std::size_t>(it - runList_.begin());
-    runList_.insert(it, idx);
+        static_cast<std::size_t>(it - bucket.runList.begin());
+    bucket.runList.insert(it, idx);
     // If the traversal already passed the insertion point, this
     // component is stepped starting next cycle; bump the cursor so the
     // in-flight traversal is not perturbed.
-    if (stepping_ && pos < cursor_)
-        ++cursor_;
+    if (bucket.stepping && pos < bucket.cursor)
+        ++bucket.cursor;
 }
 
 void
-Simulator::wakeDue()
+Simulator::wakeDue(std::size_t b)
 {
-    while (!wakeHeap_.empty() && wakeHeap_.front().when <= now_) {
-        const Wake wake = wakeHeap_.front();
-        std::pop_heap(wakeHeap_.begin(), wakeHeap_.end(),
+    Bucket &bucket = buckets_[b];
+    while (!bucket.wakeHeap.empty() &&
+           bucket.wakeHeap.front().when <= now_) {
+        const Wake wake = bucket.wakeHeap.front();
+        std::pop_heap(bucket.wakeHeap.begin(), bucket.wakeHeap.end(),
                       std::greater<Wake>());
-        wakeHeap_.pop_back();
+        bucket.wakeHeap.pop_back();
         if (wakeAt_[wake.idx] == wake.when)
             wakeAt_[wake.idx] = kNoCycle;
         // Stale entries cause at worst a spurious no-op step.
@@ -107,62 +228,295 @@ Simulator::wakeDue()
 }
 
 void
-Simulator::retireIdle()
+Simulator::retireIdle(std::size_t b)
 {
+    Bucket &bucket = buckets_[b];
+    // While most of the bucket is busy (a contended run), probing
+    // nextWork() every cycle is pure overhead: skip whole retire
+    // passes on a short bucket stride, and within a pass back off
+    // per-component probes that keep reporting work. A component kept
+    // active past its last real work only absorbs no-op steps, which
+    // cannot change results; the moment the bucket drains below half,
+    // probing is exact again so fully-idle systems still deregister
+    // completely.
+    // "Contended" from a quarter of the bucket active: drain phases
+    // hover well below half-active while still churning, and exact
+    // per-cycle probing there costs more than the no-op steps it
+    // saves. Below the threshold probing is exact again, so a system
+    // that goes quiescent still deregisters completely the moment its
+    // last components report no work.
+    const bool contended = bucket.size >= 8 &&
+                           bucket.runList.size() * 4 >= bucket.size;
+    if (contended && now_ < bucket.retireAt)
+        return;
     std::size_t keep = 0;
-    for (std::size_t r = 0; r < runList_.size(); ++r) {
-        const std::size_t idx = runList_[r];
-        const Cycle nw = components_[idx]->nextWork(now_);
-        if (nw <= now_ + 1) {
-            runList_[keep++] = idx;
+    for (std::size_t r = 0; r < bucket.runList.size(); ++r) {
+        const std::size_t idx = bucket.runList[r];
+        if (contended && now_ < retireCheckAt_[idx]) {
+            bucket.runList[keep++] = idx;
             continue;
         }
-        active_[idx] = 0;
+        const Cycle nw = components_[idx]->nextWork(now_);
+        // While contended, a component whose next work is only a few
+        // cycles out is cheaper to keep ticking (no-op steps) than to
+        // retire: the wake-heap push/pop plus the sorted re-insert
+        // into the run list cost more than the skipped steps, and
+        // under load components oscillate constantly.
+        const Cycle horizon = contended ? now_ + 8 : now_ + 1;
+        if (nw <= horizon) {
+            if (contended) {
+                if (nw <= now_ + 1) {
+                    // Stride doubles up to 32 cycles: a component
+                    // busy for hundreds of cycles costs ~1 probe per
+                    // 32, and the worst-case retirement delay stays
+                    // trivial next to its busy period.
+                    if (busyStreak_[idx] < 5)
+                        ++busyStreak_[idx];
+                    retireCheckAt_[idx] =
+                        now_ + (Cycle{1} << busyStreak_[idx]);
+                } else {
+                    // Re-probe when its declared work comes due.
+                    retireCheckAt_[idx] = nw;
+                }
+            }
+            bucket.runList[keep++] = idx;
+            continue;
+        }
+        busyStreak_[idx] = 0;
+        components_[idx]->schedActive_ = 0;
         if (nw != kNoCycle && nw < wakeAt_[idx]) {
             wakeAt_[idx] = nw;
-            wakeHeap_.push_back(Wake{nw, idx});
-            std::push_heap(wakeHeap_.begin(), wakeHeap_.end(),
+            bucket.wakeHeap.push_back(Wake{nw, idx});
+            std::push_heap(bucket.wakeHeap.begin(),
+                           bucket.wakeHeap.end(),
                            std::greater<Wake>());
         }
     }
-    runList_.resize(keep);
+    bucket.runList.resize(keep);
+    if (contended)
+        bucket.retireAt = now_ + 8;
+}
+
+void
+Simulator::stepBucket(std::size_t b)
+{
+    Bucket &bucket = buckets_[b];
+    bucket.stepping = true;
+    if (!sharded_ && bucket.runList.size() == components_.size()) {
+        // Saturated tick set (the common contended state): the sorted
+        // run list is exactly 0..N-1, so traverse components_
+        // directly — the same loop as the cycle path, without the
+        // per-step indirection and bounds check. Nothing can be
+        // activated mid-step because everything already is.
+        bucket.cursor = bucket.runList.size();
+        for (Component *c : components_)
+            c->step(now_);
+        bucket.stepping = false;
+        return;
+    }
+    bucket.cursor = 0;
+    // steps feeds the per-shard stats only; skip the counter on the
+    // (hotter) unsharded path.
+    const bool count = sharded_;
+    while (bucket.cursor < bucket.runList.size()) {
+        Component *c = components_[bucket.runList[bucket.cursor]];
+        ++bucket.cursor;
+        c->step(now_);
+        if (count)
+            ++bucket.steps;
+    }
+    bucket.stepping = false;
+}
+
+void
+Simulator::boundaryDirty(std::uint32_t srcShard,
+                         BoundaryChannel *channel)
+{
+    MDW_ASSERT(srcShard < buckets_.size(),
+               "boundary channel on unknown shard %u", srcShard);
+    buckets_[srcShard].dirty.push_back(channel);
+}
+
+void
+Simulator::flushBoundaries()
+{
+    // Deterministic drain order: shards in index order, channels in
+    // the order they went dirty (each shard steps sequentially, so
+    // that order is itself deterministic), items in send order.
+    // Results do not depend on this order -- every mailbox feeds its
+    // own channel queue and the wake requests commute -- but a fixed
+    // order keeps internal heap layouts reproducible too.
+    for (Bucket &bucket : buckets_) {
+        for (BoundaryChannel *ch : bucket.dirty)
+            bucket.boundarySends +=
+                static_cast<std::uint64_t>(ch->flushBoundary());
+        bucket.dirty.clear();
+    }
+}
+
+void
+Simulator::runShardTask(int phase, std::size_t shard)
+{
+    const auto start = std::chrono::steady_clock::now();
+    shardctx::current = static_cast<int>(shard);
+    if (phase == 0)
+        stepBucket(shard);
+    else
+        retireIdle(shard);
+    shardctx::current = -1;
+    buckets_[shard].wallNs += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+}
+
+void
+Simulator::runParallelPhase(int phase)
+{
+    const std::size_t shards = buckets_.size() - 1;
+    if (pool_.empty()) {
+        for (std::size_t s = 0; s < shards; ++s)
+            runShardTask(phase, s);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(poolMutex_);
+        poolPhase_ = phase;
+        poolNextShard_.store(0, std::memory_order_relaxed);
+        poolPending_ = pool_.size();
+        ++poolGeneration_;
+    }
+    poolCv_.notify_all();
+    std::size_t s;
+    while ((s = poolNextShard_.fetch_add(1)) < shards)
+        runShardTask(phase, s);
+    std::unique_lock<std::mutex> lock(poolMutex_);
+    poolDoneCv_.wait(lock, [this] { return poolPending_ == 0; });
+}
+
+void
+Simulator::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        int phase;
+        {
+            std::unique_lock<std::mutex> lock(poolMutex_);
+            poolCv_.wait(lock, [&] {
+                return poolExit_ || poolGeneration_ != seen;
+            });
+            if (poolExit_)
+                return;
+            seen = poolGeneration_;
+            phase = poolPhase_;
+        }
+        const std::size_t shards = buckets_.size() - 1;
+        std::size_t s;
+        while ((s = poolNextShard_.fetch_add(1)) < shards)
+            runShardTask(phase, s);
+        {
+            std::lock_guard<std::mutex> lock(poolMutex_);
+            if (--poolPending_ == 0)
+                poolDoneCv_.notify_one();
+        }
+    }
+}
+
+void
+Simulator::startPool(unsigned threads)
+{
+    poolExit_ = false;
+    pool_.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        pool_.emplace_back([this] { workerLoop(); });
+}
+
+void
+Simulator::stopPool()
+{
+    if (pool_.empty())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(poolMutex_);
+        poolExit_ = true;
+    }
+    poolCv_.notify_all();
+    for (std::thread &t : pool_)
+        t.join();
+    pool_.clear();
+    poolExit_ = false;
+}
+
+void
+Simulator::stepOneSharded()
+{
+    const std::size_t serial = buckets_.size() - 1;
+    for (std::size_t b = 0; b < buckets_.size(); ++b)
+        wakeDue(b);
+    events_.runDue(now_);
+    runParallelPhase(0);
+    for (std::size_t s = 0; s < serial; ++s) {
+        if (shardProgress_[s]) {
+            shardProgress_[s] = 0;
+            lastProgress_ = now_;
+        }
+    }
+    flushBoundaries();
+    stepBucket(serial);
+    runParallelPhase(1);
+    retireIdle(serial);
+    checkWatchdog();
+    ++now_;
 }
 
 void
 Simulator::stepOne()
 {
     if (fastPath_) {
-        wakeDue();
-        events_.runDue(now_);
-        stepping_ = true;
-        cursor_ = 0;
-        while (cursor_ < runList_.size()) {
-            Component *c = components_[runList_[cursor_]];
-            ++cursor_;
-            c->step(now_);
+        if (sharded_) {
+            stepOneSharded();
+        } else {
+            wakeDue(0);
+            events_.runDue(now_);
+            stepBucket(0);
+            retireIdle(0);
+            checkWatchdog();
+            ++now_;
         }
-        stepping_ = false;
-        retireIdle();
     } else {
         events_.runDue(now_);
         for (Component *c : components_)
             c->step(now_);
+        checkWatchdog();
+        ++now_;
     }
-    checkWatchdog();
-    ++now_;
+}
+
+std::size_t
+Simulator::activeCount() const
+{
+    std::size_t total = 0;
+    for (const Bucket &bucket : buckets_)
+        total += bucket.runList.size();
+    return total;
 }
 
 Cycle
 Simulator::nextActivity(Cycle limit) const
 {
-    if (!fastPath_ || !runList_.empty())
+    if (!fastPath_)
         return now_;
     Cycle target = limit;
+    for (const Bucket &bucket : buckets_) {
+        if (!bucket.runList.empty())
+            return now_;
+        if (!bucket.wakeHeap.empty() &&
+            bucket.wakeHeap.front().when < target)
+            target = bucket.wakeHeap.front().when;
+    }
     const Cycle event = events_.nextEventCycle();
     if (event < target)
         target = event;
-    if (!wakeHeap_.empty() && wakeHeap_.front().when < target)
-        target = wakeHeap_.front().when;
     if (watchdogQuiet_ > 0 && !deadlocked_ && watchdogHasWork_ &&
         watchdogHasWork_()) {
         // No component will mutate state before `target`, so hasWork

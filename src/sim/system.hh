@@ -6,15 +6,39 @@
 #ifndef MDW_SIM_SYSTEM_HH
 #define MDW_SIM_SYSTEM_HH
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <mutex>
+#include <thread>
 #include <vector>
 
+#include "sim/boundary.hh"
 #include "sim/component.hh"
 #include "sim/event_queue.hh"
+#include "sim/shard_context.hh"
 #include "sim/types.hh"
 
 namespace mdw {
+
+/** Per-shard execution statistics (sharded scheduler only). */
+struct ShardStat
+{
+    /** Components assigned to the shard. */
+    std::size_t components = 0;
+    /** Component step() calls executed by the shard. */
+    std::uint64_t steps = 0;
+    /** Items this shard pushed across boundary channels. */
+    std::uint64_t boundarySends = 0;
+    /**
+     * Wall-clock nanoseconds spent executing the shard's parallel
+     * phases (step + retire). Diagnostic only — identifies partition
+     * imbalance; never feeds back into scheduling or results.
+     */
+    std::uint64_t wallNs = 0;
+};
 
 /**
  * Drives registered components one cycle at a time and fires due
@@ -37,20 +61,47 @@ namespace mdw {
  *    the watchdog would trip -- so uncontended stretches cost O(1)
  *    instead of O(components * cycles).
  *
+ * On top of the fast path, setSharding() partitions the tick set into
+ * parallel shards plus one serial bucket, and each cycle becomes a
+ * three-phase barrier-synchronized sweep:
+ *
+ *  1. parallel phase: shard workers step their shard's active
+ *     components (in registration order within the shard). Only
+ *     components whose step() touches nothing but its own state, its
+ *     channels, the tracer, and noteProgress() may live in a parallel
+ *     shard (the network puts switches there). Channels that cross a
+ *     shard boundary run in boundary mode: sends are buffered into
+ *     per-channel mailboxes.
+ *  2. barrier: the main thread folds per-shard progress flags and
+ *     drains the boundary mailboxes in deterministic (src-shard,
+ *     dirty-registration) order. Because every channel imposes >= 1
+ *     cycle of delay, nothing sent at cycle t is observable before
+ *     t + 1, so the deferred queue pushes are invisible to results.
+ *  3. serial phase: everything else (NICs, engines, test components)
+ *     is stepped by the main thread in registration order — exactly
+ *     the order the flat scheduler used, so tracker/workload hook
+ *     sequences are reproduced verbatim.
+ *
+ * The retire pass then runs per shard (parallel again), the watchdog
+ * is checked, and the clock advances. Results are bit-identical to
+ * the flat schedulers for any shard/thread count.
+ *
  * Equivalence rests on two component-contract facts: stepping an idle
  * component is a no-op, and nextWork() never under-reports (see
  * Component). Active components are stepped in registration order, so
  * trace event order within a cycle is preserved too.
  */
-class Simulator
+class Simulator : public BoundaryRegistrar
 {
   public:
-    Simulator() = default;
+    Simulator();
+    ~Simulator() override;
 
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
 
-    /** Register a component (not owned). */
+    /** Register a component (not owned). Components added after
+     *  setSharding() land in the serial bucket. */
     void add(Component *component);
 
     /** Current cycle (the one currently being, or next to be, run). */
@@ -61,12 +112,37 @@ class Simulator
 
     /**
      * Select the scheduling mode. Enabling the fast path (re)activates
-     * every component; disabling it reverts to stepping everything.
+     * every component; disabling it reverts to stepping everything
+     * (and dissolves any sharding).
      */
     void setFastPath(bool on);
 
     /** True if the idle-skipping fast path is active. */
     bool fastPath() const { return fastPath_; }
+
+    /**
+     * Partition the components into @p parallelShards parallel shards
+     * plus one serial bucket and run the parallel phase on up to
+     * @p threads workers (1 = run the shard loop inline; results are
+     * identical either way). @p shardOf maps every registration index
+     * to its shard, with the value @p parallelShards meaning "serial
+     * bucket". Requires the fast path. Call before running.
+     */
+    void setSharding(std::vector<std::uint32_t> shardOf,
+                     std::size_t parallelShards, unsigned threads);
+
+    /** Revert to the unsharded fast path. */
+    void clearSharding();
+
+    /** Parallel shards in use (0 when unsharded). */
+    std::size_t shards() const
+    {
+        return sharded_ ? buckets_.size() - 1 : 0;
+    }
+
+    /** Per-shard execution statistics (empty when unsharded);
+     *  entry [shards()] is the serial bucket. */
+    std::vector<ShardStat> shardStats() const;
 
     /**
      * Schedule @p component to be stepped at cycle @p when (clamped to
@@ -76,7 +152,7 @@ class Simulator
     void wake(Component *component, Cycle when);
 
     /** Components stepped every cycle right now (fast path only). */
-    std::size_t activeCount() const { return runList_.size(); }
+    std::size_t activeCount() const;
 
     /** Execute exactly one cycle. */
     void stepOne();
@@ -91,7 +167,15 @@ class Simulator
     bool runUntil(const std::function<bool()> &done, Cycle maxCycles);
 
     /** Components report flit movement here. */
-    void noteProgress() { lastProgress_ = now_; }
+    void
+    noteProgress()
+    {
+        const int shard = shardctx::current;
+        if (shard >= 0)
+            shardProgress_[static_cast<std::size_t>(shard)] = 1;
+        else
+            lastProgress_ = now_;
+    }
 
     /** Cycle of the most recent reported progress. */
     Cycle lastProgress() const { return lastProgress_; }
@@ -110,20 +194,38 @@ class Simulator
 
     std::size_t componentCount() const { return components_.size(); }
 
+    // BoundaryRegistrar: a boundary channel's first buffered send of
+    // the current dirty episode (sending shard's thread).
+    void boundaryDirty(std::uint32_t srcShard,
+                       BoundaryChannel *channel) override;
+
   private:
     void checkWatchdog();
 
     /** Move pending wakes due at now_ into the tick set. */
-    void wakeDue();
-    /** Insert component @p idx into the tick set (keeps it sorted). */
+    void wakeDue(std::size_t bucket);
+    /** Insert component @p idx into its bucket's tick set (sorted). */
     void activate(std::size_t idx);
     /** Drop stepped components that report no immediate work. */
-    void retireIdle();
+    void retireIdle(std::size_t bucket);
+    /** Step one bucket's active components in registration order. */
+    void stepBucket(std::size_t bucket);
+    /** Drain every dirty boundary mailbox (main thread, barrier). */
+    void flushBoundaries();
     /**
      * First cycle in [now_, limit] at which anything can happen, or
      * now_ when the tick set is non-empty (no skipping possible).
      */
     Cycle nextActivity(Cycle limit) const;
+
+    void stepOneSharded();
+    /** Run @p phase over all parallel shards on the worker pool (or
+     *  inline when no pool exists). */
+    void runParallelPhase(int phase);
+    void workerLoop();
+    void runShardTask(int phase, std::size_t shard);
+    void startPool(unsigned threads);
+    void stopPool();
 
     std::vector<Component *> components_;
     EventQueue events_;
@@ -143,19 +245,68 @@ class Simulator
         bool operator>(const Wake &o) const { return when > o.when; }
     };
 
+    /**
+     * One schedulable partition of the components. Unsharded, there
+     * is exactly one bucket holding everything; sharded, buckets
+     * [0, shards) are the parallel shards and the last bucket is the
+     * serial one.
+     */
+    struct Bucket
+    {
+        /** Sorted indices of components stepped every cycle. */
+        std::vector<std::size_t> runList;
+        /** Min-heap of pending wake-ups for sleeping components. */
+        std::vector<Wake> wakeHeap;
+        /** Traversal cursor into runList while stepping a cycle. */
+        std::size_t cursor = 0;
+        /** Next cycle the retire pass runs while contended (whole-
+         *  bucket stride on top of the per-component backoff). */
+        Cycle retireAt = 0;
+        /** True while inside the per-cycle step traversal. */
+        bool stepping = false;
+        /** Components assigned to this bucket. */
+        std::size_t size = 0;
+        /** step() calls executed (sharded-mode accounting). */
+        std::uint64_t steps = 0;
+        /** Items flushed from this bucket's boundary channels. */
+        std::uint64_t boundarySends = 0;
+        /** Wall nanoseconds spent in this bucket's parallel phases. */
+        std::uint64_t wallNs = 0;
+        /** Channels with buffered sends awaiting the barrier flush. */
+        std::vector<BoundaryChannel *> dirty;
+    };
+
     bool fastPath_ = false;
-    /** Per-component membership flag for runList_. */
-    std::vector<char> active_;
-    /** Sorted indices of components stepped every cycle. */
-    std::vector<std::size_t> runList_;
-    /** Min-heap of pending wake-ups for sleeping components. */
-    std::vector<Wake> wakeHeap_;
-    /** Earliest enqueued wake per component (dedup for wakeHeap_). */
+    bool sharded_ = false;
+    std::vector<Bucket> buckets_;
+    /** Bucket of each component (all 0 when unsharded). */
+    std::vector<std::uint32_t> bucketOf_;
+    /** Earliest enqueued wake per component (dedup for wakeHeap). */
     std::vector<Cycle> wakeAt_;
-    /** Traversal cursor into runList_ while stepping a cycle. */
-    std::size_t cursor_ = 0;
-    /** True while inside the per-cycle step traversal. */
-    bool stepping_ = false;
+    /**
+     * Retire-pass backoff: skip the nextWork() probe of a component
+     * that keeps reporting work until this cycle. Only engaged while
+     * the bucket is mostly active (contended), where the probe is
+     * pure overhead; delaying retirement never changes results
+     * (stepping an idle component is a no-op).
+     */
+    std::vector<Cycle> retireCheckAt_;
+    /** Consecutive busy retire probes (caps the backoff stride). */
+    std::vector<std::uint8_t> busyStreak_;
+    /** Per-shard progress flags folded into lastProgress_ at the
+     *  barrier. */
+    std::vector<char> shardProgress_;
+
+    // --- worker pool (sharded mode with threads > 1) ---
+    std::vector<std::thread> pool_;
+    std::mutex poolMutex_;
+    std::condition_variable poolCv_;
+    std::condition_variable poolDoneCv_;
+    std::uint64_t poolGeneration_ = 0;
+    int poolPhase_ = 0;
+    bool poolExit_ = false;
+    std::atomic<std::size_t> poolNextShard_{0};
+    std::size_t poolPending_ = 0;
 };
 
 } // namespace mdw

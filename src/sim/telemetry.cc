@@ -1,5 +1,6 @@
 #include "sim/telemetry.hh"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 
@@ -482,32 +483,107 @@ WormTrace::jsonl() const
     return out;
 }
 
-WormTracer::WormTracer(std::size_t capacity) : ring_(capacity)
+WormTracer::WormTracer(std::size_t capacity) : capacity_(capacity)
 {
     MDW_ASSERT(capacity > 0, "tracer needs a non-empty ring");
+    rings_.resize(1);
+    rings_[0].buf.resize(capacity_);
+}
+
+void
+WormTracer::setShards(std::size_t shards)
+{
+    if (rings_.size() == shards + 1)
+        return;
+    rings_.clear();
+    rings_.resize(shards + 1);
+    for (Ring &ring : rings_)
+        ring.buf.resize(capacity_);
+}
+
+std::uint64_t
+WormTracer::recorded() const
+{
+    std::uint64_t total = 0;
+    for (const Ring &ring : rings_)
+        total += ring.recorded;
+    return total;
+}
+
+std::size_t
+WormTracer::size() const
+{
+    std::uint64_t held = 0;
+    for (const Ring &ring : rings_) {
+        held += ring.recorded < ring.buf.size() ? ring.recorded
+                                                : ring.buf.size();
+    }
+    return held < capacity_ ? static_cast<std::size_t>(held)
+                            : capacity_;
+}
+
+void
+WormTracer::appendHeld(const Ring &ring,
+                       std::vector<WormTraceEvent> &out)
+{
+    const std::size_t held =
+        ring.recorded < ring.buf.size()
+            ? static_cast<std::size_t>(ring.recorded)
+            : ring.buf.size();
+    // Oldest surviving event sits at head once the ring has wrapped.
+    const std::size_t start =
+        ring.recorded < ring.buf.size() ? 0 : ring.head;
+    for (std::size_t i = 0; i < held; ++i)
+        out.push_back(ring.buf[(start + i) % ring.buf.size()]);
 }
 
 WormTrace
 WormTracer::snapshot() const
 {
     WormTrace trace;
-    trace.recorded = recorded_;
-    trace.dropped = dropped();
-    const std::size_t held = size();
-    trace.events.reserve(held);
-    // Oldest surviving event sits at head_ once the ring has wrapped.
-    const std::size_t start =
-        recorded_ < ring_.size() ? 0 : head_;
-    for (std::size_t i = 0; i < held; ++i)
-        trace.events.push_back(ring_[(start + i) % ring_.size()]);
+    trace.recorded = recorded();
+    if (rings_.size() == 1) {
+        // Serial tracer: export in recorded order. (This is the only
+        // mode where events may carry out-of-order cycle stamps --
+        // the link-layer hooks stamp future arrival cycles -- so the
+        // merged-sort path below must not run here.)
+        trace.events.reserve(size());
+        appendHeld(rings_[0], trace.events);
+        trace.dropped = trace.recorded - trace.events.size();
+        return trace;
+    }
+    std::vector<WormTraceEvent> merged;
+    merged.reserve(size() + capacity_);
+    for (const Ring &ring : rings_)
+        appendHeld(ring, merged);
+    // Reconstruct the flat within-cycle order (see class comment);
+    // ties beyond the key come from a single ring, so stability
+    // preserves their recorded order.
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const WormTraceEvent &a,
+                        const WormTraceEvent &b) {
+                         if (a.cycle != b.cycle)
+                             return a.cycle < b.cycle;
+                         if (a.atHost != b.atHost)
+                             return !a.atHost;
+                         return a.component < b.component;
+                     });
+    const std::size_t keep =
+        merged.size() < capacity_ ? merged.size() : capacity_;
+    trace.events.assign(merged.end() -
+                            static_cast<std::ptrdiff_t>(keep),
+                        merged.end());
+    trace.dropped = trace.recorded - trace.events.size();
     return trace;
 }
 
 void
 WormTracer::clear()
 {
-    head_ = 0;
-    recorded_ = 0;
+    for (Ring &ring : rings_) {
+        ring.head = 0;
+        ring.recorded = 0;
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/shard_context.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -228,6 +229,19 @@ struct WormTrace
  * Preallocated ring buffer of lifecycle events. When full, the
  * oldest events are overwritten (and counted as dropped) so a
  * deadlock diagnosis always holds the *most recent* history.
+ *
+ * Under the sharded scheduler (setShards) the tracer keeps one ring
+ * per parallel shard plus one for serial contexts, each at full
+ * capacity, and record() routes through the thread-local shard index
+ * so parallel switch steps never contend. snapshot() merges the rings
+ * back into the exact flat-scheduler order: sharded runs only record
+ * at the current cycle, switch events (atHost == false, parallel
+ * rings) precede host events (serial ring) within a cycle, and
+ * components step in ascending-id order within each class — so a
+ * stable sort on (cycle, atHost, component) reproduces the flat
+ * sequence, and keeping the last `capacity` merged events matches the
+ * flat ring exactly (each ring's overlap with the global tail is a
+ * suffix of its own sequence no longer than its capacity).
  */
 class WormTracer
 {
@@ -238,7 +252,9 @@ class WormTracer
     record(WormEvent kind, Cycle cycle, PacketId packet, MsgId msg,
            std::int32_t component, bool atHost, std::int32_t arg = 0)
     {
-        WormTraceEvent &slot = ring_[head_];
+        Ring &ring =
+            rings_[static_cast<std::size_t>(shardctx::current + 1)];
+        WormTraceEvent &slot = ring.buf[ring.head];
         slot.cycle = cycle;
         slot.packet = packet;
         slot.msg = msg;
@@ -246,25 +262,21 @@ class WormTracer
         slot.arg = arg;
         slot.kind = kind;
         slot.atHost = atHost;
-        head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
-        ++recorded_;
+        ring.head = ring.head + 1 == ring.buf.size() ? 0 : ring.head + 1;
+        ++ring.recorded;
     }
 
-    std::size_t capacity() const { return ring_.size(); }
+    /** Provision rings for @p shards parallel shards (serial-only
+     *  contexts keep working either way). Call before recording. */
+    void setShards(std::size_t shards);
+
+    std::size_t capacity() const { return capacity_; }
     /** Events ever recorded (including since-overwritten ones). */
-    std::uint64_t recorded() const { return recorded_; }
+    std::uint64_t recorded() const;
     /** Events overwritten by ring wraparound. */
-    std::uint64_t dropped() const
-    {
-        return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
-    }
-    /** Events currently held. */
-    std::size_t size() const
-    {
-        return recorded_ < ring_.size()
-                   ? static_cast<std::size_t>(recorded_)
-                   : ring_.size();
-    }
+    std::uint64_t dropped() const { return recorded() - size(); }
+    /** Events currently held (what snapshot() would export). */
+    std::size_t size() const;
 
     /** Copy out the surviving events, oldest first. */
     WormTrace snapshot() const;
@@ -272,9 +284,20 @@ class WormTracer
     void clear();
 
   private:
-    std::vector<WormTraceEvent> ring_;
-    std::size_t head_ = 0;
-    std::uint64_t recorded_ = 0;
+    struct Ring
+    {
+        std::vector<WormTraceEvent> buf;
+        std::size_t head = 0;
+        std::uint64_t recorded = 0;
+    };
+
+    /** Surviving events of one ring, oldest first. */
+    static void appendHeld(const Ring &ring,
+                           std::vector<WormTraceEvent> &out);
+
+    std::size_t capacity_;
+    /** [0] = serial contexts, [1 + s] = parallel shard s. */
+    std::vector<Ring> rings_;
 };
 
 /**

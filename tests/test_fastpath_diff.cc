@@ -1,15 +1,18 @@
 /**
  * @file
- * Differential golden-stats harness for the idle-skipping fast path.
+ * Differential golden-stats harness for the schedulers: a three-way
+ * oracle.
  *
- * Every figure/ablation-style configuration is run twice -- once on
- * the cycle-accurate oracle (sim.fastPath=0) and once on the fast
- * path -- and the two ExperimentResults must match bit for bit:
- * every MetricsSnapshot entry (counters, gauges, histogram bins),
- * every verdict flag, the cycle count, and (when tracing is on) the
- * exact WormTracer event sequence. A randomized property test then
- * hammers the same equivalence over random topologies, bimodal
- * workloads, and fault plans.
+ * Every figure/ablation-style configuration is run on the
+ * cycle-accurate oracle (sim.fastPath=0), on the idle-skipping fast
+ * path, and on the sharded scheduler (sim.shards=2 and 4), and all
+ * ExperimentResults must match bit for bit: every MetricsSnapshot
+ * entry (counters, gauges, histogram bins), every verdict flag, the
+ * cycle count, and (when tracing is on) the exact WormTracer event
+ * sequence. A dedicated test sweeps shard counts {1,2,4,8} and thread
+ * counts (inline and pooled), and a randomized property test hammers
+ * the same equivalences over random topologies, bimodal workloads,
+ * and fault plans.
  */
 
 #include <cstdio>
@@ -21,6 +24,7 @@
 #include <gtest/gtest.h>
 
 #include "core/experiment.hh"
+#include "core/hw_barrier.hh"
 #include "core/network.hh"
 #include "core/presets.hh"
 #include "sim/config.hh"
@@ -42,13 +46,16 @@ baseOverrides()
 }
 
 ExperimentResult
-runMode(const Config &config, bool fastPath)
+runMode(const Config &config, bool fastPath, std::size_t shards = 1,
+        unsigned shardThreads = 1)
 {
     NetworkConfig network = defaultNetwork();
     TrafficParams traffic = defaultTraffic();
     ExperimentParams params = defaultExperiment();
     applyOverrides(config, network, traffic, params);
     network.fastPath = fastPath;
+    network.shards = shards;
+    network.shardThreads = shardThreads;
     Experiment experiment(network, traffic, params);
     return experiment.run();
 }
@@ -88,36 +95,67 @@ diffSnapshots(const MetricsSnapshot &a, const MetricsSnapshot &b)
 }
 
 void
+expectSame(const ExperimentResult &ref, const ExperimentResult &got,
+           const std::string &tokens, const char *mode)
+{
+    EXPECT_TRUE(identicalResults(ref, got))
+        << mode << " diverged for: " << tokens << "\n  "
+        << diffSnapshots(ref.metrics, got.metrics)
+        << "\n  ref: cycles=" << ref.cyclesRun
+        << " drained=" << ref.drained
+        << " deadlocked=" << ref.deadlocked
+        << " quiescent=" << ref.quiescent
+        << "\n  got: cycles=" << got.cyclesRun
+        << " drained=" << got.drained
+        << " deadlocked=" << got.deadlocked
+        << " quiescent=" << got.quiescent;
+
+    // identicalResults covers the snapshot; spot-check the verdict
+    // fields explicitly so a future refactor of identicalResults
+    // cannot silently weaken this harness.
+    EXPECT_EQ(ref.cyclesRun, got.cyclesRun) << tokens;
+    EXPECT_EQ(ref.saturated, got.saturated) << tokens;
+    EXPECT_EQ(ref.drained, got.drained) << tokens;
+    EXPECT_EQ(ref.deadlocked, got.deadlocked) << tokens;
+    EXPECT_EQ(ref.quiescent, got.quiescent) << tokens;
+
+    // Histogram bins bitwise: samplers already compared via
+    // MetricValue::identical inside identicalResults.
+    ASSERT_EQ(ref.metrics.size(), got.metrics.size()) << tokens;
+}
+
+void
+expectTraceIdentical(const ExperimentResult &ref,
+                     const ExperimentResult &got,
+                     const std::string &tokens)
+{
+    ASSERT_NE(ref.trace, nullptr) << tokens;
+    ASSERT_NE(got.trace, nullptr) << tokens;
+    EXPECT_EQ(ref.trace->recorded, got.trace->recorded) << tokens;
+    EXPECT_EQ(ref.trace->dropped, got.trace->dropped) << tokens;
+    ASSERT_EQ(ref.trace->events.size(), got.trace->events.size())
+        << tokens;
+    for (std::size_t i = 0; i < ref.trace->events.size(); ++i) {
+        const WormTraceEvent &a = ref.trace->events[i];
+        const WormTraceEvent &b = got.trace->events[i];
+        ASSERT_TRUE(a.cycle == b.cycle && a.packet == b.packet &&
+                    a.msg == b.msg && a.component == b.component &&
+                    a.arg == b.arg && a.kind == b.kind &&
+                    a.atHost == b.atHost)
+            << tokens << " -- event " << i << " differs at cycle "
+            << a.cycle << " vs " << b.cycle;
+    }
+}
+
+void
 expectIdentical(const std::string &tokens)
 {
     const Config config = withTokens(tokens);
     const ExperimentResult slow = runMode(config, false);
     const ExperimentResult fast = runMode(config, true);
-
-    EXPECT_TRUE(identicalResults(slow, fast))
-        << "fast path diverged for: " << tokens << "\n  "
-        << diffSnapshots(slow.metrics, fast.metrics)
-        << "\n  slow: cycles=" << slow.cyclesRun
-        << " drained=" << slow.drained
-        << " deadlocked=" << slow.deadlocked
-        << " quiescent=" << slow.quiescent
-        << "\n  fast: cycles=" << fast.cyclesRun
-        << " drained=" << fast.drained
-        << " deadlocked=" << fast.deadlocked
-        << " quiescent=" << fast.quiescent;
-
-    // identicalResults covers the snapshot; spot-check the verdict
-    // fields explicitly so a future refactor of identicalResults
-    // cannot silently weaken this harness.
-    EXPECT_EQ(slow.cyclesRun, fast.cyclesRun) << tokens;
-    EXPECT_EQ(slow.saturated, fast.saturated) << tokens;
-    EXPECT_EQ(slow.drained, fast.drained) << tokens;
-    EXPECT_EQ(slow.deadlocked, fast.deadlocked) << tokens;
-    EXPECT_EQ(slow.quiescent, fast.quiescent) << tokens;
-
-    // Histogram bins bitwise: samplers already compared via
-    // MetricValue::identical inside identicalResults.
-    ASSERT_EQ(slow.metrics.size(), fast.metrics.size()) << tokens;
+    expectSame(slow, fast, tokens, "fast path");
+    expectSame(slow, runMode(config, true, 2), tokens, "2 shards");
+    expectSame(slow, runMode(config, true, 4), tokens, "4 shards");
 }
 
 // One scenario per fig_*/ablation_* bench, holding each one's
@@ -282,24 +320,78 @@ TEST(FastPathDiffTrace, EventSequencesIdentical)
           "nic.retransmitTimeout=3000"}) {
         const Config config = withTokens(tokens);
         const ExperimentResult slow = runMode(config, false);
-        const ExperimentResult fast = runMode(config, true);
-        ASSERT_NE(slow.trace, nullptr) << tokens;
-        ASSERT_NE(fast.trace, nullptr) << tokens;
-        EXPECT_EQ(slow.trace->recorded, fast.trace->recorded)
-            << tokens;
-        EXPECT_EQ(slow.trace->dropped, fast.trace->dropped) << tokens;
-        ASSERT_EQ(slow.trace->events.size(), fast.trace->events.size())
-            << tokens;
-        for (std::size_t i = 0; i < slow.trace->events.size(); ++i) {
-            const WormTraceEvent &a = slow.trace->events[i];
-            const WormTraceEvent &b = fast.trace->events[i];
-            ASSERT_TRUE(a.cycle == b.cycle && a.packet == b.packet &&
-                        a.msg == b.msg &&
-                        a.component == b.component && a.arg == b.arg &&
-                        a.kind == b.kind && a.atHost == b.atHost)
-                << tokens << " -- event " << i << " differs at cycle "
-                << a.cycle << " vs " << b.cycle;
+        expectTraceIdentical(slow, runMode(config, true), tokens);
+        expectTraceIdentical(slow, runMode(config, true, 2), tokens);
+        expectTraceIdentical(slow, runMode(config, true, 4), tokens);
+    }
+}
+
+// The sharded scheduler against the oracle at every required shard
+// count, inline and on a real worker pool, snapshot- and
+// trace-sequence-exact. Also checks that sharding actually engaged
+// (the matrix above would pass vacuously if setupSharding silently
+// vetoed these configs).
+TEST(ShardDiff, ShardAndThreadCountsBitIdentical)
+{
+    const char *tokensList[] = {
+        "telemetry.trace=1 telemetry.traceCapacity=65536 "
+        "workload.load=0.1",
+        "k=2 n=3 workload.load=0.08 workload.degree=4 "
+        "telemetry.trace=1 telemetry.traceCapacity=65536",
+        "topo=irregular irr.switches=12 irr.radix=6 irr.hosts=16 "
+        "irr.extraLinks=6 workload.degree=4 workload.load=0.08",
+        "workload.kind=collective workload.collective=allreduce "
+        "workload.rounds=3",
+    };
+    for (const char *tokens : tokensList) {
+        const Config config = withTokens(tokens);
+        const ExperimentResult slow = runMode(config, false);
+        for (std::size_t shards : {1u, 2u, 4u, 8u}) {
+            for (unsigned threads : {1u, 2u}) {
+                SCOPED_TRACE(std::string(tokens) + " shards=" +
+                             std::to_string(shards) + " threads=" +
+                             std::to_string(threads));
+                const ExperimentResult got =
+                    runMode(config, true, shards, threads);
+                expectSame(slow, got, tokens, "sharded");
+                if (slow.trace != nullptr)
+                    expectTraceIdentical(slow, got, tokens);
+            }
         }
+    }
+    // Prove the veto did not fire for these configs.
+    NetworkConfig network = defaultNetwork();
+    network.shards = 4;
+    Network net(network);
+    EXPECT_EQ(net.effectiveShards(), 4u);
+    EXPECT_TRUE(net.serialReason().empty());
+}
+
+// Subsystems that mutate shared state from switch steps must dissolve
+// sharding rather than race: hardware barriers and the fault layers.
+TEST(ShardDiff, SerialOnlySubsystemsVetoSharding)
+{
+    {
+        const Config config = withTokens(
+            "fault.links=1 fault.start=600 fault.end=1200 "
+            "nic.retransmitTimeout=3000 workload.load=0.05");
+        NetworkConfig network = defaultNetwork();
+        TrafficParams traffic = defaultTraffic();
+        ExperimentParams params = defaultExperiment();
+        applyOverrides(config, network, traffic, params);
+        network.shards = 4;
+        Network net(network);
+        EXPECT_EQ(net.effectiveShards(), 0u);
+        EXPECT_FALSE(net.serialReason().empty());
+    }
+    {
+        NetworkConfig network = defaultNetwork();
+        network.shards = 4;
+        Network net(network);
+        ASSERT_EQ(net.effectiveShards(), 4u);
+        HwBarrierManager barriers(net);
+        EXPECT_EQ(net.effectiveShards(), 0u);
+        EXPECT_EQ(net.serialReason(), "hardware barriers");
     }
 }
 
