@@ -30,6 +30,8 @@ WORM_EVENTS = {
     "nak",
     "replay",
     "link_flap",
+    "lane_alloc",
+    "lane_stall",
 }
 
 

@@ -94,8 +94,16 @@ Experiment::run()
     const McastTracker &tracker = net.tracker();
     result.metrics.setGauge("experiment.latency.unicast.p95",
                             tracker.unicastHist().percentile(0.95));
+    result.metrics.setGauge("experiment.latency.unicast.p99",
+                            tracker.unicastHist().percentile(0.99));
+    result.metrics.setGauge("experiment.latency.unicast.p999",
+                            tracker.unicastHist().percentile(0.999));
     result.metrics.setGauge("experiment.latency.mcast_last.p95",
                             tracker.mcastLastHist().percentile(0.95));
+    result.metrics.setGauge("experiment.latency.mcast_last.p99",
+                            tracker.mcastLastHist().percentile(0.99));
+    result.metrics.setGauge("experiment.latency.mcast_last.p999",
+                            tracker.mcastLastHist().percentile(0.999));
 
     const double node_cycles = static_cast<double>(net.numHosts()) *
                                static_cast<double>(params_.measure);
@@ -199,8 +207,16 @@ Experiment::runClosedLoop(Network &net)
     const McastTracker &tracker = net.tracker();
     result.metrics.setGauge("experiment.latency.unicast.p95",
                             tracker.unicastHist().percentile(0.95));
+    result.metrics.setGauge("experiment.latency.unicast.p99",
+                            tracker.unicastHist().percentile(0.99));
+    result.metrics.setGauge("experiment.latency.unicast.p999",
+                            tracker.unicastHist().percentile(0.999));
     result.metrics.setGauge("experiment.latency.mcast_last.p95",
                             tracker.mcastLastHist().percentile(0.95));
+    result.metrics.setGauge("experiment.latency.mcast_last.p99",
+                            tracker.mcastLastHist().percentile(0.99));
+    result.metrics.setGauge("experiment.latency.mcast_last.p999",
+                            tracker.mcastLastHist().percentile(0.999));
 
     const double node_cycles =
         static_cast<double>(net.numHosts()) *

@@ -111,6 +111,14 @@ struct ExperimentResult
     {
         return metrics.gauge("experiment.latency.unicast.p95");
     }
+    double unicastP99() const
+    {
+        return metrics.gauge("experiment.latency.unicast.p99");
+    }
+    double unicastP999() const
+    {
+        return metrics.gauge("experiment.latency.unicast.p999");
+    }
     double unicastCount() const
     {
         return static_cast<double>(unicastLatency().count());
@@ -119,6 +127,14 @@ struct ExperimentResult
     double mcastLastP95() const
     {
         return metrics.gauge("experiment.latency.mcast_last.p95");
+    }
+    double mcastLastP99() const
+    {
+        return metrics.gauge("experiment.latency.mcast_last.p99");
+    }
+    double mcastLastP999() const
+    {
+        return metrics.gauge("experiment.latency.mcast_last.p999");
     }
     double mcastAvgAvg() const { return mcastAvgLatency().mean(); }
     double mcastCount() const

@@ -331,6 +331,20 @@ Network::build()
         }
     }
 
+    // --- Virtual lanes ----------------------------------------------
+    // Environment escape hatch for running a whole test suite under a
+    // different lane count (e.g. MDW_LANES=4 in CI); mirrors the
+    // MDW_SHARDS / MDW_FAST_PATH overrides.
+    if (const char *env = std::getenv("MDW_LANES")) {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1)
+            cfg_.sw.lanes = static_cast<int>(v);
+    }
+    // NICs must agree with the switches on the lane count: credits
+    // and reassembly state are per lane on both sides of a host link.
+    cfg_.nic.lanes = cfg_.sw.lanes;
+
     // --- Components --------------------------------------------------
     cfg_.sw.seed = cfg_.seed;
     for (std::size_t s = 0; s < topo_->numSwitches(); ++s) {
@@ -580,6 +594,23 @@ Network::registerTelemetry()
     });
     reg.registerGauge("network.cq.avg_chunks",
                       [this] { return avgCqChunks(); });
+
+    // Virtual-lane rollups; registered at every lane count so report
+    // validation can assert their presence (they read 0 at lanes=1).
+    reg.registerIntGauge("switch.lane.stalls", [this] {
+        std::uint64_t total = 0;
+        for (const auto &sw : switches_)
+            total += sw->stats().laneStallCycles.value();
+        return total;
+    });
+    reg.registerGauge("switch.lane.occupancy", [this] {
+        double total = 0.0;
+        for (const auto &sw : switches_)
+            total += sw->laneOccupancy().average(sim_.now());
+        return switches_.empty()
+                   ? 0.0
+                   : total / static_cast<double>(switches_.size());
+    });
 
     // Host-side rollups (fault recovery activity).
     reg.registerIntGauge("host.retransmits", [this] {

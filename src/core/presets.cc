@@ -1,5 +1,6 @@
 #include "core/presets.hh"
 
+#include <algorithm>
 #include <set>
 
 #include "sim/logging.hh"
@@ -66,6 +67,29 @@ aliasedU64(const Config &config, const char *newKey, const char *oldKey,
         dflt = config.getU64(oldKey, dflt);
     }
     return config.getU64(newKey, dflt);
+}
+
+/**
+ * Read an integer key and clamp it into [lo, hi], warning once per
+ * key per process when the configured value is out of range (same
+ * one-shot policy as the deprecated-key warnings above).
+ */
+int
+clampedInt(const Config &config, const char *key, int dflt, int lo,
+           int hi)
+{
+    const std::int64_t raw = config.getInt(key, dflt);
+    const std::int64_t clamped =
+        std::min<std::int64_t>(std::max<std::int64_t>(raw, lo), hi);
+    if (clamped != raw) {
+        static std::set<std::string> warned;
+        if (warned.insert(key).second)
+            warn("config key '%s' value %lld out of range [%d, %d]; "
+                 "clamping to %lld",
+                 key, static_cast<long long>(raw), lo, hi,
+                 static_cast<long long>(clamped));
+    }
+    return static_cast<int>(clamped);
 }
 
 } // namespace
@@ -193,6 +217,20 @@ applyOverrides(const Config &config, NetworkConfig &network,
     network.ib.bufferFlits = static_cast<int>(
         config.getInt("ib.buffer", network.ib.bufferFlits));
 
+    // Virtual lanes (shared by both architectures; the network
+    // builder mirrors the count onto the NICs).
+    network.sw.lanes = clampedInt(config, "switch.lanes",
+                                  network.sw.lanes, 1, kMaxLanes);
+    const std::string laneAlloc = config.getString(
+        "switch.laneAlloc", toString(network.sw.laneAlloc));
+    if (laneAlloc == "static" || laneAlloc == "static-class") {
+        network.sw.laneAlloc = LaneAlloc::StaticClass;
+    } else if (laneAlloc == "adaptive") {
+        network.sw.laneAlloc = LaneAlloc::Adaptive;
+    } else {
+        fatal("unknown lane allocation '%s'", laneAlloc.c_str());
+    }
+
     const std::string variant = config.getString(
         "routing", toString(network.sw.variant));
     if (variant == "replicate-after-lca") {
@@ -308,6 +346,10 @@ applyOverrides(const Config &config, NetworkConfig &network,
         config, "workload.hotNode", "hotNode", traffic.hotNode));
     traffic.seed = aliasedU64(config, "workload.seed", "traffic.seed",
                               traffic.seed);
+    // Lane class stamped on generated multicasts (bimodal isolation).
+    traffic.mcastClass =
+        clampedInt(config, "workload.mcastClass", traffic.mcastClass,
+                   0, kLaneClasses - 1);
 
     // Closed-loop knobs (workload.kind = collective | trace).
     const std::string op = config.getString("workload.collective",

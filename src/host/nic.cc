@@ -28,6 +28,9 @@ Nic::Nic(std::string name, NodeId id, std::size_t numHosts,
 {
     MDW_ASSERT(factory != nullptr && tracker != nullptr,
                "NIC %d needs a factory and a tracker", id);
+    MDW_ASSERT(params_.lanes >= 1, "NIC %d: lanes must be >= 1", id);
+    rxCurrent_.resize(static_cast<std::size_t>(params_.lanes));
+    rxArrived_.resize(static_cast<std::size_t>(params_.lanes), 0);
 }
 
 void
@@ -60,7 +63,10 @@ Nic::connectTx(Channel<Flit> *out, CreditChannel *creditIn,
     MDW_ASSERT(txOut_ == nullptr, "NIC %d tx connected twice", id_);
     txOut_ = out;
     txCreditIn_ = creditIn;
-    txCredits_ = downstream.window;
+    // Each lane runs its own credit loop of the full window (the
+    // switch buffers every lane independently).
+    txCredits_.assign(static_cast<std::size_t>(params_.lanes),
+                      downstream.window);
     txMcastWholePacket_ = downstream.mcastWholePacket;
     // A credit-blocked NIC sleeps until the switch returns credits.
     creditIn->setWakeSink(this);
@@ -78,7 +84,7 @@ Nic::connectRx(Channel<Flit> *in, CreditChannel *creditOut)
 
 MsgId
 Nic::postUnicast(NodeId dest, int payloadFlits, Cycle now,
-                 std::uint64_t token)
+                 std::uint64_t token, int trafficClass)
 {
     MDW_ASSERT(dest != id_, "NIC %d unicast to itself", id_);
     MDW_ASSERT(payloadFlits > 0, "empty payload");
@@ -93,13 +99,13 @@ Nic::postUnicast(NodeId dest, int payloadFlits, Cycle now,
 
     DestSet dests(numHosts_);
     dests.set(dest);
-    launch(msg, dests, false, payloadFlits, now);
+    launch(msg, dests, false, payloadFlits, trafficClass, now);
     return msg;
 }
 
 MsgId
 Nic::postMulticast(const DestSet &dests, int payloadFlits, Cycle now,
-                   std::uint64_t token)
+                   std::uint64_t token, int trafficClass)
 {
     MDW_ASSERT(!dests.empty(), "multicast with no destinations");
     MDW_ASSERT(!dests.test(id_), "NIC %d multicast includes itself",
@@ -109,13 +115,13 @@ Nic::postMulticast(const DestSet &dests, int payloadFlits, Cycle now,
     stats_.messagesPosted.inc();
     if (source_)
         source_->onPosted(id_, token, msg, now);
-    launch(msg, dests, true, payloadFlits, now);
+    launch(msg, dests, true, payloadFlits, trafficClass, now);
     return msg;
 }
 
 void
 Nic::launch(MsgId msg, const DestSet &dests, bool multicast,
-            int payloadFlits, Cycle now)
+            int payloadFlits, int trafficClass, Cycle now)
 {
     const DestSet remaining = pruneUnreachable(msg, dests, now);
     if (remaining.empty())
@@ -128,6 +134,7 @@ Nic::launch(MsgId msg, const DestSet &dests, bool multicast,
         pending.dests = remaining;
         pending.payloadFlits = payloadFlits;
         pending.multicast = multicast;
+        pending.trafficClass = trafficClass;
         pending.interval = params_.retransmitTimeout;
         pending.deadline = now + pending.interval;
         nextRetx_ = std::min(nextRetx_, pending.deadline);
@@ -137,7 +144,8 @@ Nic::launch(MsgId msg, const DestSet &dests, bool multicast,
         // destinations off.
         requestWake(now);
     }
-    sendCopies(msg, remaining, multicast, payloadFlits, now);
+    sendCopies(msg, remaining, multicast, payloadFlits, trafficClass,
+               now);
 }
 
 DestSet
@@ -162,7 +170,7 @@ Nic::pruneUnreachable(MsgId msg, const DestSet &dests, Cycle now)
 
 void
 Nic::sendCopies(MsgId msg, const DestSet &dests, bool multicast,
-                int payloadFlits, Cycle now)
+                int payloadFlits, int trafficClass, Cycle now)
 {
     if (!multicast) {
         for (NodeId dest : dests.toVector()) {
@@ -174,6 +182,7 @@ Nic::sendCopies(MsgId msg, const DestSet &dests, bool multicast,
             proto.kind = PacketKind::Unicast;
             proto.headerFlits = params_.enc.unicastHeaderFlits;
             proto.payloadFlits = payloadFlits;
+            proto.trafficClass = trafficClass;
             proto.created = now;
             enqueueSegmented(std::move(proto));
         }
@@ -190,6 +199,7 @@ Nic::sendCopies(MsgId msg, const DestSet &dests, bool multicast,
             proto.headerFlits =
                 bitStringHeaderFlits(numHosts_, params_.enc);
             proto.payloadFlits = payloadFlits;
+            proto.trafficClass = trafficClass;
             proto.created = now;
             enqueueSegmented(std::move(proto));
             return;
@@ -207,6 +217,7 @@ Nic::sendCopies(MsgId msg, const DestSet &dests, bool multicast,
                 proto.headerFlits = multiportHeaderFlits(
                     params_.multiportLevels, params_.enc);
                 proto.payloadFlits = payloadFlits;
+                proto.trafficClass = trafficClass;
                 proto.created = now;
                 enqueueSegmented(std::move(proto));
             }
@@ -226,6 +237,7 @@ Nic::sendCopies(MsgId msg, const DestSet &dests, bool multicast,
         proto.headerFlits =
             swCarrierHeaderFlits(send.delegated.size());
         proto.payloadFlits = payloadFlits;
+        proto.trafficClass = trafficClass;
         proto.created = now;
         proto.swDelegated = send.delegated;
         proto.swPhase = 0;
@@ -305,7 +317,7 @@ void
 Nic::step(Cycle now)
 {
     if (txCreditIn_)
-        txCredits_ += txCreditIn_->receive(now);
+        (void)txCreditIn_->receiveByLane(now, txCredits_);
     pollSource(now);
     stepTx(now);
     stepRx(now);
@@ -328,27 +340,35 @@ Nic::nextWork(Cycle now)
     if (source_ != nullptr)
         consider(source_->nextArrival(id_, now + 1));
     if (!txFailed_ && txOut_ != nullptr && !txQueue_.empty()) {
-        // Mirror stepTx's gating: an unprepared or not-yet-ready job
-        // has a known wake-up; a ready job only needs stepping while
-        // credits allow a send (the credit channel wakes us
-        // otherwise).
-        const SendJob &job = txQueue_.front();
-        if (!job.prepared) {
-            consider(now + 1);
-        } else if (now < job.readyAt) {
-            // Software send overhead: the packet is built once the
-            // overhead elapses, so sleep straight through it.
-            consider(job.readyAt);
-        } else if (job.pkt == nullptr) {
-            consider(now + 1);
-        } else {
-            const bool whole_packet =
-                job.sent == 0 && txMcastWholePacket_ &&
-                job.pkt->kind == PacketKind::HwMulticast;
-            const int needed =
-                whole_packet ? job.pkt->totalFlits() : 1;
-            if (txCredits_ >= needed)
+        // Mirror stepTx's gating for each lane's head job: an
+        // unprepared or not-yet-ready head has a known wake-up; a
+        // ready head only needs stepping while credits allow a send
+        // (the credit channel wakes us otherwise).
+        std::vector<bool> seen(static_cast<std::size_t>(params_.lanes),
+                               false);
+        for (const SendJob &job : txQueue_) {
+            const std::size_t lane = static_cast<std::size_t>(
+                injectLane(job.proto.trafficClass));
+            if (seen[lane])
+                continue;
+            seen[lane] = true;
+            if (!job.prepared) {
                 consider(now + 1);
+            } else if (now < job.readyAt) {
+                // Software send overhead: the packet is built once
+                // the overhead elapses, so sleep straight through it.
+                consider(job.readyAt);
+            } else if (job.pkt == nullptr) {
+                consider(now + 1);
+            } else {
+                const bool whole_packet =
+                    job.sent == 0 && txMcastWholePacket_ &&
+                    job.pkt->kind == PacketKind::HwMulticast;
+                const int needed =
+                    whole_packet ? job.pkt->totalFlits() : 1;
+                if (txCredits_[lane] >= needed)
+                    consider(now + 1);
+            }
         }
     }
     if (params_.retransmitTimeout > 0 && !pending_.empty())
@@ -397,7 +417,8 @@ Nic::checkRetransmits(Cycle now)
         MDW_TRACE_EVENT(tracer_, WormEvent::Retransmit, now, 0, msg,
                         id_, true, p.attempts);
         p.dests = resend;
-        sendCopies(msg, resend, p.multicast, p.payloadFlits, now);
+        sendCopies(msg, resend, p.multicast, p.payloadFlits,
+                   p.trafficClass, now);
         p.interval = std::min(p.interval * 2,
                               params_.retransmitTimeout * 8);
         p.deadline = now + p.interval;
@@ -418,9 +439,10 @@ Nic::pollSource(Cycle now)
         // message can possibly complete (see postUnicast()).
         if (spec.multicast)
             postMulticast(spec.dests, spec.payloadFlits, now,
-                          spec.token);
+                          spec.token, spec.trafficClass);
         else
-            postUnicast(spec.dest, spec.payloadFlits, now, spec.token);
+            postUnicast(spec.dest, spec.payloadFlits, now, spec.token,
+                        spec.trafficClass);
     }
 }
 
@@ -429,35 +451,58 @@ Nic::stepTx(Cycle now)
 {
     if (txFailed_ || txQueue_.empty() || !txOut_)
         return;
-    SendJob &job = txQueue_.front();
-    if (!job.prepared) {
-        job.prepared = true;
-        job.readyAt = now + params_.sendOverhead;
+    // One injection engine per lane: the first queued job of each
+    // lane is that lane's head, and heads prepare (pay the software
+    // send overhead) independently, so a credit-blocked bulk packet
+    // never head-of-line blocks a latency-class one. The physical
+    // link still carries one flit per cycle; higher lanes — the
+    // latency partition — are offered it first, mirroring the
+    // switches' serviceLane order. With one lane every job shares
+    // lane 0 and this is exactly the old single-queue behavior.
+    std::vector<std::deque<SendJob>::iterator> heads(
+        static_cast<std::size_t>(params_.lanes), txQueue_.end());
+    for (auto it = txQueue_.begin(); it != txQueue_.end(); ++it) {
+        const auto lane = static_cast<std::size_t>(
+            injectLane(it->proto.trafficClass));
+        if (heads[lane] == txQueue_.end())
+            heads[lane] = it;
     }
-    if (now < job.readyAt)
-        return;
-    if (!job.pkt) {
-        job.proto.injected = now;
-        job.pkt = factory_->make(job.proto);
-        stats_.packetsInjected.inc();
-        MDW_TRACE_EVENT(tracer_, WormEvent::Inject, now, job.pkt->id,
-                        job.pkt->msg, id_, true, 0);
+    for (int lane = params_.lanes - 1; lane >= 0; --lane) {
+        const auto it = heads[static_cast<std::size_t>(lane)];
+        if (it == txQueue_.end())
+            continue;
+        SendJob &job = *it;
+        if (!job.prepared) {
+            job.prepared = true;
+            job.readyAt = now + params_.sendOverhead;
+        }
+        if (now < job.readyAt)
+            continue;
+        if (!job.pkt) {
+            job.proto.injected = now;
+            job.pkt = factory_->make(job.proto);
+            stats_.packetsInjected.inc();
+            MDW_TRACE_EVENT(tracer_, WormEvent::Inject, now,
+                            job.pkt->id, job.pkt->msg, id_, true, 0);
+        }
+        if (txCredits_[static_cast<std::size_t>(lane)] < 1)
+            continue;
+        if (job.sent == 0 && txMcastWholePacket_ &&
+            job.pkt->kind == PacketKind::HwMulticast &&
+            txCredits_[static_cast<std::size_t>(lane)] <
+                job.pkt->totalFlits()) {
+            continue; // whole-packet reservation toward an IB switch
+        }
+        txOut_->send(Flit{job.pkt, job.sent, lane}, now);
+        ++job.sent;
+        --txCredits_[static_cast<std::size_t>(lane)];
+        stats_.flitsInjected.inc();
+        if (sim_)
+            sim_->noteProgress();
+        if (job.sent == job.pkt->totalFlits())
+            txQueue_.erase(it);
+        return; // the link took its one flit for this cycle
     }
-    if (txCredits_ < 1)
-        return;
-    if (job.sent == 0 && txMcastWholePacket_ &&
-        job.pkt->kind == PacketKind::HwMulticast &&
-        txCredits_ < job.pkt->totalFlits()) {
-        return; // whole-packet reservation toward an IB switch
-    }
-    txOut_->send(Flit{job.pkt, job.sent}, now);
-    ++job.sent;
-    --txCredits_;
-    stats_.flitsInjected.inc();
-    if (sim_)
-        sim_->noteProgress();
-    if (job.sent == job.pkt->totalFlits())
-        txQueue_.pop_front();
 }
 
 void
@@ -472,29 +517,35 @@ Nic::stepRx(Cycle now)
         return;
     }
     const Flit flit = rxIn_->receive(now);
+    MDW_ASSERT(flit.lane >= 0 && flit.lane < params_.lanes,
+               "NIC %d: flit on lane %d of %d", id_, flit.lane,
+               params_.lanes);
+    const auto lane = static_cast<std::size_t>(flit.lane);
     if (rxCreditOut_)
-        rxCreditOut_->send(1, now); // the NIC always sinks traffic
+        rxCreditOut_->send(1, now, flit.lane); // always sinks traffic
     stats_.flitsEjected.inc();
     if (sim_)
         sim_->noteProgress();
 
+    PacketPtr &current = rxCurrent_[lane];
+    int &arrived = rxArrived_[lane];
     if (flit.isHead()) {
-        MDW_ASSERT(rxCurrent_ == nullptr,
+        MDW_ASSERT(current == nullptr,
                    "NIC %d: head flit while packet %llu in reassembly",
                    id_,
-                   rxCurrent_
-                       ? static_cast<unsigned long long>(rxCurrent_->id)
+                   current
+                       ? static_cast<unsigned long long>(current->id)
                        : 0ULL);
-        rxCurrent_ = flit.pkt;
-        rxArrived_ = 1;
+        current = flit.pkt;
+        arrived = 1;
     } else {
-        MDW_ASSERT(rxCurrent_ && rxCurrent_->id == flit.pkt->id,
+        MDW_ASSERT(current && current->id == flit.pkt->id,
                    "NIC %d: flit of unexpected packet", id_);
-        ++rxArrived_;
+        ++arrived;
     }
     if (flit.isTail()) {
-        MDW_ASSERT(rxArrived_ == flit.pkt->totalFlits(),
-                   "NIC %d: tail after %d of %d flits", id_, rxArrived_,
+        MDW_ASSERT(arrived == flit.pkt->totalFlits(),
+                   "NIC %d: tail after %d of %d flits", id_, arrived,
                    flit.pkt->totalFlits());
         if (poisoned_ && poisoned_->count(flit.pkt->id) != 0) {
             // A fault truncated this packet in flight and the network
@@ -513,10 +564,10 @@ Nic::stepRx(Cycle now)
             MDW_TRACE_EVENT(tracer_, WormEvent::PoisonDrop, now,
                             flit.pkt->id, flit.pkt->msg, id_, true, 1);
         } else {
-            deliver(rxCurrent_, now);
+            deliver(current, now);
         }
-        rxCurrent_ = nullptr;
-        rxArrived_ = 0;
+        current = nullptr;
+        arrived = 0;
     }
 }
 
@@ -588,6 +639,7 @@ Nic::forwardSwCarrier(PacketPtr pkt, int payloadFlits)
         proto.kind = PacketKind::SwMulticastCarrier;
         proto.headerFlits = swCarrierHeaderFlits(send.delegated.size());
         proto.payloadFlits = payloadFlits;
+        proto.trafficClass = pkt->trafficClass;
         proto.msgPackets = 1;
         proto.msgSeq = 0;
         proto.created = pkt->created;
@@ -617,8 +669,8 @@ void
 Nic::failRx()
 {
     rxFailed_ = true;
-    rxCurrent_ = nullptr;
-    rxArrived_ = 0;
+    std::fill(rxCurrent_.begin(), rxCurrent_.end(), nullptr);
+    std::fill(rxArrived_.begin(), rxArrived_.end(), 0);
     if (sim_ != nullptr)
         requestWake(sim_->now());
 }
@@ -634,8 +686,10 @@ Nic::quiescent(std::string *why) const
     if (!txFailed_ && !txQueue_.empty())
         return complain(std::to_string(txQueue_.size()) +
                         " packet(s) still queued for injection");
-    if (rxCurrent_)
-        return complain("packet mid-reassembly at ejection");
+    for (const PacketPtr &current : rxCurrent_) {
+        if (current)
+            return complain("packet mid-reassembly at ejection");
+    }
     for (const auto &[msg, rx] : rxMessages_) {
         // A segment of a written-off message may legitimately never
         // arrive; only messages the tracker still considers live

@@ -59,6 +59,13 @@ struct NicParams
     /** Ejection-side buffering advertised to the switch (flits). */
     int rxWindowFlits = 16;
     /**
+     * Virtual lanes on the host links; mirrored from the switch
+     * configuration by the network builder. The NIC injects each
+     * packet on its traffic class's static lane and keeps per-lane
+     * credit and reassembly state.
+     */
+    int lanes = 1;
+    /**
      * Largest payload one packet may carry; longer messages are
      * segmented into several packets and reassembled at the
      * receiver (delivery is reported when the last one lands).
@@ -169,7 +176,7 @@ class Nic : public Component
      * @return The message id (for delivery-callback matching).
      */
     MsgId postUnicast(NodeId dest, int payloadFlits, Cycle now,
-                      std::uint64_t token = 0);
+                      std::uint64_t token = 0, int trafficClass = 0);
 
     /**
      * Post a multicast message; expands per the configured scheme
@@ -178,7 +185,8 @@ class Nic : public Component
      * @return The message id (for delivery-callback matching).
      */
     MsgId postMulticast(const DestSet &dests, int payloadFlits,
-                        Cycle now, std::uint64_t token = 0);
+                        Cycle now, std::uint64_t token = 0,
+                        int trafficClass = 0);
 
     /**
      * Emit a 2-flit hardware-barrier arrival token for @p group
@@ -264,13 +272,13 @@ class Nic : public Component
      * allocate a new message id).
      */
     void sendCopies(MsgId msg, const DestSet &dests, bool multicast,
-                    int payloadFlits, Cycle now);
+                    int payloadFlits, int trafficClass, Cycle now);
     /** Filter dests through reachability, writing the rest off. */
     DestSet pruneUnreachable(MsgId msg, const DestSet &dests,
                              Cycle now);
     /** First transmission: prune, arm the retry timer, send. */
     void launch(MsgId msg, const DestSet &dests, bool multicast,
-                int payloadFlits, Cycle now);
+                int payloadFlits, int trafficClass, Cycle now);
     /** Fire retransmissions whose delivery deadline has passed. */
     void checkRetransmits(Cycle now);
     void enqueueJob(PacketDesc proto);
@@ -287,18 +295,26 @@ class Nic : public Component
     McastTracker *tracker_;
     Workload *source_ = nullptr;
 
+    /** Static lane a packet of @p trafficClass is injected on. */
+    int injectLane(int trafficClass) const
+    {
+        return laneClassBase(params_.lanes, trafficClass);
+    }
+
     // Injection side.
     Channel<Flit> *txOut_ = nullptr;
     CreditChannel *txCreditIn_ = nullptr;
-    int txCredits_ = 0;
+    /** Per-lane credits toward the switch input FIFOs. */
+    std::vector<int> txCredits_;
     bool txMcastWholePacket_ = false;
     std::deque<SendJob> txQueue_;
 
-    // Ejection side.
+    // Ejection side. Reassembly is per lane: the switch interleaves
+    // packets of different lanes on the physical ejection link.
     Channel<Flit> *rxIn_ = nullptr;
     CreditChannel *rxCreditOut_ = nullptr;
-    PacketPtr rxCurrent_;
-    int rxArrived_ = 0;
+    std::vector<PacketPtr> rxCurrent_;
+    std::vector<int> rxArrived_;
 
     DeliveryCallback onDelivery_;
 
@@ -317,6 +333,8 @@ class Nic : public Component
         DestSet dests{0};
         int payloadFlits = 0;
         bool multicast = false;
+        /** Lane class of the original send; retransmits keep it. */
+        int trafficClass = 0;
         int attempts = 0;
         Cycle interval = 0;
         Cycle deadline = 0;

@@ -40,6 +40,13 @@ struct MessageSpec
     DestSet dests{0};           // multicast
     int payloadFlits = 64;
     /**
+     * Traffic class for virtual-lane isolation: 0 = bulk (default),
+     * 1 = latency-sensitive. Workloads tag e.g. multicast foreground
+     * traffic so multi-lane switches route it on its own lane
+     * partition. Inert when the fabric runs a single lane.
+     */
+    int trafficClass = 0;
+    /**
      * Workload-private correlation id carried back through
      * onPosted(), so a closed-loop generator can match the MsgId the
      * NIC allocates to the logical operation that emitted the spec.

@@ -39,9 +39,21 @@ struct Flit
     std::uint16_t crc = 0;
     /** Accumulated corruption injected on the wire (0 = clean). */
     std::uint16_t errorMask = 0;
+    /**
+     * Virtual lane this flit travels on. Link-local routing metadata
+     * (like a VC identifier field in a real flit header): it selects
+     * the per-lane buffer at the receiver and is *not* covered by the
+     * link CRC, exactly as real routers protect payload identity but
+     * re-derive VC state per hop.
+     */
+    int lane = 0;
 
     Flit() = default;
     Flit(PacketPtr p, int s) : pkt(std::move(p)), seq(s) {}
+    Flit(PacketPtr p, int s, int l)
+        : pkt(std::move(p)), seq(s), lane(l)
+    {
+    }
 
     bool isHead() const { return seq == 0; }
     bool isTail() const { return seq == pkt->totalFlits() - 1; }

@@ -111,6 +111,13 @@ struct PacketDesc
     int barrierGroup = -1;
 
     /**
+     * Traffic class for virtual-lane allocation: 0 = bulk (default),
+     * 1 = latency-sensitive. Switches map the class onto a lane
+     * partition; with a single lane the field is inert.
+     */
+    int trafficClass = 0;
+
+    /**
      * For SwMulticastCarrier: destinations delegated to the receiver,
      * which it must forward to in later software phases.
      */

@@ -10,10 +10,12 @@ CreditChannel::CreditChannel(std::string name, Cycle delay)
 }
 
 void
-CreditChannel::send(int count, Cycle now)
+CreditChannel::send(int count, Cycle now, int lane)
 {
     MDW_ASSERT(count > 0, "credit channel %s: non-positive grant %d",
                name_.c_str(), count);
+    MDW_ASSERT(lane >= 0, "credit channel %s: negative lane %d",
+               name_.c_str(), lane);
     const Cycle ready = now + delay_;
     totalSends_ += static_cast<std::uint64_t>(count);
     if (boundary_) {
@@ -22,10 +24,11 @@ CreditChannel::send(int count, Cycle now)
         // shard must not touch it mid-phase (the two run
         // concurrently). Quiescence checks only look between cycles,
         // when every mailbox has already been flushed.
-        if (!pending_.empty() && pending_.back().ready == ready) {
+        if (!pending_.empty() && pending_.back().ready == ready &&
+            pending_.back().lane == lane) {
             pending_.back().count += count;
         } else {
-            pending_.push_back(Entry{ready, count});
+            pending_.push_back(Entry{ready, count, lane});
         }
         if (!dirty_) {
             dirty_ = true;
@@ -34,10 +37,11 @@ CreditChannel::send(int count, Cycle now)
         return;
     }
     inFlight_ += count;
-    if (!queue_.empty() && queue_.back().ready == ready) {
+    if (!queue_.empty() && queue_.back().ready == ready &&
+        queue_.back().lane == lane) {
         queue_.back().count += count;
     } else {
-        queue_.push_back(Entry{ready, count});
+        queue_.push_back(Entry{ready, count, lane});
     }
     if (sink_ != nullptr)
         sink_->requestWake(ready);
@@ -65,7 +69,8 @@ CreditChannel::flushBoundary()
     const Cycle first = pending_.front().ready;
     for (const Entry &entry : pending_) {
         inFlight_ += entry.count;
-        if (!queue_.empty() && queue_.back().ready == entry.ready)
+        if (!queue_.empty() && queue_.back().ready == entry.ready &&
+            queue_.back().lane == entry.lane)
             queue_.back().count += entry.count;
         else
             queue_.push_back(entry);
@@ -82,6 +87,26 @@ CreditChannel::receive(Cycle now)
     int total = 0;
     while (!queue_.empty() && queue_.front().ready <= now) {
         total += queue_.front().count;
+        queue_.pop_front();
+    }
+    inFlight_ -= total;
+    return total;
+}
+
+int
+CreditChannel::receiveByLane(Cycle now, std::vector<int> &laneCounts)
+{
+    int total = 0;
+    while (!queue_.empty() && queue_.front().ready <= now) {
+        const Entry &front = queue_.front();
+        MDW_ASSERT(front.lane <
+                       static_cast<int>(laneCounts.size()),
+                   "credit channel %s: grant on lane %d but receiver "
+                   "runs %zu lanes",
+                   name_.c_str(), front.lane, laneCounts.size());
+        laneCounts[static_cast<std::size_t>(front.lane)] +=
+            front.count;
+        total += front.count;
         queue_.pop_front();
     }
     inFlight_ -= total;

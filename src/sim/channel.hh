@@ -258,18 +258,30 @@ class Channel : public BoundaryChannel
 /**
  * Reverse-direction credit carrier. Multiple credits may be granted in
  * the same cycle (e.g. when a whole chunk of flits is drained at
- * once); same-cycle grants are merged into one entry.
+ * once); same-cycle grants for the same lane are merged into one
+ * entry. Each grant is tagged with the virtual lane whose buffer it
+ * replenishes (lane 0 when the link runs a single lane), so the
+ * sender can maintain independent per-lane credit counts over one
+ * physical reverse wire.
  */
 class CreditChannel : public BoundaryChannel
 {
   public:
     explicit CreditChannel(std::string name, Cycle delay = 1);
 
-    /** Grant @p count credits, visible to the receiver after delay. */
-    void send(int count, Cycle now);
+    /** Grant @p count credits for @p lane, visible after delay. */
+    void send(int count, Cycle now, int lane = 0);
 
-    /** Collect all credits that have arrived by @p now. */
+    /** Collect all credits that have arrived by @p now, summed over
+     *  lanes (single-lane receivers). */
     int receive(Cycle now);
+
+    /**
+     * Collect all credits that have arrived by @p now, accumulating
+     * each grant into @p laneCounts[lane]. @p laneCounts must span
+     * every lane the sender grants on. Returns the total collected.
+     */
+    int receiveByLane(Cycle now, std::vector<int> &laneCounts);
 
     /** Switch to boundary mode (see Channel); null reverts. */
     void setBoundary(BoundaryRegistrar *registrar,
@@ -304,6 +316,7 @@ class CreditChannel : public BoundaryChannel
     {
         Cycle ready;
         int count;
+        int lane;
     };
 
     std::string name_;

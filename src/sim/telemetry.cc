@@ -401,6 +401,10 @@ toString(WormEvent event)
         return "replay";
       case WormEvent::LinkFlap:
         return "link_flap";
+      case WormEvent::LaneAlloc:
+        return "lane_alloc";
+      case WormEvent::LaneStall:
+        return "lane_stall";
     }
     return "unknown";
 }

@@ -190,6 +190,11 @@ enum class WormEvent : std::uint8_t
     Replay,
     /** A link-flap window started losing traffic (arg = port). */
     LinkFlap,
+    /** A multi-lane switch assigned a worm its lane (arg = lane). */
+    LaneAlloc,
+    /** A lane had a flit ready but lost the physical-link mux
+     *  (arg = port); only emitted when the switch runs > 1 lane. */
+    LaneStall,
 };
 
 const char *toString(WormEvent event);

@@ -4,6 +4,51 @@
 
 namespace mdw {
 
+const char *
+toString(LaneAlloc alloc)
+{
+    switch (alloc) {
+      case LaneAlloc::StaticClass:
+        return "static";
+      case LaneAlloc::Adaptive:
+        return "adaptive";
+    }
+    return "?";
+}
+
+namespace {
+
+int
+clampLaneClass(int trafficClass)
+{
+    if (trafficClass < 0)
+        return 0;
+    if (trafficClass >= kLaneClasses)
+        return kLaneClasses - 1;
+    return trafficClass;
+}
+
+} // namespace
+
+int
+laneClassBase(int lanes, int trafficClass)
+{
+    MDW_ASSERT(lanes >= 1, "lane partition over %d lanes", lanes);
+    if (lanes == 1)
+        return 0;
+    return clampLaneClass(trafficClass) == 0 ? 0 : (lanes + 1) / 2;
+}
+
+int
+laneClassSize(int lanes, int trafficClass)
+{
+    MDW_ASSERT(lanes >= 1, "lane partition over %d lanes", lanes);
+    if (lanes == 1)
+        return 1;
+    const int split = (lanes + 1) / 2;
+    return clampLaneClass(trafficClass) == 0 ? split : lanes - split;
+}
+
 RoundRobinArbiter::RoundRobinArbiter(int requesters)
     : size_(requesters)
 {

@@ -1,7 +1,8 @@
 /**
  * @file
  * Round-robin arbitration primitives used by switch output ports and
- * the central-queue read/write ports.
+ * the central-queue read/write ports, plus the virtual-lane
+ * allocation policy shared by both switch architectures.
  */
 
 #ifndef MDW_SWITCH_ARBITER_HH
@@ -11,6 +12,45 @@
 #include <vector>
 
 namespace mdw {
+
+/** How a switch maps a packet's traffic class onto a virtual lane. */
+enum class LaneAlloc
+{
+    /**
+     * Each traffic class owns a fixed lane (the base lane of its
+     * class partition). Deterministic and fully isolating: bulk
+     * traffic can never occupy a latency-class lane buffer.
+     */
+    StaticClass,
+    /**
+     * Pick the least-backlogged lane *within* the packet's class
+     * partition, per switch, at header-decode time. Classes still
+     * never share a lane, so isolation holds; the extra lanes of a
+     * partition absorb bursts.
+     */
+    Adaptive,
+};
+
+const char *toString(LaneAlloc alloc);
+
+/** Number of traffic classes the lane partition distinguishes. */
+inline constexpr int kLaneClasses = 2;
+
+/** Most lanes a link may carry; config values above this clamp. */
+inline constexpr int kMaxLanes = 8;
+
+/**
+ * First lane of @p trafficClass's partition when the link runs
+ * @p lanes lanes. Class 0 (bulk) owns [0, ceil(lanes/2)); class 1
+ * (latency-sensitive) owns [ceil(lanes/2), lanes). With lanes == 1
+ * both classes collapse onto lane 0 — no isolation, identical to the
+ * single-lane switch. Out-of-range classes clamp to the nearest
+ * class so a stray tag degrades service instead of crashing.
+ */
+int laneClassBase(int lanes, int trafficClass);
+
+/** Number of lanes in @p trafficClass's partition (>= 1). */
+int laneClassSize(int lanes, int trafficClass);
 
 /**
  * Classic rotating-priority arbiter over a fixed number of

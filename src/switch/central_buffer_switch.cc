@@ -24,29 +24,59 @@ CentralBufferSwitch::CentralBufferSwitch(std::string name, SwitchId id,
     MDW_ASSERT(cbParams_.outputFifoFlits >= cbParams_.chunkFlits,
                "output FIFO must hold at least one chunk");
     const auto radix = static_cast<std::size_t>(routing->radix());
-    inputs_.resize(radix);
-    outputs_.resize(radix);
+    const auto slots = radix * static_cast<std::size_t>(lanes());
+    inputs_.resize(slots);
+    outputs_.resize(slots);
     for (auto &input : inputs_)
         input.freeSlots = cbParams_.inputFifoFlits;
-    writeArb_.resize(static_cast<int>(radix));
-    readArb_.resize(static_cast<int>(radix));
+    writeArb_.resize(static_cast<int>(slots));
+    readArb_.resize(static_cast<int>(slots));
 }
 
 int
 CentralBufferSwitch::inputOccupancy(PortId port) const
 {
-    const auto &input = inputs_.at(static_cast<std::size_t>(port));
-    return cbParams_.inputFifoFlits - input.freeSlots;
+    int occupied = 0;
+    for (int l = 0; l < lanes(); ++l) {
+        const InputState &input =
+            inputs_.at(laneIdx(static_cast<std::size_t>(port), l));
+        occupied += cbParams_.inputFifoFlits - input.freeSlots;
+    }
+    return occupied;
 }
 
 int
-CentralBufferSwitch::outputBacklog(PortId port) const
+CentralBufferSwitch::outputBacklog(PortId port, int lane) const
 {
-    const auto &output = outputs_.at(static_cast<std::size_t>(port));
+    const auto &output =
+        outputs_.at(laneIdx(static_cast<std::size_t>(port), lane));
     int backlog = static_cast<int>(output.queue.size());
     if (!output.idle())
         ++backlog;
     return backlog;
+}
+
+int
+CentralBufferSwitch::laneCost(const RouteDecision &route, int lane) const
+{
+    // Streams the new worm would queue behind on this lane, summed
+    // over the outputs it must acquire.
+    int cost = 0;
+    for (const auto &[port, sub] : route.downBranches) {
+        (void)sub;
+        cost += outputBacklog(port, lane);
+    }
+    if (route.needsUp()) {
+        int best = -1;
+        for (PortId cand : route.upCandidates) {
+            const int backlog = outputBacklog(cand, lane);
+            if (best < 0 || backlog < best)
+                best = backlog;
+        }
+        if (best > 0)
+            cost += best;
+    }
+    return cost;
 }
 
 void
@@ -84,6 +114,12 @@ CentralBufferSwitch::step(Cycle now)
     cqRead(now);
     streamTransmit(now);
     cqOcc_.update(static_cast<double>(cq_.usedChunks()), now);
+    if (lanes() > 1) {
+        int occupied = 0;
+        for (const InputState &input : inputs_)
+            occupied += cbParams_.inputFifoFlits - input.freeSlots;
+        sampleLaneOccupancy(static_cast<double>(occupied), now);
+    }
 }
 
 Cycle
@@ -113,32 +149,36 @@ CentralBufferSwitch::nextWork(Cycle now)
 void
 CentralBufferSwitch::dumpState(FILE *out) const
 {
-    std::fprintf(out, "%s: cq used=%d/%d entries=%zu\n",
+    std::fprintf(out, "%s: cq used=%d/%d entries=%zu (%d lanes)\n",
                  name().c_str(), cq_.usedChunks(), cq_.capacityChunks(),
-                 cq_.entryCount());
+                 cq_.entryCount(), lanes());
     for (std::size_t i = 0; i < inputs_.size(); ++i) {
         const InputState &in = inputs_[i];
         if (in.packets.empty())
             continue;
         const PacketRecord &rec = in.packets.front();
         std::fprintf(out,
-                     "  in%zu mode=%d pkts=%zu head=%s arrived=%d "
-                     "consumed=%d entry=%d free=%d\n",
-                     i, static_cast<int>(in.mode), in.packets.size(),
+                     "  in%zu.%zu mode=%d pkts=%zu head=%s arrived=%d "
+                     "consumed=%d outLane=%d entry=%d free=%d\n",
+                     i / static_cast<std::size_t>(lanes()),
+                     i % static_cast<std::size_t>(lanes()),
+                     static_cast<int>(in.mode), in.packets.size(),
                      rec.pkt->toString().c_str(), rec.arrived,
-                     in.consumed, in.entry, in.freeSlots);
+                     in.consumed, in.outLane, in.entry, in.freeSlots);
     }
     for (std::size_t o = 0; o < outputs_.size(); ++o) {
         const OutputState &out_state = outputs_[o];
         if (out_state.idle() && out_state.queue.empty())
             continue;
+        const std::size_t port = o / static_cast<std::size_t>(lanes());
+        const std::size_t lane = o % static_cast<std::size_t>(lanes());
         std::fprintf(out,
-                     "  out%zu mode=%d queue=%zu fifo=%d read=%d "
+                     "  out%zu.%zu mode=%d queue=%zu fifo=%d read=%d "
                      "sent=%d credits=%d cur=%s\n",
-                     o, static_cast<int>(out_state.mode),
+                     port, lane, static_cast<int>(out_state.mode),
                      out_state.queue.size(), out_state.fifoFlits,
                      out_state.readSeq, out_state.sentSeq,
-                     outs_[o].credits,
+                     outs_[port].credits[lane],
                      out_state.current.branchPkt
                          ? out_state.current.branchPkt->toString().c_str()
                          : "-");
@@ -180,8 +220,7 @@ CentralBufferSwitch::quiescent(std::string *why) const
 void
 CentralBufferSwitch::intake(Cycle now)
 {
-    for (std::size_t i = 0; i < inputs_.size(); ++i) {
-        InputState &input = inputs_[i];
+    for (std::size_t i = 0; i < ins_.size(); ++i) {
         if (ins_[i].failed) {
             // Dead link: whatever was still in flight is lost.
             if (ins_[i].connected() && ins_[i].in->peek(now)) {
@@ -192,10 +231,15 @@ CentralBufferSwitch::intake(Cycle now)
         }
         if (!ins_[i].connected() || !ins_[i].in->peek(now))
             continue;
-        MDW_ASSERT(input.freeSlots > 0,
-                   "switch %d input %zu: flit arrived with full FIFO",
-                   id_, i);
         Flit flit = ins_[i].in->receive(now);
+        MDW_ASSERT(flit.lane >= 0 && flit.lane < lanes(),
+                   "switch %d input %zu: flit on lane %d of %d", id_,
+                   i, flit.lane, lanes());
+        InputState &input = inputs_[laneIdx(i, flit.lane)];
+        MDW_ASSERT(input.freeSlots > 0,
+                   "switch %d input %zu lane %d: flit arrived with "
+                   "full FIFO",
+                   id_, i, flit.lane);
         --input.freeSlots;
         stats_.flitsIn.inc();
         if (flit.isHead()) {
@@ -203,8 +247,9 @@ CentralBufferSwitch::intake(Cycle now)
         } else {
             MDW_ASSERT(!input.packets.empty() &&
                            input.packets.back().pkt->id == flit.pkt->id,
-                       "switch %d input %zu: interleaved packets",
-                       id_, i);
+                       "switch %d input %zu lane %d: interleaved "
+                       "packets",
+                       id_, i, flit.lane);
             ++input.packets.back().arrived;
         }
         if (sim_)
@@ -225,7 +270,8 @@ CentralBufferSwitch::fabricateFailedArrivals(Cycle now)
     // destinations.
     for (std::size_t i = 0; i < inputs_.size(); ++i) {
         InputState &input = inputs_[i];
-        if (!ins_[i].failed || input.packets.empty())
+        if (!ins_[i / static_cast<std::size_t>(lanes())].failed ||
+            input.packets.empty())
             continue;
         PacketRecord &rec = input.packets.back();
         if (rec.arrived >= rec.pkt->totalFlits())
@@ -255,8 +301,10 @@ CentralBufferSwitch::drainTombstones(Cycle now)
             continue;
         input.consumed += n;
         input.freeSlots += n;
-        if (ins_[i].creditOut)
-            ins_[i].creditOut->send(n, now);
+        if (ins_[i / static_cast<std::size_t>(lanes())].creditOut)
+            ins_[i / static_cast<std::size_t>(lanes())].creditOut->send(
+                n, now, static_cast<int>(
+                            i % static_cast<std::size_t>(lanes())));
         stats_.tombstonedFlits.inc(static_cast<std::uint64_t>(n));
         if (sim_)
             sim_->noteProgress();
@@ -328,7 +376,7 @@ CentralBufferSwitch::decide(Cycle now)
         if (rec.pkt->kind == PacketKind::HwMulticast) {
             decideMulticast(i, route, now);
         } else {
-            decideUnicast(i, route);
+            decideUnicast(i, route, now);
         }
     }
 }
@@ -337,17 +385,20 @@ void
 CentralBufferSwitch::consumeBarrierToken(std::size_t i, Cycle now)
 {
     InputState &input = inputs_[i];
+    const std::size_t port = i / static_cast<std::size_t>(lanes());
+    const int lane =
+        static_cast<int>(i % static_cast<std::size_t>(lanes()));
     const PacketRecord rec = input.packets.front();
     input.packets.pop_front();
     input.freeSlots += rec.pkt->totalFlits();
-    if (ins_[i].creditOut)
-        ins_[i].creditOut->send(rec.pkt->totalFlits(), now);
+    if (ins_[port].creditOut)
+        ins_[port].creditOut->send(rec.pkt->totalFlits(), now, lane);
     barrierTokens_.inc();
     if (sim_)
         sim_->noteProgress();
 
     const BarrierUnit::Emit emit = barrier_.onArrive(
-        rec.pkt->barrierGroup, static_cast<PortId>(i));
+        rec.pkt->barrierGroup, static_cast<PortId>(port));
     if (emit.group >= 0)
         barrierEmissions_.push_back(emit);
 }
@@ -383,8 +434,11 @@ CentralBufferSwitch::processBarrierEmissions(Cycle now)
                               route.downBranches.size() - 1));
             }
             int reader = 0;
+            // Barrier releases ride lane 0: they are serial control
+            // traffic, and pinning them keeps the combining tree
+            // independent of the lane configuration.
             for (const auto &[port, sub] : route.downBranches) {
-                outputs_[static_cast<std::size_t>(port)]
+                outputs_[laneIdx(static_cast<std::size_t>(port), 0)]
                     .queue.push_back(QueueItem{entry, reader++,
                                                pruneBranch(pkt, sub)});
             }
@@ -406,7 +460,7 @@ CentralBufferSwitch::processBarrierEmissions(Cycle now)
             const PacketPtr pkt = makePacket_(std::move(desc));
             const auto entry = cq_.addUnreserved(pkt, 1);
             cq_.write(entry, pkt->totalFlits());
-            outputs_[static_cast<std::size_t>(emit.upPort)]
+            outputs_[laneIdx(static_cast<std::size_t>(emit.upPort), 0)]
                 .queue.push_back(QueueItem{entry, 0, pkt});
         }
         barrierEmissions_.pop_front();
@@ -417,18 +471,23 @@ CentralBufferSwitch::processBarrierEmissions(Cycle now)
 
 void
 CentralBufferSwitch::decideUnicast(std::size_t i,
-                                   const RouteDecision &route)
+                                   const RouteDecision &route,
+                                   Cycle now)
 {
     InputState &input = inputs_[i];
     const PacketPtr &pkt = input.packets.front().pkt;
 
+    const int lane =
+        allocLane(*pkt, now, [&](int l) { return laneCost(route, l); });
+    input.outLane = lane;
     PortId target = kInvalidPort;
     PacketPtr branch_pkt;
     if (route.needsUp()) {
         // Prefer an up port we could bypass through right now.
-        target = chooseUpPort(route, *pkt, [this](PortId p) {
-            return outputs_[static_cast<std::size_t>(p)].idle() &&
-                   outputs_[static_cast<std::size_t>(p)].queue.empty();
+        target = chooseUpPort(route, *pkt, lane, [this, lane](PortId p) {
+            const OutputState &out =
+                outputs_[laneIdx(static_cast<std::size_t>(p), lane)];
+            return out.idle() && out.queue.empty();
         });
         branch_pkt = pkt;
     } else {
@@ -439,7 +498,8 @@ CentralBufferSwitch::decideUnicast(std::size_t i,
         branch_pkt = pruneBranch(pkt, route.downBranches.front().second);
     }
 
-    OutputState &output = outputs_[static_cast<std::size_t>(target)];
+    OutputState &output =
+        outputs_[laneIdx(static_cast<std::size_t>(target), lane)];
     stats_.packetsRouted.inc();
     input.consumed = 0;
     if (output.idle() && output.queue.empty()) {
@@ -477,6 +537,14 @@ CentralBufferSwitch::decideMulticast(std::size_t i,
         return;
     }
 
+    // One lane for the whole worm, decided before the branch list:
+    // every replication branch must queue on the same lane class, or
+    // a branch on a bulk lane could stall the shared central-queue
+    // entry behind bulk traffic and defeat the class isolation.
+    const int lane =
+        allocLane(*pkt, now, [&](int l) { return laneCost(route, l); });
+    input.outLane = lane;
+
     // Materialize branch list: down branches plus at most one up port
     // (adaptive choice prefers the least-backlogged candidate).
     std::vector<std::pair<PortId, PacketPtr>> branches;
@@ -484,14 +552,14 @@ CentralBufferSwitch::decideMulticast(std::size_t i,
     for (const auto &[port, sub] : route.downBranches)
         branches.emplace_back(port, pruneBranch(pkt, sub));
     if (route.needsUp()) {
-        PortId best = chooseUpPort(route, *pkt, [this](PortId p) {
-            return outputBacklog(p) == 0;
+        PortId best = chooseUpPort(route, *pkt, lane, [this, lane](PortId p) {
+            return outputBacklog(p, lane) == 0;
         });
         if (params_.upPolicy == UpPortPolicy::Adaptive) {
             // Refine: among candidates pick minimum backlog.
-            int best_cost = outputBacklog(best);
+            int best_cost = outputBacklog(best, lane);
             for (PortId cand : route.upCandidates) {
-                const int cost = outputBacklog(cand);
+                const int cost = outputBacklog(cand, lane);
                 if (cost < best_cost) {
                     best_cost = cost;
                     best = cand;
@@ -513,7 +581,8 @@ CentralBufferSwitch::decideMulticast(std::size_t i,
                   static_cast<std::int32_t>(branches.size() - 1));
     }
     for (std::size_t b = 0; b < branches.size(); ++b) {
-        outputs_[static_cast<std::size_t>(branches[b].first)]
+        outputs_[laneIdx(static_cast<std::size_t>(branches[b].first),
+                         lane)]
             .queue.push_back(QueueItem{input.entry, static_cast<int>(b),
                                        std::move(branches[b].second)});
     }
@@ -522,59 +591,82 @@ CentralBufferSwitch::decideMulticast(std::size_t i,
 void
 CentralBufferSwitch::bypassTransmit(Cycle now)
 {
-    for (std::size_t o = 0; o < outputs_.size(); ++o) {
-        OutputState &output = outputs_[o];
-        if (output.mode != OutputState::Mode::Bypass)
-            continue;
-        InputState &input =
-            inputs_[static_cast<std::size_t>(output.bypassInput)];
-        const PacketRecord &rec = input.packets.front();
-        OutPort &port = outs_[o];
+    for (std::size_t p = 0; p < outs_.size(); ++p) {
+        OutPort &port = outs_[p];
+        // Latency-class lanes are served first, rotating within each
+        // class partition (see serviceLane); with one lane this is
+        // lane 0 every cycle (the pre-lane iteration order).
+        for (int k = 0; k < lanes(); ++k) {
+            const int lane = serviceLane(now, k);
+            OutputState &output = outputs_[laneIdx(p, lane)];
+            if (output.mode != OutputState::Mode::Bypass)
+                continue;
+            InputState &input =
+                inputs_[static_cast<std::size_t>(output.bypassInput)];
+            const PacketRecord &rec = input.packets.front();
+            const std::size_t in_port =
+                static_cast<std::size_t>(output.bypassInput) /
+                static_cast<std::size_t>(lanes());
+            const int in_lane = static_cast<int>(
+                static_cast<std::size_t>(output.bypassInput) %
+                static_cast<std::size_t>(lanes()));
 
-        if (input.consumed >= rec.arrived)
-            continue;
-        if (port.failed) {
-            // Tombstone sink: swallow the flit, free the input slot.
+            if (input.consumed >= rec.arrived)
+                continue;
+            if (port.failed) {
+                // Tombstone sink: swallow the flit, free the input
+                // slot.
+                ++output.sentSeq;
+                ++input.consumed;
+                ++input.freeSlots;
+                if (ins_[in_port].creditOut)
+                    ins_[in_port].creditOut->send(1, now, in_lane);
+                noteTombstone();
+                if (sim_)
+                    sim_->noteProgress();
+                if (output.sentSeq == input.bypassPkt->totalFlits()) {
+                    output.mode = OutputState::Mode::Idle;
+                    output.bypassInput = -1;
+                    output.sentSeq = 0;
+                    finishHeadPacket(input);
+                }
+                continue;
+            }
+            if (port.credits[static_cast<std::size_t>(lane)] < 1 ||
+                portThrottled(port, now))
+                continue;
+            if (port.out->busy(now)) {
+                // The physical link already carried another lane's
+                // flit this cycle; this lane was otherwise ready.
+                if (lanes() > 1 &&
+                    !(output.sentSeq == 0 &&
+                      !canStartPacket(port, lane, *input.bypassPkt)))
+                    noteLaneStall(now, *input.bypassPkt, p);
+                continue;
+            }
+            if (output.sentSeq == 0 &&
+                !canStartPacket(port, lane, *input.bypassPkt))
+                continue;
+            port.out->send(Flit{input.bypassPkt, output.sentSeq, lane},
+                           now);
             ++output.sentSeq;
+            --port.credits[static_cast<std::size_t>(lane)];
             ++input.consumed;
             ++input.freeSlots;
-            if (ins_[output.bypassInput].creditOut)
-                ins_[output.bypassInput].creditOut->send(1, now);
-            noteTombstone();
+            if (ins_[in_port].creditOut)
+                ins_[in_port].creditOut->send(1, now, in_lane);
+            notePortSend(p, lane);
             if (sim_)
                 sim_->noteProgress();
+
             if (output.sentSeq == input.bypassPkt->totalFlits()) {
+                traceWorm(WormEvent::TailDrain, now, *input.bypassPkt,
+                          static_cast<std::int32_t>(p));
                 output.mode = OutputState::Mode::Idle;
                 output.bypassInput = -1;
                 output.sentSeq = 0;
                 finishHeadPacket(input);
             }
-            continue;
-        }
-        if (port.credits < 1 || port.out->busy(now) ||
-            portThrottled(port, now))
-            continue;
-        if (output.sentSeq == 0 &&
-            !canStartPacket(port, *input.bypassPkt))
-            continue;
-        port.out->send(Flit{input.bypassPkt, output.sentSeq}, now);
-        ++output.sentSeq;
-        --port.credits;
-        ++input.consumed;
-        ++input.freeSlots;
-        if (ins_[output.bypassInput].creditOut)
-            ins_[output.bypassInput].creditOut->send(1, now);
-        notePortSend(o);
-        if (sim_)
-            sim_->noteProgress();
-
-        if (output.sentSeq == input.bypassPkt->totalFlits()) {
-            traceWorm(WormEvent::TailDrain, now, *input.bypassPkt,
-                      static_cast<std::int32_t>(o));
-            output.mode = OutputState::Mode::Idle;
-            output.bypassInput = -1;
-            output.sentSeq = 0;
-            finishHeadPacket(input);
         }
     }
 }
@@ -618,8 +710,13 @@ CentralBufferSwitch::cqWrite(Cycle now)
     cq_.write(input.entry, n);
     input.consumed += n;
     input.freeSlots += n;
-    if (ins_[winner].creditOut)
-        ins_[winner].creditOut->send(n, now);
+    const std::size_t in_port = static_cast<std::size_t>(winner) /
+                                static_cast<std::size_t>(lanes());
+    const int in_lane =
+        static_cast<int>(static_cast<std::size_t>(winner) %
+                         static_cast<std::size_t>(lanes()));
+    if (ins_[in_port].creditOut)
+        ins_[in_port].creditOut->send(n, now, in_lane);
     if (sim_)
         sim_->noteProgress();
 
@@ -636,6 +733,7 @@ CentralBufferSwitch::finishHeadPacket(InputState &input)
     input.packets.pop_front();
     input.mode = InMode::Deciding;
     input.consumed = 0;
+    input.outLane = 0;
     input.bypassPort = kInvalidPort;
     input.bypassPkt = nullptr;
     input.entry = CentralQueue::kNoEntry;
@@ -697,56 +795,69 @@ CentralBufferSwitch::cqRead(Cycle now)
 void
 CentralBufferSwitch::streamTransmit(Cycle now)
 {
-    for (std::size_t o = 0; o < outputs_.size(); ++o) {
-        OutputState &output = outputs_[o];
-        if (output.mode != OutputState::Mode::Stream)
-            continue;
-        if (output.fifoFlits <= 0)
-            continue;
-        OutPort &port = outs_[o];
-        if (port.failed) {
-            // Tombstone sink: consume at wire speed so the central
-            // queue's reader advances and chunks recycle.
-            const PacketPtr &dead = output.current.branchPkt;
+    for (std::size_t p = 0; p < outs_.size(); ++p) {
+        OutPort &port = outs_[p];
+        // Same lane service order as bypassTransmit (lane 0 at L=1).
+        for (int k = 0; k < lanes(); ++k) {
+            const int lane = serviceLane(now, k);
+            OutputState &output = outputs_[laneIdx(p, lane)];
+            if (output.mode != OutputState::Mode::Stream)
+                continue;
+            if (output.fifoFlits <= 0)
+                continue;
+            if (port.failed) {
+                // Tombstone sink: consume at wire speed so the central
+                // queue's reader advances and chunks recycle.
+                const PacketPtr &dead = output.current.branchPkt;
+                ++output.sentSeq;
+                --output.fifoFlits;
+                noteTombstone();
+                if (sim_)
+                    sim_->noteProgress();
+                if (output.sentSeq == dead->totalFlits()) {
+                    output.mode = OutputState::Mode::Idle;
+                    output.fifoFlits = 0;
+                    output.readSeq = 0;
+                    output.sentSeq = 0;
+                    output.current = QueueItem{};
+                }
+                continue;
+            }
+            const PacketPtr &pkt = output.current.branchPkt;
+            if (port.credits[static_cast<std::size_t>(lane)] < 1 ||
+                portThrottled(port, now))
+                continue;
+            if (port.out->busy(now)) {
+                // The physical link already carried another lane's
+                // flit this cycle; this lane was otherwise ready.
+                if (lanes() > 1 &&
+                    !(output.sentSeq == 0 &&
+                      !canStartPacket(port, lane, *pkt)))
+                    noteLaneStall(now, *pkt, p);
+                continue;
+            }
+            if (output.sentSeq == 0 && !canStartPacket(port, lane, *pkt)) {
+                stats_.reservationStallCycles.inc();
+                traceWorm(WormEvent::ReserveStall, now, *pkt,
+                          static_cast<std::int32_t>(p));
+                continue;
+            }
+            port.out->send(Flit{pkt, output.sentSeq, lane}, now);
             ++output.sentSeq;
             --output.fifoFlits;
-            noteTombstone();
+            --port.credits[static_cast<std::size_t>(lane)];
+            notePortSend(p, lane);
             if (sim_)
                 sim_->noteProgress();
-            if (output.sentSeq == dead->totalFlits()) {
+            if (output.sentSeq == pkt->totalFlits()) {
+                traceWorm(WormEvent::TailDrain, now, *pkt,
+                          static_cast<std::int32_t>(p));
                 output.mode = OutputState::Mode::Idle;
                 output.fifoFlits = 0;
                 output.readSeq = 0;
                 output.sentSeq = 0;
                 output.current = QueueItem{};
             }
-            continue;
-        }
-        if (port.credits < 1 || port.out->busy(now) ||
-            portThrottled(port, now))
-            continue;
-        const PacketPtr &pkt = output.current.branchPkt;
-        if (output.sentSeq == 0 && !canStartPacket(port, *pkt)) {
-            stats_.reservationStallCycles.inc();
-            traceWorm(WormEvent::ReserveStall, now, *pkt,
-                      static_cast<std::int32_t>(o));
-            continue;
-        }
-        port.out->send(Flit{pkt, output.sentSeq}, now);
-        ++output.sentSeq;
-        --output.fifoFlits;
-        --port.credits;
-        notePortSend(o);
-        if (sim_)
-            sim_->noteProgress();
-        if (output.sentSeq == pkt->totalFlits()) {
-            traceWorm(WormEvent::TailDrain, now, *pkt,
-                      static_cast<std::int32_t>(o));
-            output.mode = OutputState::Mode::Idle;
-            output.fifoFlits = 0;
-            output.readSeq = 0;
-            output.sentSeq = 0;
-            output.current = QueueItem{};
         }
     }
 }

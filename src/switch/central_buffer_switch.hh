@@ -124,6 +124,10 @@ class CentralBufferSwitch : public SwitchBase
         int arrived = 0;
     };
 
+    /**
+     * Per-(input port, lane) FIFO state, laneIdx-flattened: each lane
+     * owns an independent FIFO of the full advertised window.
+     */
     struct InputState
     {
         std::deque<PacketRecord> packets;
@@ -131,6 +135,10 @@ class CentralBufferSwitch : public SwitchBase
         InMode mode = InMode::Deciding;
         /** Head-packet flits taken out of the FIFO so far. */
         int consumed = 0;
+        /** Output lane the head packet was allocated at decode; every
+         *  replication branch is queued on it (branch-consistent lane
+         *  reservation). */
+        int outLane = 0;
         /** Bypass: target output and pruned descriptor. */
         PortId bypassPort = kInvalidPort;
         PacketPtr bypassPkt;
@@ -146,6 +154,9 @@ class CentralBufferSwitch : public SwitchBase
         PacketPtr branchPkt;
     };
 
+    /** Per-(output port, lane) service state, laneIdx-flattened. The
+     *  bypass input is a flattened (port, lane) index as well; all
+     *  lanes of one port share the physical link downstream. */
     struct OutputState
     {
         enum class Mode { Idle, Bypass, Stream } mode = Mode::Idle;
@@ -172,7 +183,8 @@ class CentralBufferSwitch : public SwitchBase
     void consumeBarrierToken(std::size_t i, Cycle now);
     /** Try to inject pending barrier emissions into the queue. */
     void processBarrierEmissions(Cycle now);
-    void decideUnicast(std::size_t input, const RouteDecision &route);
+    void decideUnicast(std::size_t input, const RouteDecision &route,
+                       Cycle now);
     void decideMulticast(std::size_t input, const RouteDecision &route,
                          Cycle now);
     void bypassTransmit(Cycle now);
@@ -183,7 +195,9 @@ class CentralBufferSwitch : public SwitchBase
     void finishHeadPacket(InputState &input);
 
     /** Queue-length cost used by adaptive up-port choice. */
-    int outputBacklog(PortId port) const;
+    int outputBacklog(PortId port, int lane) const;
+    /** Adaptive lane cost: backlog of the required outputs on @p lane. */
+    int laneCost(const RouteDecision &route, int lane) const;
 
     /** Inputs currently stalled on a failed chunk reservation. */
     int reservationWaiters_ = 0;
@@ -195,6 +209,7 @@ class CentralBufferSwitch : public SwitchBase
     ReleaseFactory releaseFactory_;
     std::deque<BarrierUnit::Emit> barrierEmissions_;
     Counter barrierTokens_;
+    /** laneIdx-flattened: (port, lane) for ports 0..radix. */
     std::vector<InputState> inputs_;
     std::vector<OutputState> outputs_;
     RoundRobinArbiter writeArb_;

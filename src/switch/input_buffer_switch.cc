@@ -15,14 +15,15 @@ InputBufferSwitch::InputBufferSwitch(std::string name, SwitchId id,
 {
     MDW_ASSERT(ibParams_.bufferFlits > 0, "input buffer must be > 0");
     const auto radix = static_cast<std::size_t>(routing->radix());
-    inputs_.resize(radix);
-    outputs_.resize(radix);
-    outputArb_.resize(radix);
+    const auto slots = radix * static_cast<std::size_t>(lanes());
+    inputs_.resize(slots);
+    outputs_.resize(slots);
+    outputArb_.resize(slots);
     for (auto &input : inputs_)
         input.freeSlots = ibParams_.bufferFlits;
     for (auto &arb : outputArb_)
-        arb.resize(static_cast<int>(radix));
-    syncArb_.resize(static_cast<int>(radix));
+        arb.resize(static_cast<int>(slots));
+    syncArb_.resize(static_cast<int>(slots));
 }
 
 bool
@@ -40,30 +41,44 @@ InputBufferSwitch::fullyGranted(const InputState &input)
 int
 InputBufferSwitch::bufferOccupancy(PortId port) const
 {
-    const auto &input = inputs_.at(static_cast<std::size_t>(port));
-    return ibParams_.bufferFlits - input.freeSlots;
+    int occupied = 0;
+    for (int l = 0; l < lanes(); ++l) {
+        const InputState &input =
+            inputs_.at(laneIdx(static_cast<std::size_t>(port), l));
+        occupied += ibParams_.bufferFlits - input.freeSlots;
+    }
+    return occupied;
 }
 
 bool
 InputBufferSwitch::outputBusy(PortId port) const
 {
-    return outputs_.at(static_cast<std::size_t>(port)).busy();
+    for (int l = 0; l < lanes(); ++l) {
+        if (outputs_.at(laneIdx(static_cast<std::size_t>(port), l))
+                .busy())
+            return true;
+    }
+    return false;
 }
 
 void
 InputBufferSwitch::dumpState(FILE *out) const
 {
-    std::fprintf(out, "%s: input-buffer switch\n", name().c_str());
+    std::fprintf(out, "%s: input-buffer switch (%d lanes)\n",
+                 name().c_str(), lanes());
     for (std::size_t i = 0; i < inputs_.size(); ++i) {
         const InputState &in = inputs_[i];
         if (in.packets.empty())
             continue;
         const PacketRecord &rec = in.packets.front();
         std::fprintf(out,
-                     "  in%zu pkts=%zu head=%s arrived=%d released=%d "
-                     "decoded=%d upPending=%d free=%d\n",
-                     i, in.packets.size(), rec.pkt->toString().c_str(),
-                     rec.arrived, in.released, in.decoded,
+                     "  in%zu.%zu pkts=%zu head=%s arrived=%d "
+                     "released=%d decoded=%d outLane=%d upPending=%d "
+                     "free=%d\n",
+                     i / static_cast<std::size_t>(lanes()),
+                     i % static_cast<std::size_t>(lanes()),
+                     in.packets.size(), rec.pkt->toString().c_str(),
+                     rec.arrived, in.released, in.decoded, in.outLane,
                      in.upPending, in.freeSlots);
         for (const Branch &branch : in.branches) {
             std::fprintf(out, "    branch port=%d sent=%d granted=%d\n",
@@ -73,9 +88,12 @@ InputBufferSwitch::dumpState(FILE *out) const
     for (std::size_t o = 0; o < outputs_.size(); ++o) {
         if (!outputs_[o].busy())
             continue;
-        std::fprintf(out, "  out%zu bound to in%d branch %d credits=%d\n",
-                     o, outputs_[o].boundInput,
-                     outputs_[o].boundBranch, outs_[o].credits);
+        const std::size_t port = o / static_cast<std::size_t>(lanes());
+        const std::size_t lane = o % static_cast<std::size_t>(lanes());
+        std::fprintf(out,
+                     "  out%zu.%zu bound to in%d branch %d credits=%d\n",
+                     port, lane, outputs_[o].boundInput,
+                     outputs_[o].boundBranch, outs_[port].credits[lane]);
     }
 }
 
@@ -95,6 +113,12 @@ InputBufferSwitch::step(Cycle now)
         transmit(now);
     }
     release(now);
+    if (lanes() > 1) {
+        int occupied = 0;
+        for (const InputState &input : inputs_)
+            occupied += ibParams_.bufferFlits - input.freeSlots;
+        sampleLaneOccupancy(static_cast<double>(occupied), now);
+    }
 }
 
 Cycle
@@ -117,8 +141,7 @@ InputBufferSwitch::nextWork(Cycle now)
 void
 InputBufferSwitch::intake(Cycle now)
 {
-    for (std::size_t i = 0; i < inputs_.size(); ++i) {
-        InputState &input = inputs_[i];
+    for (std::size_t i = 0; i < ins_.size(); ++i) {
         if (!ins_[i].connected() || !ins_[i].in->peek(now))
             continue;
         if (ins_[i].failed) {
@@ -128,11 +151,15 @@ InputBufferSwitch::intake(Cycle now)
             noteTombstone();
             continue;
         }
-        MDW_ASSERT(input.freeSlots > 0,
-                   "switch %d input %zu: flit arrived with full buffer "
-                   "(credit protocol violated)",
-                   id_, i);
         Flit flit = ins_[i].in->receive(now);
+        MDW_ASSERT(flit.lane >= 0 && flit.lane < lanes(),
+                   "switch %d input %zu: flit on lane %d of %d", id_,
+                   i, flit.lane, lanes());
+        InputState &input = inputs_[laneIdx(i, flit.lane)];
+        MDW_ASSERT(input.freeSlots > 0,
+                   "switch %d input %zu lane %d: flit arrived with "
+                   "full buffer (credit protocol violated)",
+                   id_, i, flit.lane);
         --input.freeSlots;
         stats_.flitsIn.inc();
         if (flit.isHead()) {
@@ -145,9 +172,9 @@ InputBufferSwitch::intake(Cycle now)
         } else {
             MDW_ASSERT(!input.packets.empty() &&
                            input.packets.back().pkt->id == flit.pkt->id,
-                       "switch %d input %zu: interleaved packets on "
-                       "one link",
-                       id_, i);
+                       "switch %d input %zu lane %d: interleaved "
+                       "packets on one lane",
+                       id_, i, flit.lane);
             ++input.packets.back().arrived;
         }
         if (sim_)
@@ -159,7 +186,7 @@ void
 InputBufferSwitch::fabricateFailedArrivals()
 {
     for (std::size_t i = 0; i < inputs_.size(); ++i) {
-        if (!ins_[i].failed)
+        if (!ins_[i / static_cast<std::size_t>(lanes())].failed)
             continue;
         InputState &input = inputs_[i];
         if (input.packets.empty())
@@ -177,6 +204,32 @@ InputBufferSwitch::fabricateFailedArrivals()
         if (sim_)
             sim_->noteProgress();
     }
+}
+
+int
+InputBufferSwitch::laneCost(const RouteDecision &route, int lane) const
+{
+    // Busy required output slots on this lane: each one is a stream
+    // the new worm would queue behind.
+    int cost = 0;
+    for (const auto &[port, sub] : route.downBranches) {
+        (void)sub;
+        if (outputs_[laneIdx(static_cast<std::size_t>(port), lane)]
+                .busy())
+            ++cost;
+    }
+    if (route.needsUp()) {
+        bool any_free = false;
+        for (PortId cand : route.upCandidates) {
+            if (!outputs_[laneIdx(static_cast<std::size_t>(cand),
+                                  lane)]
+                     .busy())
+                any_free = true;
+        }
+        if (!any_free)
+            ++cost;
+    }
+    return cost;
 }
 
 void
@@ -205,6 +258,14 @@ InputBufferSwitch::decodeHeads(Cycle now)
             stats_.packetsRouted.inc();
             continue;
         }
+        // One lane choice per worm, applied to every replication
+        // branch: a multidestination worm must hold the same lane
+        // class on all of its output branches, or a branch on a bulk
+        // lane could stall the whole worm behind bulk traffic and
+        // defeat the class isolation.
+        input.outLane = allocLane(*rec.pkt, now, [&](int lane) {
+            return laneCost(route, lane);
+        });
         input.branches.clear();
         input.branches.reserve(route.downBranches.size() + 1);
         for (const auto &[port, sub] : route.downBranches)
@@ -213,7 +274,8 @@ InputBufferSwitch::decodeHeads(Cycle now)
         input.upPending = false;
         if (route.needsUp()) {
             if (params_.upPolicy == UpPortPolicy::Deterministic) {
-                const PortId up = chooseUpPort(route, *rec.pkt, nullptr);
+                const PortId up = chooseUpPort(route, *rec.pkt,
+                                               input.outLane, nullptr);
                 input.branches.push_back(
                     Branch{up, pruneBranch(rec.pkt, route.upDests), 0,
                            false});
@@ -240,20 +302,24 @@ void
 InputBufferSwitch::arbitrate()
 {
     for (std::size_t o = 0; o < outputs_.size(); ++o) {
-        if (outputs_[o].busy() || !outs_[o].connected())
+        const std::size_t port = o / static_cast<std::size_t>(lanes());
+        const int lane = static_cast<int>(
+            o % static_cast<std::size_t>(lanes()));
+        if (outputs_[o].busy() || !outs_[port].connected())
             continue;
-        // Gather inputs requesting this output: a concrete ungranted
-        // branch, or an unresolved adaptive up-port request.
+        // Gather inputs requesting this (output, lane): a concrete
+        // ungranted branch on this lane, or an unresolved adaptive
+        // up-port request whose worm was allocated this lane.
         std::vector<bool> request(inputs_.size(), false);
         std::vector<int> branchOf(inputs_.size(), -1);
         for (std::size_t i = 0; i < inputs_.size(); ++i) {
             InputState &input = inputs_[i];
-            if (!input.decoded)
+            if (!input.decoded || input.outLane != lane)
                 continue;
             for (std::size_t b = 0; b < input.branches.size(); ++b) {
                 const Branch &branch = input.branches[b];
                 if (!branch.granted && !branch.done() &&
-                    branch.port == static_cast<PortId>(o)) {
+                    branch.port == static_cast<PortId>(port)) {
                     request[i] = true;
                     branchOf[i] = static_cast<int>(b);
                 }
@@ -261,7 +327,7 @@ InputBufferSwitch::arbitrate()
             if (!request[i] && input.upPending &&
                 std::find(input.upCandidates.begin(),
                           input.upCandidates.end(),
-                          static_cast<PortId>(o)) !=
+                          static_cast<PortId>(port)) !=
                     input.upCandidates.end()) {
                 request[i] = true;
                 branchOf[i] = -2; // up request marker
@@ -277,7 +343,7 @@ InputBufferSwitch::arbitrate()
             // Adaptive up request: materialize the up branch here.
             const PacketPtr &pkt = input.packets.front().pkt;
             input.branches.push_back(
-                Branch{static_cast<PortId>(o),
+                Branch{static_cast<PortId>(port),
                        pruneBranch(pkt, input.upDests), 0, true});
             input.upPending = false;
             branch_idx = static_cast<int>(input.branches.size()) - 1;
@@ -293,54 +359,73 @@ InputBufferSwitch::arbitrate()
 void
 InputBufferSwitch::transmit(Cycle now)
 {
-    for (std::size_t o = 0; o < outputs_.size(); ++o) {
-        OutputState &output = outputs_[o];
-        if (!output.busy())
-            continue;
-        OutPort &port = outs_[o];
-        InputState &input =
-            inputs_[static_cast<std::size_t>(output.boundInput)];
-        Branch &branch =
-            input.branches[static_cast<std::size_t>(output.boundBranch)];
-        const PacketRecord &rec = input.packets.front();
-        MDW_ASSERT(rec.pkt->id == branch.pkt->id,
-                   "output %zu bound to a non-head packet", o);
+    for (std::size_t port = 0; port < outs_.size(); ++port) {
+        OutPort &out_port = outs_[port];
+        // Latency-class lanes are served first, rotating within each
+        // class partition (see serviceLane); with one lane this is
+        // lane 0 every cycle (the pre-lane iteration order).
+        for (int k = 0; k < lanes(); ++k) {
+            const int lane = serviceLane(now, k);
+            OutputState &output = outputs_[laneIdx(port, lane)];
+            if (!output.busy())
+                continue;
+            InputState &input =
+                inputs_[static_cast<std::size_t>(output.boundInput)];
+            Branch &branch =
+                input.branches[static_cast<std::size_t>(
+                    output.boundBranch)];
+            const PacketRecord &rec = input.packets.front();
+            MDW_ASSERT(rec.pkt->id == branch.pkt->id,
+                       "output %zu bound to a non-head packet", port);
 
-        if (branch.sent >= rec.arrived)
-            continue; // flit not yet in the buffer
-        if (port.failed) {
-            // Tombstone sink: swallow the flit at wire speed so the
-            // buffer slot recycles and sibling branches keep going.
+            if (branch.sent >= rec.arrived)
+                continue; // flit not yet in the buffer
+            if (out_port.failed) {
+                // Tombstone sink: swallow the flit at wire speed so
+                // the buffer slot recycles and sibling branches keep
+                // going.
+                ++branch.sent;
+                noteTombstone();
+                if (sim_)
+                    sim_->noteProgress();
+                if (branch.done()) {
+                    output.boundInput = -1;
+                    output.boundBranch = -1;
+                }
+                continue;
+            }
+            if (out_port.credits[static_cast<std::size_t>(lane)] < 1 ||
+                portThrottled(out_port, now))
+                continue;
+            if (out_port.out->busy(now)) {
+                // The physical link already carried another lane's
+                // flit this cycle; this lane was otherwise ready.
+                if (lanes() > 1 &&
+                    !(branch.sent == 0 &&
+                      !canStartPacket(out_port, lane, *branch.pkt)))
+                    noteLaneStall(now, *branch.pkt, port);
+                continue;
+            }
+            if (branch.sent == 0 &&
+                !canStartPacket(out_port, lane, *branch.pkt)) {
+                stats_.reservationStallCycles.inc();
+                traceWorm(WormEvent::ReserveStall, now, *branch.pkt,
+                          static_cast<std::int32_t>(port));
+                continue;
+            }
+            out_port.out->send(Flit{branch.pkt, branch.sent, lane},
+                               now);
             ++branch.sent;
-            noteTombstone();
+            --out_port.credits[static_cast<std::size_t>(lane)];
+            notePortSend(port, lane);
             if (sim_)
                 sim_->noteProgress();
             if (branch.done()) {
+                traceWorm(WormEvent::TailDrain, now, *branch.pkt,
+                          static_cast<std::int32_t>(port));
                 output.boundInput = -1;
                 output.boundBranch = -1;
             }
-            continue;
-        }
-        if (port.credits < 1 || port.out->busy(now) ||
-            portThrottled(port, now))
-            continue;
-        if (branch.sent == 0 && !canStartPacket(port, *branch.pkt)) {
-            stats_.reservationStallCycles.inc();
-            traceWorm(WormEvent::ReserveStall, now, *branch.pkt,
-                      static_cast<std::int32_t>(o));
-            continue;
-        }
-        port.out->send(Flit{branch.pkt, branch.sent}, now);
-        ++branch.sent;
-        --port.credits;
-        notePortSend(o);
-        if (sim_)
-            sim_->noteProgress();
-        if (branch.done()) {
-            traceWorm(WormEvent::TailDrain, now, *branch.pkt,
-                      static_cast<std::int32_t>(o));
-            output.boundInput = -1;
-            output.boundBranch = -1;
         }
     }
 }
@@ -349,8 +434,9 @@ void
 InputBufferSwitch::arbitrateSync()
 {
     // All-or-nothing acquisition (no hold-and-wait): an input gets
-    // every output port its head packet needs in one shot, or none.
-    // Inputs are served in round-robin order for fairness.
+    // every output (port, lane) slot its head packet needs in one
+    // shot, or none. Inputs are served in round-robin order for
+    // fairness.
     std::vector<bool> ready(inputs_.size(), false);
     for (std::size_t i = 0; i < inputs_.size(); ++i) {
         const InputState &input = inputs_[i];
@@ -369,9 +455,10 @@ InputBufferSwitch::arbitrateSync()
             return;
         ready[static_cast<std::size_t>(i)] = false;
         InputState &input = inputs_[static_cast<std::size_t>(i)];
+        const int lane = input.outLane;
 
         // Collect the full port set: ungranted branches plus, if
-        // unresolved, one free up candidate.
+        // unresolved, one free up candidate — all on the worm's lane.
         std::vector<PortId> needed;
         for (const Branch &branch : input.branches) {
             if (!branch.granted)
@@ -380,7 +467,9 @@ InputBufferSwitch::arbitrateSync()
         PortId up_choice = kInvalidPort;
         if (input.upPending) {
             for (PortId cand : input.upCandidates) {
-                if (!outputs_[static_cast<std::size_t>(cand)].busy()) {
+                if (!outputs_[laneIdx(static_cast<std::size_t>(cand),
+                                      lane)]
+                         .busy()) {
                     up_choice = cand;
                     break;
                 }
@@ -392,7 +481,8 @@ InputBufferSwitch::arbitrateSync()
 
         bool all_free = true;
         for (PortId port : needed) {
-            if (outputs_[static_cast<std::size_t>(port)].busy()) {
+            if (outputs_[laneIdx(static_cast<std::size_t>(port), lane)]
+                    .busy()) {
                 all_free = false;
                 break;
             }
@@ -412,8 +502,8 @@ InputBufferSwitch::arbitrateSync()
             if (branch.granted)
                 continue;
             branch.granted = true;
-            OutputState &output =
-                outputs_[static_cast<std::size_t>(branch.port)];
+            OutputState &output = outputs_[laneIdx(
+                static_cast<std::size_t>(branch.port), lane)];
             output.boundInput = i;
             output.boundBranch = static_cast<int>(b);
         }
@@ -428,6 +518,7 @@ InputBufferSwitch::transmitSync(Cycle now)
         if (!fullyGranted(input))
             continue;
         const PacketRecord &rec = input.packets.front();
+        const int lane = input.outLane;
         const int sent = input.branches.front().sent;
         if (sent >= rec.arrived)
             continue;
@@ -445,9 +536,10 @@ InputBufferSwitch::transmitSync(Cycle now)
                 outs_[static_cast<std::size_t>(branch.port)];
             if (port.failed)
                 continue; // tombstone sink always accepts
-            if (port.credits < 1 || port.out->busy(now) ||
-                portThrottled(port, now) ||
-                (sent == 0 && !canStartPacket(port, *branch.pkt))) {
+            if (port.credits[static_cast<std::size_t>(lane)] < 1 ||
+                port.out->busy(now) || portThrottled(port, now) ||
+                (sent == 0 &&
+                 !canStartPacket(port, lane, *branch.pkt))) {
                 all_can = false;
                 break;
             }
@@ -470,10 +562,10 @@ InputBufferSwitch::transmitSync(Cycle now)
                 done = branch.done();
                 continue;
             }
-            port.out->send(Flit{branch.pkt, branch.sent}, now);
+            port.out->send(Flit{branch.pkt, branch.sent, lane}, now);
             ++branch.sent;
-            --port.credits;
-            notePortSend(static_cast<std::size_t>(branch.port));
+            --port.credits[static_cast<std::size_t>(lane)];
+            notePortSend(static_cast<std::size_t>(branch.port), lane);
             done = branch.done();
         }
         if (sim_)
@@ -481,8 +573,8 @@ InputBufferSwitch::transmitSync(Cycle now)
         if (done) {
             traceWorm(WormEvent::TailDrain, now, *rec.pkt);
             for (const Branch &branch : input.branches) {
-                OutputState &output =
-                    outputs_[static_cast<std::size_t>(branch.port)];
+                OutputState &output = outputs_[laneIdx(
+                    static_cast<std::size_t>(branch.port), lane)];
                 output.boundInput = -1;
                 output.boundBranch = -1;
             }
@@ -512,8 +604,12 @@ InputBufferSwitch::release(Cycle now)
             const int freed = min_sent - input.released;
             input.released = min_sent;
             input.freeSlots += freed;
-            if (ins_[i].creditOut)
-                ins_[i].creditOut->send(freed, now);
+            const std::size_t port =
+                i / static_cast<std::size_t>(lanes());
+            const int lane = static_cast<int>(
+                i % static_cast<std::size_t>(lanes()));
+            if (ins_[port].creditOut)
+                ins_[port].creditOut->send(freed, now, lane);
         }
 
         if (input.released == total) {

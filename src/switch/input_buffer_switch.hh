@@ -64,10 +64,10 @@ class InputBufferSwitch : public SwitchBase
         return ReceivePolicy{ibParams_.bufferFlits, true};
     }
 
-    /** Flits currently buffered at input @p port (tests). */
+    /** Flits currently buffered at input @p port, all lanes (tests). */
     int bufferOccupancy(PortId port) const;
 
-    /** True if output @p port is streaming a branch (tests). */
+    /** True if any lane of output @p port streams a branch (tests). */
     bool outputBusy(PortId port) const;
 
     /** Print the full internal state (deadlock diagnosis). */
@@ -96,6 +96,11 @@ class InputBufferSwitch : public SwitchBase
         int arrived = 0;
     };
 
+    /**
+     * Per-(input port, lane) buffer state, laneIdx-flattened: each
+     * lane owns an independent FIFO of the full advertised window, so
+     * a multi-lane switch buffers lanes x bufferFlits per port.
+     */
     struct InputState
     {
         std::deque<PacketRecord> packets;
@@ -103,6 +108,10 @@ class InputBufferSwitch : public SwitchBase
         /** Head-packet flits already forwarded by every branch. */
         int released = 0;
         bool decoded = false;
+        /** Output lane the head packet was allocated at decode; every
+         *  replication branch streams on this lane (branch-consistent
+         *  lane reservation). */
+        int outLane = 0;
         /** Head packet still needs an up port to be granted. */
         bool upPending = false;
         std::vector<PortId> upCandidates;
@@ -110,6 +119,8 @@ class InputBufferSwitch : public SwitchBase
         std::vector<Branch> branches;
     };
 
+    /** Per-(output port, lane) binding, laneIdx-flattened. The bound
+     *  input is a flattened (port, lane) index as well. */
     struct OutputState
     {
         int boundInput = -1;
@@ -122,6 +133,8 @@ class InputBufferSwitch : public SwitchBase
     /** Complete packets cut off by a failed input link (fault). */
     void fabricateFailedArrivals();
     void decodeHeads(Cycle now);
+    /** Adaptive lane cost: required output (port, lane) slots busy. */
+    int laneCost(const RouteDecision &route, int lane) const;
     void arbitrate();
     void transmit(Cycle now);
     /** Synchronous replication: all-or-nothing port acquisition. */
@@ -134,6 +147,7 @@ class InputBufferSwitch : public SwitchBase
     static bool fullyGranted(const InputState &input);
 
     IbParams ibParams_;
+    /** laneIdx-flattened: (port, lane) for ports 0..radix. */
     std::vector<InputState> inputs_;
     std::vector<OutputState> outputs_;
     std::vector<RoundRobinArbiter> outputArb_;

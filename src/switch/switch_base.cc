@@ -26,9 +26,13 @@ SwitchBase::SwitchBase(std::string name, SwitchId id,
       ins_(static_cast<std::size_t>(routing->radix())),
       outs_(static_cast<std::size_t>(routing->radix())),
       portTx_(static_cast<std::size_t>(routing->radix())),
+      laneTx_(static_cast<std::size_t>(routing->radix()) *
+              static_cast<std::size_t>(params.lanes)),
       rng_(Rng(params.seed).fork(static_cast<std::uint64_t>(id) + 17))
 {
     MDW_ASSERT(routing != nullptr, "switch %d without routing", id);
+    MDW_ASSERT(params.lanes >= 1, "switch %d with %d lanes", id,
+               params.lanes);
 }
 
 void
@@ -54,7 +58,11 @@ SwitchBase::connectOut(PortId port, Channel<Flit> *out,
                id_, port);
     p.out = out;
     p.creditIn = creditIn;
-    p.credits = policy.window;
+    // Every lane gets the receiver's full advertised window: the
+    // downstream per-lane buffers are independent, so total buffering
+    // scales with the lane count (per the multi-lane MIN model).
+    p.credits.assign(static_cast<std::size_t>(params_.lanes),
+                     policy.window);
     p.initialCredits = policy.window;
     p.mcastWholePacket = policy.mcastWholePacket;
     // Returning credits must be collected promptly even while idle,
@@ -131,14 +139,19 @@ SwitchBase::quiescent(std::string *why) const
         const OutPort &out = outs_[p];
         if (!out.connected() || out.failed)
             continue;
-        if (out.credits != out.initialCredits) {
-            if (why) {
-                *why += "switch " + std::to_string(id_) + " output " +
-                        std::to_string(p) + " holds " +
-                        std::to_string(out.initialCredits - out.credits) +
-                        " outstanding credits; ";
+        for (int l = 0; l < params_.lanes; ++l) {
+            const int held =
+                out.credits[static_cast<std::size_t>(l)];
+            if (held != out.initialCredits) {
+                if (why) {
+                    *why += "switch " + std::to_string(id_) +
+                            " output " + std::to_string(p) + " lane " +
+                            std::to_string(l) + " holds " +
+                            std::to_string(out.initialCredits - held) +
+                            " outstanding credits; ";
+                }
+                return false;
             }
-            return false;
         }
     }
     return true;
@@ -157,10 +170,11 @@ SwitchBase::outConnected(PortId port) const
 }
 
 void
-SwitchBase::notePortSend(std::size_t port)
+SwitchBase::notePortSend(std::size_t port, int lane)
 {
     stats_.flitsOut.inc();
     portTx_[port].inc();
+    laneTx_[laneIdx(port, lane)].inc();
 }
 
 void
@@ -169,24 +183,70 @@ SwitchBase::collectCredits(Cycle now)
     for (auto &p : outs_) {
         if (!p.creditIn)
             continue;
-        const int arrived = p.creditIn->receive(now);
         // A failed output's credits are meaningless (the tombstone
         // sink never spends them); discard so the channel drains and
         // the quiescence check sees every credit channel empty.
-        if (!p.failed)
-            p.credits += arrived;
+        if (p.failed)
+            (void)p.creditIn->receive(now);
+        else
+            (void)p.creditIn->receiveByLane(now, p.credits);
     }
 }
 
 bool
-SwitchBase::canStartPacket(const OutPort &port,
+SwitchBase::canStartPacket(const OutPort &port, int lane,
                            const PacketDesc &pkt) const
 {
     if (port.failed)
         return true; // Tombstone sink: accepts anything, instantly.
+    const int credits = port.credits[static_cast<std::size_t>(lane)];
     if (port.mcastWholePacket && pkt.kind == PacketKind::HwMulticast)
-        return port.credits >= pkt.totalFlits();
-    return port.credits >= 1;
+        return credits >= pkt.totalFlits();
+    return credits >= 1;
+}
+
+int
+SwitchBase::serviceLane(Cycle now, int slot) const
+{
+    const int total = params_.lanes;
+    if (total == 1)
+        return 0;
+    // Class 1 owns the upper partition and is served first.
+    const int base = laneClassBase(total, 1);
+    const int latency = total - base;
+    if (slot < latency)
+        return base +
+               static_cast<int>((now + static_cast<Cycle>(slot)) %
+                                static_cast<Cycle>(latency));
+    slot -= latency;
+    return static_cast<int>((now + static_cast<Cycle>(slot)) %
+                            static_cast<Cycle>(base));
+}
+
+int
+SwitchBase::allocLane(const PacketDesc &pkt, Cycle now,
+                      const std::function<int(int)> &laneCost) const
+{
+    const int base = laneClassBase(params_.lanes, pkt.trafficClass);
+    int lane = base;
+    if (params_.laneAlloc == LaneAlloc::Adaptive && laneCost) {
+        // Cheapest lane of the class partition; ties go to the
+        // lowest lane so the choice is deterministic.
+        const int size =
+            laneClassSize(params_.lanes, pkt.trafficClass);
+        int best_cost = laneCost(base);
+        for (int l = base + 1; l < base + size; ++l) {
+            const int cost = laneCost(l);
+            if (cost < best_cost) {
+                best_cost = cost;
+                lane = l;
+            }
+        }
+    }
+    if (params_.lanes > 1)
+        traceWorm(WormEvent::LaneAlloc, now, pkt,
+                  static_cast<std::int32_t>(lane));
+    return lane;
 }
 
 void
@@ -215,22 +275,45 @@ SwitchBase::attachTelemetry(Telemetry &telemetry)
                                 ".tx_flits",
                             &portTx_[p]);
     }
+    if (params_.lanes > 1) {
+        reg.registerCounter(prefix + "lane.stall_cycles",
+                            &stats_.laneStallCycles);
+        reg.registerTimeAverage(prefix + "lane.occupancy_flits",
+                                &laneOcc_, [this] {
+                                    return sim_ ? sim_->now()
+                                                : Cycle{0};
+                                });
+        for (std::size_t p = 0; p < outs_.size(); ++p) {
+            if (!outs_[p].connected())
+                continue;
+            for (int l = 0; l < params_.lanes; ++l) {
+                reg.registerCounter(
+                    prefix + "port." + std::to_string(p) + ".lane." +
+                        std::to_string(l) + ".tx_flits",
+                    &laneTx_[laneIdx(p, l)]);
+            }
+        }
+    }
 }
 
 PortId
 SwitchBase::chooseUpPort(const RouteDecision &route,
-                         const PacketDesc &pkt,
+                         const PacketDesc &pkt, int lane,
                          const std::function<bool(PortId)> &freeOk) const
 {
     MDW_ASSERT(!route.upCandidates.empty(), "no up candidates");
     const auto &cands = route.upCandidates;
     const std::size_t n = cands.size();
     // Deterministic default: spread by source and packet id so
-    // distinct flows take distinct up links.
-    const std::size_t hash =
+    // distinct flows take distinct up links; the packet's lane
+    // rotates the choice (rotateUpCandidate) so each lane's flows
+    // prefer a different up link. Lane 0 reduces to the single-lane
+    // hash exactly.
+    const std::size_t hash = rotateUpCandidate(
         (static_cast<std::size_t>(pkt.src) * 0x9e3779b9u +
          static_cast<std::size_t>(pkt.id) * 0x85ebca6bu) %
-        n;
+            n,
+        lane, n);
     if (params_.upPolicy == UpPortPolicy::Deterministic || !freeOk)
         return cands[hash];
     // Adaptive: first available candidate scanning from the hash

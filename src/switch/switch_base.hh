@@ -19,6 +19,7 @@
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "sim/telemetry.hh"
+#include "switch/arbiter.hh"
 #include "topology/routing.hh"
 
 namespace mdw {
@@ -73,6 +74,14 @@ struct SwitchParams
     RoutingVariant variant = RoutingVariant::ReplicateAfterLca;
     UpPortPolicy upPolicy = UpPortPolicy::Adaptive;
     ReplicationMode replication = ReplicationMode::Asynchronous;
+    /**
+     * Virtual lanes per physical link. Each lane gets its own flit
+     * buffers and credit counter; the physical link still carries at
+     * most one flit per cycle. 1 = the original single-lane switch.
+     */
+    int lanes = 1;
+    /** How traffic classes map onto lanes (see LaneAlloc). */
+    LaneAlloc laneAlloc = LaneAlloc::StaticClass;
     std::uint64_t seed = 1;
 };
 
@@ -90,6 +99,9 @@ struct SwitchStats
     Counter tombstonedFlits;
     /** Destinations dropped because no route survived the faults. */
     Counter unroutableDests;
+    /** Cycles a lane had a flit ready but lost the physical-link
+     *  mux to another lane (only counted when lanes > 1). */
+    Counter laneStallCycles;
 };
 
 /**
@@ -129,6 +141,13 @@ class SwitchBase : public Component
 
     /** Flits ever sent on output @p port (link utilization). */
     std::uint64_t portTxFlits(PortId port) const;
+
+    /**
+     * Time-averaged flits buffered across the per-lane input storage
+     * of this switch; sampled every step on multi-lane switches, flat
+     * zero on single-lane ones (network lane-occupancy rollup).
+     */
+    const TimeAverage &laneOccupancy() const { return laneOcc_; }
 
     /** True if output @p port has a link attached. */
     bool outConnected(PortId port) const;
@@ -209,7 +228,9 @@ class SwitchBase : public Component
     {
         Channel<Flit> *out = nullptr;
         CreditChannel *creditIn = nullptr;
-        int credits = 0;
+        /** Per-lane credit counters (size = params.lanes); each lane
+         *  gets the receiver's full advertised window. */
+        std::vector<int> credits;
         int initialCredits = 0;
         bool mcastWholePacket = false;
         bool failed = false;
@@ -219,8 +240,60 @@ class SwitchBase : public Component
         bool connected() const { return out != nullptr; }
     };
 
-    /** Pull arrived credits on every output port. */
+    /** Pull arrived credits on every output port (lane-demuxed). */
     void collectCredits(Cycle now);
+
+    /** Lanes per link (== params.lanes, >= 1). */
+    int lanes() const { return params_.lanes; }
+
+    /** Flattened (port, lane) index used by per-lane switch state. */
+    std::size_t
+    laneIdx(std::size_t port, int lane) const
+    {
+        return port * static_cast<std::size_t>(params_.lanes) +
+               static_cast<std::size_t>(lane);
+    }
+
+    /**
+     * Allocate the lane a freshly decoded packet will use through
+     * this switch, per the configured policy: the fixed base lane of
+     * its class partition (static) or the cheapest lane of that
+     * partition by @p laneCost (adaptive; ties to the lowest lane).
+     * The choice is made once per packet — every replication branch
+     * uses it — and traced as LaneAlloc when the switch is
+     * multi-lane.
+     */
+    int allocLane(const PacketDesc &pkt, Cycle now,
+                  const std::function<int(int)> &laneCost) const;
+
+    /**
+     * The @p slot'th lane in a transmit port's service order this
+     * cycle. The latency-sensitive partition (class 1) is served
+     * before the bulk partition so a tagged worm never waits behind
+     * background flits at the link mux; within each partition the
+     * start rotates with the cycle for fairness. A lane can still
+     * only send when the link is free, so bulk lanes drain whenever
+     * the latency partition is idle — priority, not starvation.
+     * With lanes == 1 every slot is lane 0 (single-lane identity).
+     */
+    int serviceLane(Cycle now, int slot) const;
+
+    /** Count a cycle in which @p lane of @p port was ready to send
+     *  but the physical link mux went to another lane. */
+    void
+    noteLaneStall(Cycle now, const PacketDesc &pkt, std::size_t port)
+    {
+        stats_.laneStallCycles.inc();
+        traceWorm(WormEvent::LaneStall, now, pkt,
+                  static_cast<std::int32_t>(port));
+    }
+
+    /** Sample the per-lane buffered-flit total (multi-lane only). */
+    void
+    sampleLaneOccupancy(double flits, Cycle now)
+    {
+        laneOcc_.update(flits, now);
+    }
 
     /**
      * Earliest in-flight arrival on any attached link: data flits on
@@ -232,26 +305,30 @@ class SwitchBase : public Component
     Cycle earliestLinkArrival() const;
 
     /**
-     * May the first flit of @p pkt start crossing output @p port this
-     * cycle? Applies the whole-packet reservation rule for
-     * multidestination worms when the receiver demands it.
+     * May the first flit of @p pkt start crossing @p lane of output
+     * @p port this cycle? Applies the whole-packet reservation rule
+     * for multidestination worms when the receiver demands it,
+     * against that lane's credit counter.
      */
-    bool canStartPacket(const OutPort &port,
+    bool canStartPacket(const OutPort &port, int lane,
                         const PacketDesc &pkt) const;
 
     /**
-     * Pick the up port for a packet from decode candidates.
+     * Pick the up port for a packet from decode candidates; the
+     * packet's lane rotates the deterministic spread so distinct
+     * lanes prefer distinct up links (lane 0 matches the single-lane
+     * choice exactly).
      * @param freeOk Predicate: is this port currently a good
      *        (available) choice? Used by the adaptive policy; if no
      *        candidate satisfies it, adaptive falls back to the
      *        deterministic choice.
      */
     PortId chooseUpPort(const RouteDecision &route,
-                        const PacketDesc &pkt,
+                        const PacketDesc &pkt, int lane,
                         const std::function<bool(PortId)> &freeOk) const;
 
-    /** Count one flit leaving through @p port. */
-    void notePortSend(std::size_t port);
+    /** Count one flit leaving through @p lane of @p port. */
+    void notePortSend(std::size_t port, int lane = 0);
 
     /**
      * True if @p port must skip sending this cycle: failed ports are
@@ -295,6 +372,10 @@ class SwitchBase : public Component
     std::vector<InPort> ins_;
     std::vector<OutPort> outs_;
     std::vector<Counter> portTx_;
+    /** Per-(port, lane) tx flits, laneIdx-flattened; registered as
+     *  metrics only on multi-lane switches. */
+    std::vector<Counter> laneTx_;
+    TimeAverage laneOcc_;
     Rng rng_;
     SwitchStats stats_;
     /** Shared poison registry; null while fault injection is off. */

@@ -52,6 +52,24 @@ enum class UpPortPolicy
 
 const char *toString(UpPortPolicy policy);
 
+/**
+ * Rotate an up-candidate index by the packet's virtual lane.
+ *
+ * Multi-lane switches give each lane its own preferred up link so
+ * the adaptive up-path choice spreads over both links *and* lanes.
+ * This stays deadlock-free for any lane assignment: routing remains
+ * up-then-down on every lane (the lane never changes which ports are
+ * "up"), so each lane's channel-dependency graph is the same acyclic
+ * up/down DAG as the single-lane fabric — lanes multiply the escape
+ * paths, they cannot close a cycle. Lane 0 is the identity, which
+ * keeps lanes=1 routing bit-identical to the pre-lane switch.
+ */
+inline std::size_t
+rotateUpCandidate(std::size_t hash, int lane, std::size_t candidates)
+{
+    return (hash + static_cast<std::size_t>(lane)) % candidates;
+}
+
 /** The output ports a worm must acquire at one switch. */
 struct RouteDecision
 {

@@ -148,6 +148,7 @@ SyntheticTraffic::makeSpec(NodeState &state, NodeId self)
     spec.multicast = multicast;
     if (multicast) {
         spec.dests = randomDests(state, self, params_.mcastDegree);
+        spec.trafficClass = params_.mcastClass;
     } else if (params_.pattern == TrafficPattern::HotSpot &&
                self != params_.hotNode &&
                state.rng.chance(params_.hotFraction)) {

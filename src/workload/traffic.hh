@@ -78,6 +78,13 @@ struct WorkloadParams
     int mcastDegree = 8;
     /** Fraction of messages that are multicast (Bimodal only). */
     double mcastFraction = 0.1;
+    /**
+     * Traffic class stamped on generated multicasts (unicasts stay
+     * class 0). Set to 1 so a bimodal workload routes its multicast
+     * foreground on the latency-sensitive lane partition. Default 0
+     * keeps single-class behavior.
+     */
+    int mcastClass = 0;
     /** Fraction of messages aimed at the hot node (HotSpot only). */
     double hotFraction = 0.2;
     /** The hot node (HotSpot only). */

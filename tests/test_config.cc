@@ -1,10 +1,12 @@
 /**
  * @file
- * Unit tests for the key=value configuration store.
+ * Unit tests for the key=value configuration store, plus the
+ * warn-once clamping of out-of-range preset values (switch.lanes).
  */
 
 #include <gtest/gtest.h>
 
+#include "core/presets.hh"
 #include "sim/config.hh"
 
 namespace mdw {
@@ -122,6 +124,63 @@ TEST(Config, ReadKeysDoNotWarn)
         EXPECT_TRUE(c.getBool("quick", false));
     }
     EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(Config, OutOfRangeLanesClampWithOneWarning)
+{
+    // An out-of-range switch.lanes= rides the same one-shot warning
+    // path as deprecated keys: clamp, warn on first sight, then stay
+    // silent for the rest of the process.
+    testing::internal::CaptureStderr();
+    for (int i = 0; i < 2; ++i) {
+        Config cli;
+        cli.parseToken("switch.lanes=99");
+        NetworkConfig net = defaultNetwork();
+        TrafficParams traffic = defaultTraffic();
+        ExperimentParams params = defaultExperiment();
+        applyOverrides(cli, net, traffic, params);
+        EXPECT_EQ(net.sw.lanes, kMaxLanes);
+    }
+    {
+        Config cli;
+        cli.parseToken("switch.lanes=0");
+        NetworkConfig net = defaultNetwork();
+        TrafficParams traffic = defaultTraffic();
+        ExperimentParams params = defaultExperiment();
+        applyOverrides(cli, net, traffic, params);
+        EXPECT_EQ(net.sw.lanes, 1); // clamps up, too
+    }
+    const std::string err = testing::internal::GetCapturedStderr();
+    ASSERT_NE(err.find("switch.lanes"), std::string::npos) << err;
+    EXPECT_NE(err.find("out of range"), std::string::npos) << err;
+    EXPECT_EQ(err.find("switch.lanes"), err.rfind("switch.lanes"))
+        << "warned more than once: " << err;
+}
+
+TEST(Config, LaneKnobsParse)
+{
+    Config cli;
+    cli.parseToken("switch.lanes=4");
+    cli.parseToken("switch.laneAlloc=adaptive");
+    cli.parseToken("workload.mcastClass=1");
+    NetworkConfig net = defaultNetwork();
+    TrafficParams traffic = defaultTraffic();
+    ExperimentParams params = defaultExperiment();
+    applyOverrides(cli, net, traffic, params);
+    EXPECT_EQ(net.sw.lanes, 4);
+    EXPECT_EQ(net.sw.laneAlloc, LaneAlloc::Adaptive);
+    EXPECT_EQ(traffic.mcastClass, 1);
+}
+
+TEST(ConfigDeath, BadLaneAllocIsFatal)
+{
+    Config cli;
+    cli.parseToken("switch.laneAlloc=psychic");
+    NetworkConfig net = defaultNetwork();
+    TrafficParams traffic = defaultTraffic();
+    ExperimentParams params = defaultExperiment();
+    EXPECT_DEATH(applyOverrides(cli, net, traffic, params),
+                 "unknown lane allocation");
 }
 
 TEST(ConfigDeath, MalformedTokenIsFatal)

@@ -16,9 +16,12 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <random>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -28,6 +31,7 @@
 #include "core/network.hh"
 #include "core/presets.hh"
 #include "sim/config.hh"
+#include "switch/arbiter.hh"
 #include "workload/traffic.hh"
 
 namespace mdw {
@@ -256,6 +260,24 @@ const Scenario kScenarios[] = {
      "telemetry.trace=1 telemetry.traceCapacity=65536 "
      "workload.load=0.05 fault.ber=1e-3 fault.residual=0.05 "
      "nic.retransmitTimeout=3000"},
+    // fig_lanes: multi-lane switches with a class-tagged bimodal
+    // foreground, on both architectures and both lane allocators.
+    {"lanes2_bimodal",
+     "switch.lanes=2 workload.pattern=bimodal "
+     "workload.mcastFraction=0.1 workload.mcastClass=1 "
+     "workload.load=0.15"},
+    {"lanes4_adaptive",
+     "switch.lanes=4 switch.laneAlloc=adaptive "
+     "workload.pattern=bimodal workload.mcastFraction=0.1 "
+     "workload.mcastClass=1 workload.load=0.1"},
+    {"lanes4_ib",
+     "arch=ib switch.lanes=4 workload.pattern=bimodal "
+     "workload.mcastFraction=0.1 workload.mcastClass=1 "
+     "workload.load=0.1"},
+    {"lanes2_traced",
+     "switch.lanes=2 telemetry.trace=1 telemetry.traceCapacity=65536 "
+     "workload.pattern=bimodal workload.mcastFraction=0.1 "
+     "workload.mcastClass=1 workload.load=0.05"},
     // fig_collectives: closed-loop workloads. Sleeping nodes must be
     // woken by the delivery/completion events that gate each phase,
     // in both scheduler modes, on identical cycles.
@@ -306,6 +328,75 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<Scenario> &info) {
         return std::string(info.param.name);
     });
+
+// lanes=1 must be bit-identical to the pre-lane switch: a single
+// lane leaves no allocation or service choice to make, so spelling
+// the knobs out (including the allocator, which can only matter with
+// two or more lanes) must reproduce the default run exactly, in
+// every scheduler mode. This is the oracle behind the CI promise
+// that the lane datapath is dormant until switched on.
+TEST(LaneDiff, SingleLaneMatchesDefaultBitIdentical)
+{
+    // This test pins lanes=1 by design; the suite-wide MDW_LANES
+    // override (the CI lanes leg) would force every run multi-lane
+    // and void the comparison. Each ctest entry is its own process,
+    // so dropping it here cannot leak into other tests.
+    unsetenv("MDW_LANES");
+    const char *workload =
+        "workload.pattern=bimodal workload.mcastFraction=0.1 "
+        "workload.mcastClass=1 workload.load=0.15";
+    const ExperimentResult ref =
+        runMode(withTokens(workload), false);
+    for (const std::string &knobs :
+         {std::string("switch.lanes=1 "),
+          std::string("switch.lanes=1 switch.laneAlloc=adaptive ")}) {
+        const std::string tokens = knobs + workload;
+        const Config config = withTokens(tokens);
+        expectSame(ref, runMode(config, false), tokens, "oracle");
+        expectSame(ref, runMode(config, true), tokens, "fast path");
+        expectSame(ref, runMode(config, true, 2), tokens, "2 shards");
+        expectSame(ref, runMode(config, true, 4), tokens, "4 shards");
+    }
+}
+
+// Multidestination replication must keep every branch of a worm on
+// one lane: the lane is chosen once at header decode and applied to
+// all output branches, so the trace carries exactly one LaneAlloc
+// event per (switch, packet) — a second one would mean a branch
+// re-allocated mid-replication. With an all-multicast class-1
+// workload every allocation must also land in the latency partition.
+TEST(LaneDiff, ReplicationKeepsOneLaneClassPerWorm)
+{
+    const Config config = withTokens(
+        "switch.lanes=4 telemetry.trace=1 "
+        "telemetry.traceCapacity=65536 workload.mcastClass=1 "
+        "workload.load=0.05");
+    const ExperimentResult r = runMode(config, true);
+    ASSERT_NE(r.trace, nullptr);
+    ASSERT_EQ(r.trace->dropped, 0u);
+    // A worm may legally traverse the same switch twice (up phase,
+    // then again inside the root's down-replication fan-out), so a
+    // switch can allocate for the same packet more than once. The
+    // invariant is the lane itself: static allocation is purely
+    // class-determined, so every branch of a worm, at every switch
+    // it crosses, must land on one and the same latency-class lane.
+    std::map<std::uint64_t, std::int32_t> laneOf;
+    int seen = 0;
+    for (const WormTraceEvent &e : r.trace->events) {
+        if (e.kind != WormEvent::LaneAlloc)
+            continue;
+        ++seen;
+        EXPECT_GE(e.arg, laneClassBase(4, 1)) << "packet " << e.packet;
+        EXPECT_LT(e.arg, 4) << "packet " << e.packet;
+        const auto [it, inserted] = laneOf.emplace(e.packet, e.arg);
+        if (!inserted) {
+            EXPECT_EQ(it->second, e.arg)
+                << "packet " << e.packet << " switched lanes at "
+                << "component " << e.component;
+        }
+    }
+    EXPECT_GT(seen, 0) << "no LaneAlloc events traced at lanes=4";
+}
 
 TEST(FastPathDiffTrace, EventSequencesIdentical)
 {

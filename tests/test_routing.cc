@@ -50,8 +50,9 @@ walkWorm(const Topology &topo, NodeId src, const DestSet &dests,
 
         // Once a branch starts descending it must never need an up
         // port again (the pruned set is always down-reachable).
-        if (leg.goingDown)
+        if (leg.goingDown) {
             ASSERT_FALSE(route.needsUp());
+        }
 
         DestSet branched(leg.dests.size());
         for (const auto &[port, sub] : route.downBranches) {

@@ -105,6 +105,28 @@ TEST(BoundaryChannel, CreditGrantsMergeAndFlush)
     EXPECT_EQ(ch.inFlight(), 0);
 }
 
+TEST(BoundaryChannel, LaneTaggedCreditsFlushPerLane)
+{
+    // Per-lane credit accounting across a shard boundary: grants on
+    // the same ready cycle merge only within a lane -- merging across
+    // lanes would credit the wrong per-lane counter at the receiver
+    // after the barrier flush.
+    RecordingRegistrar reg;
+    CreditChannel ch("cr", 1);
+    ch.setBoundary(&reg, 1);
+
+    ch.send(2, 5, /*lane=*/0);
+    ch.send(3, 5, /*lane=*/1); // same cycle, different lane: no merge
+    ch.send(1, 5, /*lane=*/1); // same cycle, same lane: merges
+    EXPECT_EQ(ch.flushBoundary(), 2u); // one entry per lane
+
+    std::vector<int> credits(2, 0);
+    EXPECT_EQ(ch.receiveByLane(6, credits), 6);
+    EXPECT_EQ(credits[0], 2);
+    EXPECT_EQ(credits[1], 4);
+    EXPECT_EQ(ch.inFlight(), 0);
+}
+
 TEST(BoundaryChannelDeath, HookAndBoundaryAreExclusive)
 {
     struct NullHook : ChannelHook<int>

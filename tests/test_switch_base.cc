@@ -66,13 +66,13 @@ TEST(SwitchBase, UnicastStartsWithOneCredit)
     const SwitchRouting routing = makeRouting();
     ProbeSwitch sw(&routing, SwitchParams{});
     ProbeSwitch::OutPort port;
-    port.credits = 1;
+    port.credits = {1};
     port.mcastWholePacket = true;
-    EXPECT_TRUE(sw.canStartPacket(port, makeDesc(PacketKind::Unicast)));
+    EXPECT_TRUE(sw.canStartPacket(port, 0, makeDesc(PacketKind::Unicast)));
     EXPECT_TRUE(sw.canStartPacket(
-        port, makeDesc(PacketKind::SwMulticastCarrier)));
-    port.credits = 0;
-    EXPECT_FALSE(sw.canStartPacket(port, makeDesc(PacketKind::Unicast)));
+        port, 0, makeDesc(PacketKind::SwMulticastCarrier)));
+    port.credits = {0};
+    EXPECT_FALSE(sw.canStartPacket(port, 0, makeDesc(PacketKind::Unicast)));
 }
 
 TEST(SwitchBase, MulticastNeedsWholePacketWhenDemanded)
@@ -81,17 +81,17 @@ TEST(SwitchBase, MulticastNeedsWholePacketWhenDemanded)
     ProbeSwitch sw(&routing, SwitchParams{});
     ProbeSwitch::OutPort port;
     port.mcastWholePacket = true;
-    port.credits = 31;
+    port.credits = {31};
     EXPECT_FALSE(
-        sw.canStartPacket(port, makeDesc(PacketKind::HwMulticast)));
-    port.credits = 32;
+        sw.canStartPacket(port, 0, makeDesc(PacketKind::HwMulticast)));
+    port.credits = {32};
     EXPECT_TRUE(
-        sw.canStartPacket(port, makeDesc(PacketKind::HwMulticast)));
+        sw.canStartPacket(port, 0, makeDesc(PacketKind::HwMulticast)));
     // Receivers that do their own admission only need one credit.
     port.mcastWholePacket = false;
-    port.credits = 1;
+    port.credits = {1};
     EXPECT_TRUE(
-        sw.canStartPacket(port, makeDesc(PacketKind::HwMulticast)));
+        sw.canStartPacket(port, 0, makeDesc(PacketKind::HwMulticast)));
 }
 
 TEST(SwitchBase, DeterministicUpChoiceIsStable)
@@ -106,9 +106,9 @@ TEST(SwitchBase, DeterministicUpChoiceIsStable)
     ASSERT_TRUE(route.needsUp());
 
     const PacketDesc desc = makeDesc(PacketKind::Unicast, 7);
-    const PortId first = sw.chooseUpPort(route, desc, nullptr);
+    const PortId first = sw.chooseUpPort(route, desc, 0, nullptr);
     for (int i = 0; i < 10; ++i)
-        EXPECT_EQ(sw.chooseUpPort(route, desc, nullptr), first);
+        EXPECT_EQ(sw.chooseUpPort(route, desc, 0, nullptr), first);
     EXPECT_TRUE(first == 2 || first == 3);
 }
 
@@ -124,7 +124,7 @@ TEST(SwitchBase, DeterministicUpChoiceSpreadsAcrossPackets)
     std::set<PortId> seen;
     for (PacketId id = 1; id <= 40; ++id)
         seen.insert(sw.chooseUpPort(
-            route, makeDesc(PacketKind::Unicast, id), nullptr));
+            route, makeDesc(PacketKind::Unicast, id), 0, nullptr));
     EXPECT_EQ(seen.size(), 2u); // both up ports get used
 }
 
@@ -139,10 +139,10 @@ TEST(SwitchBase, AdaptiveUpChoicePrefersFreePorts)
     const PacketDesc desc = makeDesc(PacketKind::Unicast, 3);
 
     // Only port 3 is "free".
-    EXPECT_EQ(sw.chooseUpPort(route, desc,
+    EXPECT_EQ(sw.chooseUpPort(route, desc, 0,
                               [](PortId p) { return p == 3; }),
               3);
-    EXPECT_EQ(sw.chooseUpPort(route, desc,
+    EXPECT_EQ(sw.chooseUpPort(route, desc, 0,
                               [](PortId p) { return p == 2; }),
               2);
 }
@@ -158,12 +158,12 @@ TEST(SwitchBase, AdaptiveFallsBackToHashWhenNothingFree)
     const PacketDesc desc = makeDesc(PacketKind::Unicast, 3);
 
     const PortId pick =
-        sw.chooseUpPort(route, desc, [](PortId) { return false; });
+        sw.chooseUpPort(route, desc, 0, [](PortId) { return false; });
     // Same pick as the deterministic policy would make.
     SwitchParams det;
     det.upPolicy = UpPortPolicy::Deterministic;
     ProbeSwitch dsw(&routing, det);
-    EXPECT_EQ(pick, dsw.chooseUpPort(route, desc, nullptr));
+    EXPECT_EQ(pick, dsw.chooseUpPort(route, desc, 0, nullptr));
 }
 
 TEST(SwitchBase, ReplicationModeNames)
